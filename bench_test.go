@@ -1,0 +1,178 @@
+package upidb
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (Section 7), plus micro-benchmarks of the
+// core operations. Each experiment benchmark runs the corresponding
+// internal/bench experiment at a reduced scale and reports the
+// headline modeled runtime as a custom metric (modeled_ms), alongside
+// the usual wall-clock ns/op of regenerating the experiment.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Full-scale experiment output (the numbers recorded in
+// EXPERIMENTS.md) comes from cmd/upibench.
+
+import (
+	"testing"
+
+	"upidb/internal/bench"
+	"upidb/internal/dataset"
+	"upidb/internal/pii"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+	"upidb/internal/upi"
+)
+
+// benchScale keeps experiment benchmarks fast enough to iterate.
+const benchScale = 0.05
+
+func runExperiment(b *testing.B, id string, headlineColumn string) {
+	b.Helper()
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		env := bench.NewEnv(bench.Config{Scale: benchScale, Seed: 1})
+		exp, err := bench.Run(env, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := exp.Column(headlineColumn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range col {
+			sum += v
+		}
+		headline = sum / float64(len(col)) * 1000 // modeled ms
+	}
+	b.ReportMetric(headline, "modeled_ms")
+}
+
+func BenchmarkFig3CutoffRuntime(b *testing.B)   { runExperiment(b, "fig3", "nonsel QT=0.05") }
+func BenchmarkFig4Query1(b *testing.B)          { runExperiment(b, "fig4", "UPI") }
+func BenchmarkFig5Query2(b *testing.B)          { runExperiment(b, "fig5", "UPI") }
+func BenchmarkFig6Query3(b *testing.B)          { runExperiment(b, "fig6", "PII on UPI w/ Tailored Access") }
+func BenchmarkFig7Query4(b *testing.B)          { runExperiment(b, "fig7", "Continuous UPI") }
+func BenchmarkFig8Query5(b *testing.B)          { runExperiment(b, "fig8", "PII on Continuous UPI") }
+func BenchmarkFig9Deterioration(b *testing.B)   { runExperiment(b, "fig9", "Fractured UPI") }
+func BenchmarkFig10FracturedModel(b *testing.B) { runExperiment(b, "fig10", "Real") }
+func BenchmarkFig11PointerEstimate(b *testing.B) {
+	runExperiment(b, "fig11", "Real")
+}
+func BenchmarkFig12CutoffModel(b *testing.B)  { runExperiment(b, "fig12", "nonsel QT=0.05") }
+func BenchmarkTable7Maintenance(b *testing.B) { runExperiment(b, "table7", "Insert [s]") }
+func BenchmarkTable8Merging(b *testing.B)     { runExperiment(b, "table8", "Time [s]") }
+
+// Micro-benchmarks of the core operations, at fixed dataset size.
+
+func benchTuples(b *testing.B, n int) []*Tuple {
+	b.Helper()
+	cfg := dataset.DefaultDBLPConfig()
+	cfg.Authors = n
+	cfg.Publications = 1
+	d, err := dataset.GenerateDBLP(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d.Authors
+}
+
+func BenchmarkUPIBulkBuild(b *testing.B) {
+	tuples := benchTuples(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+		if _, err := upi.BulkBuild(fs, "t", dataset.AttrInstitution,
+			[]string{dataset.AttrCountry}, upi.Options{Cutoff: 0.1}, tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUPIInsert(b *testing.B) {
+	tuples := benchTuples(b, b.N+1)
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	tab, err := upi.BulkBuild(fs, "t", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, upi.Options{Cutoff: 0.1}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Insert(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUPIQueryPTQ(b *testing.B) {
+	tuples := benchTuples(b, 5000)
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	tab, err := upi.BulkBuild(fs, "t", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, upi.Options{Cutoff: 0.1}, tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tab.Query(dataset.MITInstitution, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUPIQuerySecondaryTailored(b *testing.B) {
+	tuples := benchTuples(b, 5000)
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	tab, err := upi.BulkBuild(fs, "t", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, upi.Options{Cutoff: 0.1}, tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPIIQueryPTQ(b *testing.B) {
+	tuples := benchTuples(b, 5000)
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	tab, err := pii.BulkBuild(fs, "t", []string{dataset.AttrInstitution}, pii.Options{}, tuples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.Query(dataset.AttrInstitution, dataset.MITInstitution, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeInsertFlushQuery(b *testing.B) {
+	tuples := benchTuples(b, 2000)
+	db := New()
+	tab, err := db.CreateTable("t", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, TableOptions{Cutoff: 0.1, BufferTuples: 500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tup := *tuples[i%len(tuples)]
+		tup.ID = uint64(i + 1)
+		if err := tab.Insert(&tup); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if _, err := tab.Query(dataset.MITInstitution, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

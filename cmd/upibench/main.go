@@ -1,0 +1,51 @@
+// Command upibench regenerates the tables and figures of the UPI
+// paper's evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	upibench [-experiment all|fig3|...|table8] [-scale 1.0] [-seed 1]
+//
+// Runtimes are modeled seconds on the paper's simulated disk (10 ms
+// seek, 20 ms/MB read, 50 ms/MB write, 100 ms per file open), measured
+// cold-cache, so output is deterministic for a given scale and seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"upidb/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (fig3..fig12, table7, table8) or 'all'")
+		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = 70k authors, 130k publications, 150k observations)")
+		seed       = flag.Int64("seed", 1, "dataset generation seed")
+	)
+	flag.Parse()
+
+	env := bench.NewEnv(bench.Config{Scale: *scale, Seed: *seed})
+	ids := make([]string, 0)
+	if *experiment == "all" {
+		for _, r := range bench.Registered() {
+			ids = append(ids, r.ID)
+		}
+	} else {
+		ids = append(ids, *experiment)
+	}
+
+	fmt.Printf("upibench: scale=%.3g seed=%d experiments=%v\n\n", *scale, *seed, ids)
+	for _, id := range ids {
+		start := time.Now()
+		exp, err := bench.Run(env, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "upibench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(exp)
+		fmt.Printf("   (regenerated in %v wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,125 @@
+// Command upigen writes the synthetic uncertain datasets to CSV for
+// inspection: the DBLP-like Author/Publication tables and the
+// Cartel-like CarObservation table (see internal/dataset and the
+// substitution notes in DESIGN.md).
+//
+// Usage:
+//
+//	upigen [-dataset dblp|cartel] [-scale 0.01] [-seed 1] [-n 20] [-out -]
+//
+// With -out - (default) rows go to stdout; otherwise to the named file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"upidb/internal/dataset"
+	"upidb/internal/prob"
+)
+
+func main() {
+	var (
+		ds    = flag.String("dataset", "dblp", "dblp or cartel")
+		scale = flag.Float64("scale", 0.01, "dataset scale factor")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		n     = flag.Int("n", 20, "rows to emit (0 = all)")
+		out   = flag.String("out", "-", "output file, or - for stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upigen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	var err error
+	switch *ds {
+	case "dblp":
+		err = writeDBLP(bw, *scale, *seed, *n)
+	case "cartel":
+		err = writeCartel(bw, *scale, *seed, *n)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *ds)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upigen:", err)
+		os.Exit(1)
+	}
+}
+
+func distString(d prob.Discrete) string {
+	parts := make([]string, len(d))
+	for i, a := range d {
+		parts[i] = fmt.Sprintf("%s:%.3f", a.Value, a.Prob)
+	}
+	return strings.Join(parts, "|")
+}
+
+func writeDBLP(w io.Writer, scale float64, seed int64, n int) error {
+	cfg := dataset.DefaultDBLPConfig().Scaled(scale)
+	cfg.Seed = seed
+	d, err := dataset.GenerateDBLP(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "table,id,name_or_journal,existence,institution_dist,country_dist")
+	emit := func(table string, rows int) {
+		for i := 0; i < rows; i++ {
+			var t = d.Authors[i]
+			nameField := dataset.DetName
+			if table == "publication" {
+				t = d.Publications[i]
+				nameField = dataset.DetJournal
+			}
+			name, _ := t.DetValue(nameField)
+			inst, _ := t.Uncertain(dataset.AttrInstitution)
+			country, _ := t.Uncertain(dataset.AttrCountry)
+			fmt.Fprintf(w, "%s,%d,%s,%.3f,%s,%s\n",
+				table, t.ID, name, t.Existence, distString(inst), distString(country))
+		}
+	}
+	na, np := len(d.Authors), len(d.Publications)
+	if n > 0 && n < na {
+		na = n
+	}
+	if n > 0 && n < np {
+		np = n
+	}
+	emit("author", na)
+	emit("publication", np)
+	return nil
+}
+
+func writeCartel(w io.Writer, scale float64, seed int64, n int) error {
+	cfg := dataset.DefaultCartelConfig().Scaled(scale)
+	cfg.Seed = seed
+	c, err := dataset.GenerateCartel(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "id,x,y,sigma,bound,speed,direction,segment_dist")
+	rows := len(c.Observations)
+	if n > 0 && n < rows {
+		rows = n
+	}
+	for i := 0; i < rows; i++ {
+		o := c.Observations[i]
+		fmt.Fprintf(w, "%d,%.1f,%.1f,%.1f,%.1f,%.1f,%.2f,%s\n",
+			o.ID, o.Loc.Center.X, o.Loc.Center.Y, o.Loc.Sigma, o.Loc.Bound,
+			o.Speed, o.Direction, distString(o.Segment))
+	}
+	return nil
+}

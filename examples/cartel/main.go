@@ -1,0 +1,95 @@
+// Example cartel: continuous UPI over uncertain GPS observations —
+// the paper's Queries 4 and 5 on the public spatial API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upidb"
+	"upidb/internal/dataset"
+)
+
+func main() {
+	cfg := dataset.DefaultCartelConfig().Scaled(0.05)
+	c, err := dataset.GenerateCartel(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d car observations on %d road segments\n",
+		len(c.Observations), len(c.Segments))
+
+	db := upidb.New()
+	cars, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("continuous UPI size: %.1f MB\n", float64(cars.SizeBytes())/(1<<20))
+
+	// Query 4: all cars within 400 m of downtown with appearance
+	// probability >= 0.5.
+	if err := cars.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	before := db.DiskStats()
+	rs, err := cars.QueryCircle(upidb.Point{X: 0, Y: 0}, 400, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := db.DiskStats().Sub(before)
+	fmt.Printf("\nQuery 4 (within 400m of downtown, threshold 0.5): %d cars, modeled cost %v\n",
+		len(rs), cost.Elapsed)
+	for _, r := range rs[:min(3, len(rs))] {
+		fmt.Printf("  car %d at (%.0f, %.0f) with probability %.2f, speed %.1f m/s\n",
+			r.Obs.ID, r.Obs.Loc.Center.X, r.Obs.Loc.Center.Y, r.Confidence, r.Obs.Speed)
+	}
+
+	// Query 5: cars on the busiest road segment.
+	counts := map[string]int{}
+	for _, o := range c.Observations {
+		counts[o.Segment.First().Value]++
+	}
+	seg, best := "", 0
+	for s, n := range counts {
+		if n > best {
+			seg, best = s, n
+		}
+	}
+	if err := cars.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	before = db.DiskStats()
+	rs, err = cars.QuerySegment(seg, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost = db.DiskStats().Sub(before)
+	fmt.Printf("\nQuery 5 (Segment=%s, QT=0.3): %d cars, modeled cost %v\n", seg, len(rs), cost.Elapsed)
+
+	// Live insert: a new observation is immediately queryable.
+	segDist, err := upidb.NewDiscrete([]upidb.Alternative{{Value: seg, Prob: 1.0}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = cars.Insert(&upidb.Observation{
+		ID:      uint64(len(c.Observations) + 1),
+		Loc:     upidb.ConstrainedGaussian{Center: upidb.Point{X: 5, Y: 5}, Sigma: 20, Bound: 100},
+		Segment: segDist,
+		Speed:   8.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err = cars.QueryCircle(upidb.Point{X: 0, Y: 0}, 200, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter live insert, %d cars within 200m of downtown\n", len(rs))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

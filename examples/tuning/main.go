@@ -1,0 +1,113 @@
+// Example tuning: the paper's Section 6 workflow for a database
+// administrator — build histograms, estimate table size and query cost
+// for candidate cutoff thresholds, pick C under a storage budget and a
+// latency target, and schedule fracture merges with the cost model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"upidb/internal/costmodel"
+	"upidb/internal/dataset"
+	"upidb/internal/histogram"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+)
+
+func main() {
+	cfg := dataset.DefaultDBLPConfig().Scaled(0.05)
+	d, err := dataset.GenerateDBLP(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: collect statistics (attribute-value + probability
+	// histograms, Section 6.1).
+	hist, err := histogram.Build(dataset.AttrInstitution, d.Authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("histogram: %d tuples, %d entries, %d distinct institutions\n",
+		hist.TotalTuples(), hist.TotalEntries(), hist.DistinctValues())
+
+	// Step 2: the workload. Suppose 70%% of queries use QT=0.3 and
+	// 30%% use QT=0.05 on a popular institution.
+	workload := []struct {
+		qt     float64
+		weight float64
+	}{
+		{qt: 0.30, weight: 0.7},
+		{qt: 0.05, weight: 0.3},
+	}
+	value := dataset.MITInstitution
+
+	// Step 3: per-candidate table size and weighted average query
+	// cost from the Section 6.3 cost model.
+	candidates := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}
+	sizes := make([]float64, len(candidates))
+	costs := make([]time.Duration, len(candidates))
+	fmt.Println("\n    C     size[MB]   avg query cost")
+	for i, c := range candidates {
+		sizes[i] = hist.EstimateTableBytes(c)
+		params := costmodel.Params{
+			Disk:       sim.DefaultParams(),
+			Height:     4,
+			TableBytes: int64(sizes[i]),
+			Leaves:     int64(sizes[i] / float64(storage.DefaultPageSize) / 0.9),
+		}
+		var avg time.Duration
+		for _, w := range workload {
+			scanQT := w.qt
+			if c > scanQT {
+				scanQT = c
+			}
+			sel := hist.EstimateEntries(value, scanQT) / hist.EstimateHeapEntriesTotal(c)
+			var cost time.Duration
+			if w.qt < c {
+				ptrs := hist.EstimateCutoffPointers(value, w.qt, c)
+				cost = params.CostCutoff(sel, ptrs)
+			} else {
+				cost = params.CostSingle(sel)
+			}
+			avg += time.Duration(float64(cost) * w.weight)
+		}
+		costs[i] = avg
+		fmt.Printf("  %.2f   %8.2f   %v\n", c, sizes[i]/(1<<20), avg.Round(time.Millisecond))
+	}
+
+	// Step 4: pick the largest C that fits a 2x-raw-size storage
+	// budget and keeps the weighted query cost under 1 second.
+	rawBytes := sizes[len(sizes)-1] // the most aggressive cutoff ≈ raw size
+	budget := 2 * rawBytes
+	idx := costmodel.PickCutoff(sizes, costs, budget, time.Second)
+	if idx < 0 {
+		fmt.Println("\nno cutoff satisfies the budget; relax one constraint")
+		return
+	}
+	fmt.Printf("\nchosen cutoff C=%.2f (size %.2f MB within budget %.2f MB, avg cost %v)\n",
+		candidates[idx], sizes[idx]/(1<<20), budget/(1<<20), costs[idx].Round(time.Millisecond))
+
+	// Step 5: merge scheduling. Estimate how many fractures keep the
+	// 95th-percentile query under 2 seconds, and what a merge costs.
+	params := costmodel.Params{
+		Disk:       sim.DefaultParams(),
+		Height:     4,
+		TableBytes: int64(sizes[idx]),
+		Leaves:     int64(sizes[idx] / float64(storage.DefaultPageSize) / 0.9),
+	}
+	sel := hist.EstimateSelectivity(value, 0.3)
+	fmt.Println("\nfractures vs estimated query cost:")
+	maxFrac := 0
+	for n := 0; n <= 20; n += 5 {
+		params.Fractures = n
+		cost := params.CostFractured(sel)
+		fmt.Printf("  Nfrac=%2d -> %v\n", n, cost.Round(time.Millisecond))
+		if cost <= 2*time.Second {
+			maxFrac = n
+		}
+	}
+	fmt.Printf("merge whenever fractures exceed %d; each merge costs about %v\n",
+		maxFrac, params.CostMerge().Round(time.Millisecond))
+}

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"upidb/internal/dataset"
+	"upidb/internal/histogram"
+	"upidb/internal/upi"
+)
+
+// AblationMaxPointers quantifies the secondary-index tuning option of
+// Section 3.2: "One tuning option ... is to limit the number of
+// pointers stored in each secondary index entry. Though the query
+// performance gradually degenerates to the normal secondary index
+// access with a tighter limit, such a limit can lower storage
+// consumption." It sweeps the pointer cap and reports the tailored
+// Query 3 runtime and the secondary index size.
+func AblationMaxPointers(e *Env) (*Experiment, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "ablation-pointers",
+		Title:   "Tailored access vs secondary-index pointer cap (Query 3, QT=0.3)",
+		XLabel:  "max pointers",
+		Columns: []string{"Runtime [s]", "Secondary index [MB]"},
+		Notes:   "cap 0 = unlimited; tighter caps approach plain secondary access",
+	}
+	for _, cap := range []int{1, 2, 4, 8, 0} {
+		disk, fs := newDisk()
+		tab, err := upi.BulkBuild(fs, "pub", dataset.AttrInstitution,
+			[]string{dataset.AttrCountry},
+			upi.Options{Cutoff: defaultCutoff, MaxPointers: cap}, d.Publications)
+		if err != nil {
+			return nil, err
+		}
+		dur, err := coldRun(disk, tab.DropCaches, func() error {
+			_, _, qerr := tab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
+			return qerr
+		})
+		if err != nil {
+			return nil, err
+		}
+		secBytes := fs.Size(upi.SecFileName("pub", dataset.AttrCountry))
+		x := float64(cap)
+		label := ""
+		if cap == 0 {
+			label = "unlimited"
+		}
+		exp.Rows = append(exp.Rows, Row{
+			X: x, Label: label,
+			Values: []float64{seconds(dur), float64(secBytes) / (1 << 20)},
+		})
+	}
+	return exp, nil
+}
+
+// AblationCutoffSize reports the storage side of the cutoff threshold
+// trade-off (Section 3.1: "Larger C values could reduce the size of
+// the UPI by orders of magnitude when the probability distribution is
+// long tailed"): heap-file and cutoff-index sizes per C, with the
+// histogram's size estimate alongside.
+func AblationCutoffSize(e *Env) (*Experiment, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	hist, err := histogram.Build(dataset.AttrInstitution, d.Authors)
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{
+		ID:      "ablation-size",
+		Title:   "UPI size vs cutoff threshold C (Author table)",
+		XLabel:  "C",
+		Columns: []string{"Heap [MB]", "Cutoff idx [MB]", "Estimated heap [MB]"},
+	}
+	for _, c := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		_, fs := newDisk()
+		_, err := upi.BulkBuild(fs, "author", dataset.AttrInstitution,
+			[]string{dataset.AttrCountry}, upi.Options{Cutoff: c}, d.Authors)
+		if err != nil {
+			return nil, err
+		}
+		heapMB := float64(fs.Size(upi.HeapFileName("author"))) / (1 << 20)
+		cutMB := float64(fs.Size(upi.CutoffFileName("author"))) / (1 << 20)
+		estMB := hist.EstimateTableBytes(c) / (1 << 20)
+		exp.Rows = append(exp.Rows, Row{X: c, Values: []float64{heapMB, cutMB, estMB}})
+	}
+	return exp, nil
+}

@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// TestAblationMaxPointers: an unlimited pointer cap must be at least
+// as fast as a cap of 1 (which degenerates to plain secondary access),
+// and tighter caps must shrink the secondary index.
+func TestAblationMaxPointers(t *testing.T) {
+	exp, err := AblationMaxPointers(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 5 {
+		t.Fatalf("rows: %d", len(exp.Rows))
+	}
+	cap1 := exp.Rows[0]
+	unlimited := exp.Rows[len(exp.Rows)-1]
+	if unlimited.Values[0] > cap1.Values[0]+1e-9 {
+		t.Fatalf("unlimited pointers slower than cap=1: %v vs %v", unlimited.Values[0], cap1.Values[0])
+	}
+	if cap1.Values[1] >= unlimited.Values[1] {
+		t.Fatalf("cap=1 index should be smaller: %v vs %v MB", cap1.Values[1], unlimited.Values[1])
+	}
+	// Sizes are non-decreasing in the cap.
+	for i := 1; i < 4; i++ {
+		if exp.Rows[i].Values[1]+1e-9 < exp.Rows[i-1].Values[1] {
+			t.Fatalf("index size decreased with a looser cap: %+v", exp.Rows)
+		}
+	}
+}
+
+// TestAblationCutoffSize: the heap shrinks and the cutoff index grows
+// as C rises; the histogram's size estimate tracks the real heap.
+func TestAblationCutoffSize(t *testing.T) {
+	exp, err := AblationCutoffSize(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := exp.Rows[0], exp.Rows[len(exp.Rows)-1]
+	if last.Values[0] >= first.Values[0] {
+		t.Fatalf("heap should shrink with C: %v -> %v MB", first.Values[0], last.Values[0])
+	}
+	if last.Values[1] <= first.Values[1] {
+		t.Fatalf("cutoff index should grow with C: %v -> %v MB", first.Values[1], last.Values[1])
+	}
+	for _, r := range exp.Rows {
+		real, est := r.Values[0], r.Values[2]
+		ratio := est / real
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("size estimate off at C=%v: real %v est %v", r.X, real, est)
+		}
+	}
+}

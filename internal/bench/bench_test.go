@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// testEnv uses a small scale so the full suite runs in seconds while
+// every shape assertion still holds.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	return NewEnv(Config{Scale: 0.08, Seed: 1})
+}
+
+func getColumn(t *testing.T, e *Experiment, name string) []float64 {
+	t.Helper()
+	col, err := e.Column(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run(testEnv(t), "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentFormatting(t *testing.T) {
+	e := &Experiment{
+		ID: "x", Title: "T", XLabel: "qt", Columns: []string{"A", "B"},
+		Rows: []Row{{X: 0.5, Values: []float64{1.25, 2}}},
+	}
+	s := e.String()
+	if len(s) == 0 || s[0] != '=' {
+		t.Fatalf("format: %q", s)
+	}
+	if _, err := e.Column("C"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+// TestFig4Shape: UPI beats PII at every QT, by a large factor at low QT
+// (paper: 20-100x).
+func TestFig4Shape(t *testing.T) {
+	exp, err := Fig4Query1(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	piiCol := getColumn(t, exp, "PII")
+	upiCol := getColumn(t, exp, "UPI")
+	for i := range piiCol {
+		if upiCol[i] > piiCol[i] {
+			t.Fatalf("row %d: UPI %v slower than PII %v", i, upiCol[i], piiCol[i])
+		}
+	}
+	if piiCol[0] < upiCol[0]*5 {
+		t.Fatalf("low-QT speedup too small: pii=%v upi=%v", piiCol[0], upiCol[0])
+	}
+	// Both get faster (or equal) as QT rises.
+	if piiCol[len(piiCol)-1] > piiCol[0] {
+		t.Fatal("PII should be cheaper at high QT")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	exp, err := Fig5Query2(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	piiCol := getColumn(t, exp, "PII")
+	upiCol := getColumn(t, exp, "UPI")
+	if mean(piiCol) < mean(upiCol)*3 {
+		t.Fatalf("UPI should win Query 2 clearly: pii=%v upi=%v", mean(piiCol), mean(upiCol))
+	}
+}
+
+// TestFig6Shape: tailored access dominates plain UPI secondary access;
+// plain UPI without tailoring is sometimes no better than PII (the
+// paper observes it can even be slower).
+func TestFig6Shape(t *testing.T) {
+	exp, err := Fig6Query3(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	piiCol := getColumn(t, exp, "PII on unclustered heap")
+	plainCol := getColumn(t, exp, "PII on UPI")
+	tailCol := getColumn(t, exp, "PII on UPI w/ Tailored Access")
+	for i := range tailCol {
+		if tailCol[i] > plainCol[i]+1e-9 {
+			t.Fatalf("row %d: tailored %v worse than plain %v", i, tailCol[i], plainCol[i])
+		}
+	}
+	// At test scale the margin is modest (the paper reports up to 8x
+	// at 13x our size); require a clear ordering.
+	if mean(piiCol) < mean(tailCol)*1.3 {
+		t.Fatalf("tailored should beat PII: pii=%v tailored=%v", mean(piiCol), mean(tailCol))
+	}
+}
+
+// TestFig3Shape: queries with QT >= C are fast; dropping QT below C
+// makes them slower (cutoff pointer chasing).
+func TestFig3Shape(t *testing.T) {
+	exp, err := Fig3CutoffRuntime(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := getColumn(t, exp, "nonsel QT=0.05")
+	// Row 1 is C=0.05 (QT >= C, pure heap); the last row is C=0.5
+	// where QT=0.05 << C and the query must chase pointers.
+	if col[len(col)-1] < col[1]*1.5 {
+		t.Fatalf("cutoff penalty missing: C=0.05 %v vs C=0.5 %v", col[1], col[len(col)-1])
+	}
+	// At QT=0.25 the penalty only starts beyond C=0.25: the runtime at
+	// C=0.25 must be comparable to C=0.05 (both pure heap scans).
+	col25 := getColumn(t, exp, "nonsel QT=0.25")
+	if col25[5] > col25[1]*1.5+0.2 {
+		t.Fatalf("QT=0.25 should stay fast through C=0.25: %v vs %v", col25[5], col25[1])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	exp, err := Fig7Query4(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuCol := getColumn(t, exp, "Continuous UPI")
+	utCol := getColumn(t, exp, "U-Tree")
+	if mean(utCol) < mean(cuCol)*2 {
+		t.Fatalf("CUPI should clearly win: cupi=%v utree=%v", mean(cuCol), mean(utCol))
+	}
+	// U-Tree cost grows with radius.
+	if utCol[len(utCol)-1] < utCol[0] {
+		t.Fatal("U-Tree cost should grow with radius")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	exp, err := Fig8Query5(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuCol := getColumn(t, exp, "PII on Continuous UPI")
+	utCol := getColumn(t, exp, "PII on unclustered heap")
+	if mean(utCol) < mean(cuCol)*1.5 {
+		t.Fatalf("clustered secondary should win: cupi=%v unclustered=%v", mean(cuCol), mean(utCol))
+	}
+}
+
+// TestFig9Shape: the plain UPI deteriorates most; the fractured UPI
+// deteriorates least relative to it (paper: 40x vs 9x vs 4x).
+func TestFig9Shape(t *testing.T) {
+	exp, err := Fig9Deterioration(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unclCol := getColumn(t, exp, "Unclustered heap")
+	upiCol := getColumn(t, exp, "UPI")
+	fracCol := getColumn(t, exp, "Fractured UPI")
+	last := len(upiCol) - 1
+	// The in-place UPI deteriorates sharply from fragmentation
+	// (paper: 40x); the unclustered heap deteriorates much less
+	// (paper: 4x).
+	upiRatio := upiCol[last] / upiCol[0]
+	unclRatio := unclCol[last] / unclCol[0]
+	if upiRatio < 2 {
+		t.Fatalf("UPI should deteriorate over batches: ratio %v", upiRatio)
+	}
+	if upiRatio < unclRatio {
+		t.Fatalf("UPI should deteriorate more than unclustered: %v vs %v", upiRatio, unclRatio)
+	}
+	// The fractured UPI's slowdown is the per-fracture overhead, which
+	// grows roughly linearly in the number of fractures (paper: 9x
+	// after 10 batches). At test scale the per-fracture open cost
+	// dominates the tiny base query, so assert linear growth rather
+	// than an absolute ordering against the in-place UPI (the
+	// full-scale ordering is recorded in EXPERIMENTS.md).
+	perFracture := (fracCol[last] - fracCol[0]) / 10
+	for b := 1; b <= 10; b++ {
+		expected := fracCol[0] + float64(b)*perFracture
+		if diff := math.Abs(fracCol[b] - expected); diff > 0.3*expected+0.05 {
+			t.Fatalf("fractured growth not linear at batch %d: %v vs %v", b, fracCol[b], expected)
+		}
+	}
+}
+
+// TestFig10Shape: merging restores performance, and the cost model
+// tracks the real runtime.
+func TestFig10Shape(t *testing.T) {
+	exp, err := Fig10FracturedModel(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := getColumn(t, exp, "Real")
+	est := getColumn(t, exp, "Estimated")
+	// Runtime right after a merge (batch 10) is lower than right
+	// before it (batch 9).
+	if real[10] > real[9] {
+		t.Fatalf("merge did not restore runtime: batch9=%v batch10=%v", real[9], real[10])
+	}
+	// Estimates correlate with reality: mean relative error bounded.
+	var relErr float64
+	n := 0
+	for i := range real {
+		if real[i] > 0.01 {
+			relErr += math.Abs(est[i]-real[i]) / real[i]
+			n++
+		}
+	}
+	if n == 0 || relErr/float64(n) > 1.0 {
+		t.Fatalf("cost model off: mean rel err %v over %d points", relErr/float64(n), n)
+	}
+}
+
+// TestFig11Shape: estimates track real cutoff-pointer counts.
+func TestFig11Shape(t *testing.T) {
+	exp, err := Fig11PointerEstimate(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	real := getColumn(t, exp, "Real")
+	est := getColumn(t, exp, "Estimated")
+	for i := range real {
+		diff := math.Abs(real[i] - est[i])
+		if diff > 0.25*real[i]+10 {
+			t.Fatalf("row %d (%s): real %v est %v", i, exp.Rows[i].Label, real[i], est[i])
+		}
+	}
+}
+
+// TestFig12Shape: the cost model reproduces the fig3 shape — flat fast
+// region for QT >= C, rising penalty for QT < C.
+func TestFig12Shape(t *testing.T) {
+	exp, err := Fig12CutoffModel(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := getColumn(t, exp, "nonsel QT=0.05")
+	if col[len(col)-1] < col[1] {
+		t.Fatalf("model misses cutoff penalty: %v vs %v", col[1], col[len(col)-1])
+	}
+}
+
+// TestTable7Shape: fractured insert ≪ unclustered insert ≪ UPI insert;
+// fractured delete is near-free.
+func TestTable7Shape(t *testing.T) {
+	exp, err := Table7Maintenance(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 3 {
+		t.Fatalf("rows: %+v", exp.Rows)
+	}
+	uncl, upiRow, frac := exp.Rows[0], exp.Rows[1], exp.Rows[2]
+	// In-place UPI maintenance is random I/O: orders of magnitude
+	// slower than the sequential alternatives (paper: 650s vs 7.8s
+	// and 4.0s).
+	if upiRow.Values[0] < uncl.Values[0]*10 || upiRow.Values[0] < frac.Values[0]*10 {
+		t.Fatalf("UPI insert should dwarf sequential approaches: upi=%v uncl=%v frac=%v",
+			upiRow.Values[0], uncl.Values[0], frac.Values[0])
+	}
+	// The fractured flush writes ~5x the raw bytes (duplication +
+	// indexes) but stays sequential: same order of magnitude as the
+	// bare heap, nowhere near the in-place UPI.
+	if frac.Values[0] > uncl.Values[0]*20 {
+		t.Fatalf("fractured insert should stay sequential-cheap: %v vs %v", frac.Values[0], uncl.Values[0])
+	}
+	// Deletes: tombstoning random heap pages is expensive; the
+	// fractured delete set is a tiny sequential write (paper: 75s vs
+	// 0.03s; at full scale we measure 11.5s vs 0.44s). At test scale
+	// the fracture-creation overhead narrows the gap, so require a
+	// strict ordering only.
+	if frac.Values[1] >= uncl.Values[1] {
+		t.Fatalf("fractured delete should beat unclustered delete: %v vs %v", frac.Values[1], uncl.Values[1])
+	}
+	if upiRow.Values[1] < frac.Values[1]*10 {
+		t.Fatalf("UPI delete should dwarf fractured: %v vs %v", upiRow.Values[1], frac.Values[1])
+	}
+}
+
+// TestTable8Shape: merge cost grows with database size and tracks the
+// Costmerge estimate.
+func TestTable8Shape(t *testing.T) {
+	exp, err := Table8Merging(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 3 {
+		t.Fatalf("rows: %d", len(exp.Rows))
+	}
+	for i := 1; i < 3; i++ {
+		if exp.Rows[i].Values[1] <= exp.Rows[i-1].Values[1] {
+			t.Fatalf("DB size should grow: %+v", exp.Rows)
+		}
+		if exp.Rows[i].Values[0] <= exp.Rows[i-1].Values[0]*0.5 {
+			t.Fatalf("merge time should roughly grow: %+v", exp.Rows)
+		}
+	}
+	for _, r := range exp.Rows {
+		real, est := r.Values[0], r.Values[2]
+		if est <= 0 || real <= 0 {
+			t.Fatalf("degenerate merge row %+v", r)
+		}
+		ratio := real / est
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("merge estimate off: real=%v est=%v", real, est)
+		}
+	}
+}

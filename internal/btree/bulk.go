@@ -1,0 +1,226 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"upidb/internal/storage"
+)
+
+// bulkFill is the target fill fraction for bulk-loaded pages. Loading
+// slightly under full leaves headroom for a few inserts before splits
+// begin, matching BDB's default bulk-fill behaviour.
+const bulkFill = 0.9
+
+// Builder bulk-loads a tree from keys supplied in strictly ascending
+// order. Pages are allocated and written sequentially, which is what
+// makes flushing a fracture or merging fractures a sequential write on
+// the simulated disk (paper Section 4).
+type Builder struct {
+	pager    *storage.Pager
+	limit    int
+	cur      *node
+	lastKey  []byte
+	count    int64
+	leaves   int64
+	finished bool
+	// pending separators for each internal level being built:
+	// level[i] holds (firstKey, pageID) of completed nodes at depth i.
+	levels [][]sep
+}
+
+type sep struct {
+	key []byte
+	id  storage.PageID
+}
+
+// NewBuilder starts a bulk load on an empty pager.
+func NewBuilder(p *storage.Pager) (*Builder, error) {
+	if p.NumPages() != 0 {
+		return nil, fmt.Errorf("btree: bulk load on non-empty file %s", p.File().Name())
+	}
+	if _, _, err := p.Alloc(); err != nil { // reserve meta page 0
+		return nil, err
+	}
+	return &Builder{
+		pager: p,
+		limit: int(float64(p.PageSize()) * bulkFill),
+	}, nil
+}
+
+// Add appends an entry. Keys must be strictly ascending.
+func (b *Builder) Add(key, val []byte) error {
+	if b.finished {
+		return fmt.Errorf("btree: Add after Finish")
+	}
+	if leafEntrySize(key, val) > b.pager.PageSize()-leafHeader {
+		return ErrKeyTooLarge
+	}
+	if b.lastKey != nil && bytes.Compare(key, b.lastKey) <= 0 {
+		return fmt.Errorf("btree: bulk keys not strictly ascending")
+	}
+	b.lastKey = append(b.lastKey[:0], key...)
+
+	if b.cur == nil {
+		n, err := b.newLeaf()
+		if err != nil {
+			return err
+		}
+		b.cur = n
+	}
+	if len(b.cur.keys) > 0 && b.cur.size()+leafEntrySize(key, val) > b.limit {
+		if err := b.closeLeaf(); err != nil {
+			return err
+		}
+		n, err := b.newLeaf()
+		if err != nil {
+			return err
+		}
+		b.cur = n
+	}
+	b.cur.keys = append(b.cur.keys, append([]byte(nil), key...))
+	b.cur.vals = append(b.cur.vals, append([]byte(nil), val...))
+	b.count++
+	return nil
+}
+
+func (b *Builder) newLeaf() (*node, error) {
+	id, _, err := b.pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	b.leaves++
+	return &node{id: id, leaf: true, next: storage.InvalidPage}, nil
+}
+
+func (b *Builder) closeLeaf() error {
+	n := b.cur
+	b.cur = nil
+	// Leaves are allocated consecutively, so the next leaf (if any)
+	// will be the next page. Patch the chain when it is created: we
+	// know the next leaf's ID in advance because allocation is
+	// sequential and nothing else allocates during a bulk load.
+	n.next = n.id + 1
+	if err := b.writeNode(n); err != nil {
+		return err
+	}
+	b.push(0, sep{key: append([]byte(nil), n.keys[0]...), id: n.id})
+	return nil
+}
+
+func (b *Builder) writeNode(n *node) error {
+	buf, err := n.serialize(b.pager.PageSize())
+	if err != nil {
+		return err
+	}
+	return b.pager.Write(n.id, buf)
+}
+
+func (b *Builder) push(level int, s sep) {
+	for len(b.levels) <= level {
+		b.levels = append(b.levels, nil)
+	}
+	b.levels[level] = append(b.levels[level], s)
+}
+
+// Finish writes out the remaining pages, builds the internal levels
+// bottom-up and returns the completed tree. An empty build yields a
+// valid empty tree.
+func (b *Builder) Finish() (*Tree, error) {
+	if b.finished {
+		return nil, fmt.Errorf("btree: double Finish")
+	}
+	b.finished = true
+
+	if b.cur == nil && b.count == 0 {
+		// Empty tree: single empty root leaf.
+		id, _, err := b.pager.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		b.leaves = 1
+		t := &Tree{pager: b.pager, root: id, height: 1, leaves: 1}
+		if err := t.writeNode(&node{id: id, leaf: true, next: storage.InvalidPage}); err != nil {
+			return nil, err
+		}
+		if err := t.writeMeta(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	// Final leaf terminates the chain.
+	if b.cur != nil {
+		n := b.cur
+		b.cur = nil
+		n.next = storage.InvalidPage
+		if err := b.writeNode(n); err != nil {
+			return nil, err
+		}
+		b.push(0, sep{key: append([]byte(nil), n.keys[0]...), id: n.id})
+	}
+
+	height := 1
+	level := 0
+	for len(b.levels[level]) > 1 {
+		seps := b.levels[level]
+		var cur *node
+		newNode := func() error {
+			id, _, err := b.pager.Alloc()
+			if err != nil {
+				return err
+			}
+			cur = &node{id: id}
+			return nil
+		}
+		flush := func() error {
+			if cur == nil {
+				return nil
+			}
+			if err := b.writeNode(cur); err != nil {
+				return err
+			}
+			b.push(level+1, sep{key: b.firstKeyOf(cur), id: cur.id})
+			cur = nil
+			return nil
+		}
+		for _, s := range seps {
+			if cur == nil {
+				if err := newNode(); err != nil {
+					return nil, err
+				}
+				cur.children = []storage.PageID{s.id}
+				cur.firstKey = s.key
+				continue
+			}
+			if cur.size()+2+len(s.key)+4 > b.limit {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+				if err := newNode(); err != nil {
+					return nil, err
+				}
+				cur.children = []storage.PageID{s.id}
+				cur.firstKey = s.key
+				continue
+			}
+			cur.keys = append(cur.keys, s.key)
+			cur.children = append(cur.children, s.id)
+		}
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		level++
+		height++
+	}
+
+	root := b.levels[level][0]
+	t := &Tree{pager: b.pager, root: root.id, height: height, count: b.count, leaves: b.leaves}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// firstKeyOf returns the smallest key reachable under an internal node
+// built during this bulk load (recorded when the node was started).
+func (b *Builder) firstKeyOf(n *node) []byte { return n.firstKey }

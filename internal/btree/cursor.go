@@ -1,0 +1,120 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+
+	"upidb/internal/storage"
+)
+
+// Cursor iterates leaf entries in ascending key order. A cursor is a
+// snapshot-style iterator: it holds a private copy of the current leaf,
+// so concurrent mutation of the tree during iteration yields undefined
+// (but memory-safe) results, exactly as a BDB cursor without locking.
+type Cursor struct {
+	t   *Tree
+	n   *node
+	idx int
+	err error
+}
+
+// Seek positions the cursor at the first entry with key >= target and
+// returns the cursor for chaining. This is the UPI.seekTo of the
+// paper's Algorithm 2.
+func (c *Cursor) Seek(target []byte) *Cursor {
+	n, err := c.t.descendToLeaf(target)
+	if err != nil {
+		c.err = err
+		c.n = nil
+		return c
+	}
+	c.n = n
+	c.idx = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], target) >= 0 })
+	c.skipToNonEmpty()
+	return c
+}
+
+// First positions the cursor at the smallest entry.
+func (c *Cursor) First() *Cursor {
+	n, err := c.t.readNode(c.t.root)
+	if err != nil {
+		c.err = err
+		c.n = nil
+		return c
+	}
+	for !n.leaf {
+		if n, err = c.t.readNode(n.children[0]); err != nil {
+			c.err = err
+			c.n = nil
+			return c
+		}
+	}
+	c.n = n
+	c.idx = 0
+	c.skipToNonEmpty()
+	return c
+}
+
+// skipToNonEmpty advances across empty leaves (possible after deletes).
+func (c *Cursor) skipToNonEmpty() {
+	for c.n != nil && c.idx >= len(c.n.keys) {
+		if c.n.next == storage.InvalidPage {
+			c.n = nil
+			return
+		}
+		n, err := c.t.readNode(c.n.next)
+		if err != nil {
+			c.err = err
+			c.n = nil
+			return
+		}
+		c.n = n
+		c.idx = 0
+	}
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.err == nil && c.n != nil }
+
+// Err returns the first I/O error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current key. Valid until the next cursor movement.
+func (c *Cursor) Key() []byte { return c.n.keys[c.idx] }
+
+// Value returns the current value. Valid until the next cursor movement.
+func (c *Cursor) Value() []byte { return c.n.vals[c.idx] }
+
+// Next advances to the following entry (Cur.advance() in Algorithm 2).
+func (c *Cursor) Next() {
+	if !c.Valid() {
+		return
+	}
+	c.idx++
+	c.skipToNonEmpty()
+}
+
+// NewCursor returns an unpositioned cursor; call Seek or First.
+func (t *Tree) NewCursor() *Cursor { return &Cursor{t: t} }
+
+// Scan calls fn for every entry with start <= key < end in order.
+// A nil start begins at the first key; a nil end scans to the last.
+// fn returning false stops the scan early.
+func (t *Tree) Scan(start, end []byte, fn func(key, val []byte) bool) error {
+	c := t.NewCursor()
+	if start == nil {
+		c.First()
+	} else {
+		c.Seek(start)
+	}
+	for c.Valid() {
+		if end != nil && bytes.Compare(c.Key(), end) >= 0 {
+			break
+		}
+		if !fn(c.Key(), c.Value()) {
+			break
+		}
+		c.Next()
+	}
+	return c.Err()
+}

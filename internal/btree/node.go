@@ -1,0 +1,143 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"upidb/internal/storage"
+)
+
+// On-page node layout (big endian):
+//
+//	leaf:     [1: type=1][2: nkeys][4: next leaf PageID]
+//	          then nkeys × [2: klen][2: vlen][key][value]
+//	internal: [1: type=0][2: nkeys][4: child0]
+//	          then nkeys × [2: klen][key][4: child]
+//
+// An internal node with nkeys separators has nkeys+1 children;
+// keys[i] is the smallest key reachable under children[i+1].
+const (
+	nodeInternal = 0
+	nodeLeaf     = 1
+
+	leafHeader     = 1 + 2 + 4
+	internalHeader = 1 + 2 + 4
+)
+
+type node struct {
+	id       storage.PageID
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte         // leaf only, len == len(keys)
+	children []storage.PageID // internal only, len == len(keys)+1
+	next     storage.PageID   // leaf only; InvalidPage terminates the chain
+
+	// firstKey is transient bookkeeping used only during bulk loads:
+	// the smallest key reachable under this internal node. It is not
+	// serialized.
+	firstKey []byte
+}
+
+// size returns the serialized size of the node in bytes.
+func (n *node) size() int {
+	if n.leaf {
+		s := leafHeader
+		for i := range n.keys {
+			s += 4 + len(n.keys[i]) + len(n.vals[i])
+		}
+		return s
+	}
+	s := internalHeader
+	for i := range n.keys {
+		s += 2 + len(n.keys[i]) + 4
+	}
+	return s
+}
+
+func leafEntrySize(k, v []byte) int { return 4 + len(k) + len(v) }
+
+func (n *node) serialize(pageSize int) ([]byte, error) {
+	if n.size() > pageSize {
+		return nil, fmt.Errorf("btree: node %d overflows page: %d > %d", n.id, n.size(), pageSize)
+	}
+	buf := make([]byte, pageSize)
+	if n.leaf {
+		buf[0] = nodeLeaf
+		binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+		binary.BigEndian.PutUint32(buf[3:], uint32(n.next))
+		off := leafHeader
+		for i := range n.keys {
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+			binary.BigEndian.PutUint16(buf[off+2:], uint16(len(n.vals[i])))
+			off += 4
+			off += copy(buf[off:], n.keys[i])
+			off += copy(buf[off:], n.vals[i])
+		}
+		return buf, nil
+	}
+	buf[0] = nodeInternal
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	binary.BigEndian.PutUint32(buf[3:], uint32(n.children[0]))
+	off := internalHeader
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[off:], uint16(len(n.keys[i])))
+		off += 2
+		off += copy(buf[off:], n.keys[i])
+		binary.BigEndian.PutUint32(buf[off:], uint32(n.children[i+1]))
+		off += 4
+	}
+	return buf, nil
+}
+
+func deserialize(id storage.PageID, buf []byte) (*node, error) {
+	if len(buf) < leafHeader {
+		return nil, fmt.Errorf("btree: page %d too short", id)
+	}
+	n := &node{id: id}
+	nkeys := int(binary.BigEndian.Uint16(buf[1:]))
+	switch buf[0] {
+	case nodeLeaf:
+		n.leaf = true
+		n.next = storage.PageID(binary.BigEndian.Uint32(buf[3:]))
+		n.keys = make([][]byte, nkeys)
+		n.vals = make([][]byte, nkeys)
+		off := leafHeader
+		for i := 0; i < nkeys; i++ {
+			if off+4 > len(buf) {
+				return nil, fmt.Errorf("btree: page %d truncated at entry %d", id, i)
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			vl := int(binary.BigEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+kl+vl > len(buf) {
+				return nil, fmt.Errorf("btree: page %d entry %d out of bounds", id, i)
+			}
+			n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+			off += kl
+			n.vals[i] = append([]byte(nil), buf[off:off+vl]...)
+			off += vl
+		}
+	case nodeInternal:
+		n.keys = make([][]byte, nkeys)
+		n.children = make([]storage.PageID, nkeys+1)
+		n.children[0] = storage.PageID(binary.BigEndian.Uint32(buf[3:]))
+		off := internalHeader
+		for i := 0; i < nkeys; i++ {
+			if off+2 > len(buf) {
+				return nil, fmt.Errorf("btree: page %d truncated at separator %d", id, i)
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			off += 2
+			if off+kl+4 > len(buf) {
+				return nil, fmt.Errorf("btree: page %d separator %d out of bounds", id, i)
+			}
+			n.keys[i] = append([]byte(nil), buf[off:off+kl]...)
+			off += kl
+			n.children[i+1] = storage.PageID(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	default:
+		return nil, fmt.Errorf("btree: page %d has unknown node type %d", id, buf[0])
+	}
+	return n, nil
+}

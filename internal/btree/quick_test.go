@@ -1,0 +1,141 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+)
+
+// TestQuickPutGetRoundTrip: any set of distinct keys inserted in any
+// order is retrievable with its latest value.
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	f := func(keys [][]byte, vals [][]byte) bool {
+		tr := quickTree(t)
+		ref := make(map[string][]byte)
+		for i, k := range keys {
+			if len(k) == 0 || len(k) > 30 {
+				continue
+			}
+			var v []byte
+			if i < len(vals) && len(vals[i]) <= 60 {
+				v = vals[i]
+			}
+			if _, err := tr.Put(k, v); err != nil {
+				return false
+			}
+			ref[string(k)] = v
+		}
+		for k, v := range ref {
+			got, ok, err := tr.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return tr.Count() == int64(len(ref))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBulkLoadEqualsScan: bulk loading any sorted distinct key
+// set yields a scan identical to the input.
+func TestQuickBulkLoadEqualsScan(t *testing.T) {
+	f := func(seed [][]byte) bool {
+		uniq := make(map[string]bool)
+		var keys []string
+		for _, k := range seed {
+			if len(k) == 0 || len(k) > 30 || uniq[string(k)] {
+				continue
+			}
+			uniq[string(k)] = true
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+		p, _ := storage.NewPager(fs.Create("t"), 256)
+		b, err := NewBuilder(p)
+		if err != nil {
+			return false
+		}
+		for i, k := range keys {
+			if err := b.Add([]byte(k), []byte(fmt.Sprint(i))); err != nil {
+				return false
+			}
+		}
+		tr, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		i := 0
+		ok := true
+		tr.Scan(nil, nil, func(k, v []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] || string(v) != fmt.Sprint(i) {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSeekLowerBound: for any keys and any probe, Seek lands on
+// the smallest key >= probe.
+func TestQuickSeekLowerBound(t *testing.T) {
+	f := func(seed [][]byte, probe []byte) bool {
+		tr := quickTree(t)
+		var keys []string
+		uniq := make(map[string]bool)
+		for _, k := range seed {
+			if len(k) == 0 || len(k) > 30 || uniq[string(k)] {
+				continue
+			}
+			uniq[string(k)] = true
+			keys = append(keys, string(k))
+			if _, err := tr.Put(k, nil); err != nil {
+				return false
+			}
+		}
+		sort.Strings(keys)
+		want := ""
+		found := false
+		for _, k := range keys {
+			if k >= string(probe) {
+				want, found = k, true
+				break
+			}
+		}
+		c := tr.NewCursor().Seek(probe)
+		if !found {
+			return !c.Valid()
+		}
+		return c.Valid() && string(c.Key()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickTree(t *testing.T) *Tree {
+	t.Helper()
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	p, err := storage.NewPager(fs.Create("t"), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

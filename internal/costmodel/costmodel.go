@@ -1,0 +1,124 @@
+// Package costmodel implements the analytic cost models of paper
+// Section 6: the fractured-UPI query cost (6.2), the cutoff-index
+// query cost with its logistic saturation term (6.3), and the merge
+// cost. The models take the same parameters as Table 6 and are
+// validated against observed simulated runtimes in Figures 10 and 12.
+package costmodel
+
+import (
+	"math"
+	"time"
+
+	"upidb/internal/sim"
+)
+
+// Params are the cost-model inputs (paper Table 6).
+type Params struct {
+	// Disk holds Tseek, Tread, Twrite and Costinit.
+	Disk sim.Params
+	// Height is the B+Tree height H.
+	Height int
+	// TableBytes is Stable, the size of the table in bytes.
+	TableBytes int64
+	// Leaves is Nleaf, the number of leaf pages.
+	Leaves int64
+	// Fractures is Nfrac, the number of UPI fractures.
+	Fractures int
+}
+
+// DefaultParams mirrors the typical values of Table 6 (with the table
+// size left to the caller).
+func DefaultParams() Params {
+	return Params{
+		Disk:   sim.DefaultParams(),
+		Height: 4,
+	}
+}
+
+// CostScan is the cost of a full sequential scan of the table:
+// Costscan = Tread × Stable.
+func (p Params) CostScan() time.Duration {
+	return time.Duration(float64(p.Disk.ReadPerMB) * float64(p.TableBytes) / (1 << 20))
+}
+
+// lookup is Costinit + H × Tseek: opening a table file and descending
+// its B+Tree once.
+func (p Params) lookup() time.Duration {
+	return p.Disk.Init + time.Duration(p.Height)*p.Disk.Seek
+}
+
+// CostFractured estimates a PTQ on a fractured UPI (Section 6.2):
+//
+//	Costfrac = Costscan × Selectivity + Nfrac × (Costinit + H·Tseek)
+//
+// selectivity is the fraction of the table the query touches
+// (including the probability threshold, per Section 6.1).
+func (p Params) CostFractured(selectivity float64) time.Duration {
+	scan := time.Duration(float64(p.CostScan()) * selectivity)
+	return scan + time.Duration(p.Fractures)*p.lookup()
+}
+
+// CostSingle estimates a PTQ answered purely from the UPI heap file
+// (QT >= C, no fractures): one table open, one tree descent, one
+// sequential scan of the matching fraction.
+func (p Params) CostSingle(selectivity float64) time.Duration {
+	scan := time.Duration(float64(p.CostScan()) * selectivity)
+	return scan + p.lookup()
+}
+
+// SaturationK returns the logistic steepness parameter k, fixed by the
+// paper's heuristic f(0.05 × Nleaf) = 0.99 × Costscan.
+func (p Params) SaturationK() float64 {
+	x0 := 0.05 * float64(p.Leaves)
+	if x0 <= 0 {
+		return 1
+	}
+	// Solve (1-e^{-k x0})/(1+e^{-k x0}) = 0.99 for k:
+	// e^{-k x0} = 0.01/1.99.
+	return -math.Log(0.01/1.99) / x0
+}
+
+// Saturation is f(x): the cost of chasing x cutoff pointers into the
+// heap file, saturating at Costscan as the pointers cover every page.
+//
+//	f(x) = Costscan × (1 - e^{-kx}) / (1 + e^{-kx})
+func (p Params) Saturation(pointers float64) time.Duration {
+	if pointers <= 0 {
+		return 0
+	}
+	e := math.Exp(-p.SaturationK() * pointers)
+	return time.Duration(float64(p.CostScan()) * (1 - e) / (1 + e))
+}
+
+// CostCutoff estimates a PTQ that must consult the cutoff index
+// (Section 6.3):
+//
+//	Costcut = Costscan × Selectivity + 2(Costinit + H·Tseek) + f(#Pointers)
+func (p Params) CostCutoff(selectivity, pointers float64) time.Duration {
+	scan := time.Duration(float64(p.CostScan()) * selectivity)
+	return scan + 2*p.lookup() + p.Saturation(pointers)
+}
+
+// CostMerge estimates merging all fractures back into the main UPI:
+//
+//	Costmerge = Stable × (Tread + Twrite)
+func (p Params) CostMerge() time.Duration {
+	perMB := p.Disk.ReadPerMB + p.Disk.WritePerMB
+	return time.Duration(float64(perMB) * float64(p.TableBytes) / (1 << 20))
+}
+
+// PickCutoff implements the paper's tuning recipe (end of Section 6.3):
+// given candidate cutoff thresholds, a per-threshold predicted table
+// size and query workload costs, return the largest cutoff whose size
+// fits the budget and whose average estimated query cost is tolerable.
+// Candidates must be sorted ascending. It returns the chosen index,
+// or -1 if no candidate satisfies both limits.
+func PickCutoff(sizes []float64, avgCosts []time.Duration, sizeBudget float64, costLimit time.Duration) int {
+	best := -1
+	for i := range sizes {
+		if sizes[i] <= sizeBudget && avgCosts[i] <= costLimit {
+			best = i
+		}
+	}
+	return best
+}

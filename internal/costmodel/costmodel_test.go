@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testParams() Params {
+	p := DefaultParams()
+	p.TableBytes = 100 << 20 // 100 MB
+	p.Leaves = p.TableBytes / 8192
+	p.Fractures = 10
+	return p
+}
+
+func TestCostScan(t *testing.T) {
+	p := testParams()
+	// 100 MB at 20 ms/MB = 2s.
+	if got := p.CostScan(); got != 2*time.Second {
+		t.Fatalf("CostScan = %v", got)
+	}
+}
+
+func TestCostFractured(t *testing.T) {
+	p := testParams()
+	// Selectivity 0: only the per-fracture lookups remain.
+	// lookup = 100ms + 4×10ms = 140ms; ×10 fractures = 1.4s.
+	if got := p.CostFractured(0); got != 1400*time.Millisecond {
+		t.Fatalf("CostFractured(0) = %v", got)
+	}
+	// Full selectivity adds a complete scan.
+	if got := p.CostFractured(1); got != 1400*time.Millisecond+2*time.Second {
+		t.Fatalf("CostFractured(1) = %v", got)
+	}
+	// Monotone in both arguments.
+	if p.CostFractured(0.5) <= p.CostFractured(0.1) {
+		t.Fatal("not monotone in selectivity")
+	}
+	p2 := p
+	p2.Fractures = 20
+	if p2.CostFractured(0.1) <= p.CostFractured(0.1) {
+		t.Fatal("not monotone in fractures")
+	}
+}
+
+func TestSaturationShape(t *testing.T) {
+	p := testParams()
+	if p.Saturation(0) != 0 {
+		t.Fatal("f(0) != 0")
+	}
+	// The paper's calibration point: f(0.05·Nleaf) = 0.99·Costscan.
+	x0 := 0.05 * float64(p.Leaves)
+	got := p.Saturation(x0)
+	want := float64(p.CostScan()) * 0.99
+	if math.Abs(float64(got)-want) > want*0.01 {
+		t.Fatalf("f(x0) = %v, want ~%v", got, time.Duration(want))
+	}
+	// Saturates below Costscan.
+	if p.Saturation(1e12) > p.CostScan() {
+		t.Fatal("f exceeds Costscan")
+	}
+	// Monotone.
+	prev := time.Duration(0)
+	for x := 0.0; x < x0*2; x += x0 / 10 {
+		cur := p.Saturation(x)
+		if cur < prev {
+			t.Fatalf("f not monotone at %v", x)
+		}
+		prev = cur
+	}
+	// Early growth is steep: a few hundred pointers already cost real
+	// time (the seek-per-pointer regime).
+	if p.Saturation(100) <= 0 {
+		t.Fatal("f(100) should be positive")
+	}
+}
+
+func TestCostCutoff(t *testing.T) {
+	p := testParams()
+	base := p.CostCutoff(0, 0)
+	// Two lookups only.
+	if base != 2*(100*time.Millisecond+4*10*time.Millisecond) {
+		t.Fatalf("CostCutoff(0,0) = %v", base)
+	}
+	if p.CostCutoff(0.1, 1000) <= p.CostCutoff(0.1, 0) {
+		t.Fatal("pointers should add cost")
+	}
+	if p.CostCutoff(0.5, 100) <= p.CostCutoff(0.1, 100) {
+		t.Fatal("selectivity should add cost")
+	}
+}
+
+func TestCostMerge(t *testing.T) {
+	p := testParams()
+	// 100 MB × (20+50) ms/MB = 7s.
+	if got := p.CostMerge(); got != 7*time.Second {
+		t.Fatalf("CostMerge = %v", got)
+	}
+}
+
+func TestSaturationKDegenerate(t *testing.T) {
+	p := testParams()
+	p.Leaves = 0
+	if k := p.SaturationK(); k != 1 {
+		t.Fatalf("k with zero leaves = %v", k)
+	}
+}
+
+func TestPickCutoff(t *testing.T) {
+	sizes := []float64{10, 5, 3, 2} // shrinking with larger C
+	costs := []time.Duration{1 * time.Second, 2 * time.Second, 5 * time.Second, 30 * time.Second}
+	// Budget 6 bytes, cost limit 10s: candidates 1 (5B, 2s) and 2
+	// (3B, 5s) qualify; pick the largest index.
+	if got := PickCutoff(sizes, costs, 6, 10*time.Second); got != 2 {
+		t.Fatalf("PickCutoff = %d", got)
+	}
+	// Nothing fits.
+	if got := PickCutoff(sizes, costs, 1, time.Millisecond); got != -1 {
+		t.Fatalf("PickCutoff impossible = %d", got)
+	}
+}

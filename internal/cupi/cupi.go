@@ -1,0 +1,312 @@
+// Package cupi implements the Continuous UPI of paper Section 5: a
+// primary index for uncertain 2-D attributes built on top of a U-Tree.
+//
+// The R-Tree (small 4 KiB node pages) indexes uncertainty-region MBRs
+// with embedded PCRs; a separate heap file with large 64 KiB pages
+// stores the observations clustered by the hierarchical location of
+// their R-Tree leaf: the heap is written in DFS leaf order, so tuples
+// of one leaf share a heap page and neighboring leaves occupy
+// neighboring pages ("which achieves sequential access similar to a
+// primary index as long as the R-Tree nodes are clustered well").
+//
+// A secondary index on the uncertain road-segment attribute points
+// into this clustered heap; because segment and location are
+// correlated, its pointer targets cluster into few heap pages, which
+// is the effect Figure 8 measures.
+package cupi
+
+import (
+	"fmt"
+	"sort"
+
+	"upidb/internal/btree"
+	"upidb/internal/heapfile"
+	"upidb/internal/keyenc"
+	"upidb/internal/prob"
+	"upidb/internal/rtree"
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+	"upidb/internal/utree"
+)
+
+// Options configure a continuous UPI.
+type Options struct {
+	// NodePageSize is the R-Tree node page size (default 4 KiB,
+	// paper Figure 2).
+	NodePageSize int
+	// HeapPageSize is the clustered heap page size (default 64 KiB,
+	// paper Figure 2).
+	HeapPageSize int
+	CachePages   int
+}
+
+func (o Options) withDefaults() Options {
+	if o.NodePageSize == 0 {
+		o.NodePageSize = storage.RTreePageSize
+	}
+	if o.HeapPageSize == 0 {
+		o.HeapPageSize = storage.HeapPageSize
+	}
+	if o.CachePages == 0 {
+		o.CachePages = storage.DefaultCachePages
+	}
+	return o
+}
+
+// Table is a continuous UPI with a secondary index on the uncertain
+// segment attribute. Not safe for concurrent use.
+type Table struct {
+	fs   *storage.FS
+	name string
+	opts Options
+
+	rt     *rtree.Tree
+	heap   *heapfile.Heap
+	segIdx *btree.Tree
+	rows   map[uint64]heapfile.RowID
+}
+
+// Result is one query answer.
+type Result = utree.Result
+
+// Stats aliases the U-Tree query statistics.
+type Stats = utree.Stats
+
+// BulkBuild loads observations into a new continuous UPI: STR R-Tree
+// first, then the heap written in DFS leaf order, then the segment
+// index bulk-loaded.
+func BulkBuild(fs *storage.FS, name string, obs []*tuple.Observation, opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{fs: fs, name: name, opts: opts, rows: make(map[uint64]heapfile.RowID, len(obs))}
+
+	byID := make(map[uint64]*tuple.Observation, len(obs))
+	entries := make([]rtree.Entry, 0, len(obs))
+	for _, o := range obs {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := byID[o.ID]; dup {
+			return nil, fmt.Errorf("cupi: duplicate observation ID %d", o.ID)
+		}
+		byID[o.ID] = o
+		entries = append(entries, rtree.Entry{MBR: o.Loc.MBR(), Data: o.ID, Aux: utree.PCRAux(o.Loc)})
+	}
+
+	np, err := storage.NewPager(fs.Create(name+".cupi.rtree"), opts.NodePageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := np.SetCacheLimit(opts.CachePages); err != nil {
+		return nil, err
+	}
+	if t.rt, err = rtree.Create(np); err != nil {
+		return nil, err
+	}
+	if err := t.rt.BulkLoad(entries); err != nil {
+		return nil, err
+	}
+
+	// Heap: append in DFS leaf order — the clustering step.
+	hp, err := storage.NewPager(fs.Create(name+".cupi.heap"), opts.HeapPageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := hp.SetCacheLimit(opts.CachePages); err != nil {
+		return nil, err
+	}
+	if t.heap, err = heapfile.Create(hp); err != nil {
+		return nil, err
+	}
+	err = t.rt.Leaves(func(_ storage.PageID, es []rtree.Entry) bool {
+		for _, e := range es {
+			o := byID[e.Data]
+			rid, aerr := t.heap.Append(tuple.EncodeObservation(o))
+			if aerr != nil {
+				err = aerr
+				return false
+			}
+			t.rows[o.ID] = rid
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Segment secondary index: {segment, conf DESC, id} -> RowID.
+	type segEntry struct {
+		key []byte
+		rid heapfile.RowID
+	}
+	var segs []segEntry
+	for _, o := range obs {
+		for _, a := range o.Segment {
+			segs = append(segs, segEntry{
+				key: upi.HeapKey(a.Value, a.Prob, o.ID),
+				rid: t.rows[o.ID],
+			})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return keyenc.Compare(segs[i].key, segs[j].key) < 0 })
+	sp, err := storage.NewPager(fs.Create(name+".cupi.seg"), storage.DefaultPageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.SetCacheLimit(opts.CachePages); err != nil {
+		return nil, err
+	}
+	sb, err := btree.NewBuilder(sp)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if err := sb.Add(s.key, utree.EncodeRowID(s.rid)); err != nil {
+			return nil, err
+		}
+	}
+	if t.segIdx, err = sb.Finish(); err != nil {
+		return nil, err
+	}
+	if err := t.Flush(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Insert adds one observation after the initial load. The R-Tree
+// grows normally; the observation is appended at the heap tail (an
+// overflow region), so clustering degrades gradually until a rebuild —
+// the continuous analogue of fragmentation.
+func (t *Table) Insert(o *tuple.Observation) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if _, dup := t.rows[o.ID]; dup {
+		return fmt.Errorf("cupi: duplicate observation ID %d", o.ID)
+	}
+	rid, err := t.heap.Append(tuple.EncodeObservation(o))
+	if err != nil {
+		return err
+	}
+	t.rows[o.ID] = rid
+	if err := t.rt.Insert(rtree.Entry{MBR: o.Loc.MBR(), Data: o.ID, Aux: utree.PCRAux(o.Loc)}); err != nil {
+		return err
+	}
+	for _, a := range o.Segment {
+		if _, err := t.segIdx.Put(upi.HeapKey(a.Value, a.Prob, o.ID), utree.EncodeRowID(rid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RTree exposes the R-Tree.
+func (t *Table) RTree() *rtree.Tree { return t.rt }
+
+// Heap exposes the clustered heap file.
+func (t *Table) Heap() *heapfile.Heap { return t.heap }
+
+// SegmentIndex exposes the secondary index tree.
+func (t *Table) SegmentIndex() *btree.Tree { return t.segIdx }
+
+// SizeBytes returns the total on-disk size.
+func (t *Table) SizeBytes() int64 {
+	return t.fs.Size(t.name+".cupi.rtree") + t.fs.Size(t.name+".cupi.heap") + t.fs.Size(t.name+".cupi.seg")
+}
+
+// Flush writes all dirty pages.
+func (t *Table) Flush() error {
+	if err := t.heap.Pager().Flush(); err != nil {
+		return err
+	}
+	if err := t.rt.Pager().Flush(); err != nil {
+		return err
+	}
+	return t.segIdx.Pager().Flush()
+}
+
+// DropCaches empties all buffer pools (cold-cache state).
+func (t *Table) DropCaches() error {
+	if err := t.heap.Pager().DropCache(); err != nil {
+		return err
+	}
+	if err := t.rt.Pager().DropCache(); err != nil {
+		return err
+	}
+	return t.segIdx.Pager().DropCache()
+}
+
+// QueryCircle answers the paper's Query 4 on the continuous UPI:
+// observations within radius of q with appearance probability >=
+// threshold. Traversal groups candidates by R-Tree leaf; because the
+// heap is clustered in leaf order, the fetch phase reads a compact,
+// mostly sequential run of heap pages.
+func (t *Table) QueryCircle(q prob.Point, radius, threshold float64) ([]Result, Stats, error) {
+	var stats Stats
+	queryMBR := prob.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
+	type cand struct {
+		rid      heapfile.RowID
+		accepted bool
+	}
+	var cands []cand
+	err := t.rt.SearchLeaves(queryMBR, func(_ storage.PageID, es []rtree.Entry) bool {
+		for _, e := range es {
+			stats.Candidates++
+			decision := utree.CheckPCR(e.MBR.Center(), e.Aux, q, radius, threshold)
+			if decision == utree.PCRReject {
+				stats.PCRRejected++
+				continue
+			}
+			if decision == utree.PCRAccept {
+				stats.PCRAccepted++
+			}
+			rid, ok := t.rows[e.Data]
+			if !ok {
+				continue
+			}
+			cands = append(cands, cand{rid: rid, accepted: decision == utree.PCRAccept})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].rid.Less(cands[j].rid) })
+	var results []Result
+	for _, c := range cands {
+		rec, ok, err := t.heap.Get(c.rid)
+		if err != nil {
+			return nil, stats, err
+		}
+		if !ok {
+			continue
+		}
+		stats.Fetched++
+		o, err := tuple.DecodeObservation(rec)
+		if err != nil {
+			return nil, stats, err
+		}
+		conf := o.Loc.ProbInCircle(q, radius)
+		if !c.accepted {
+			stats.Integrations++
+			if conf < threshold {
+				continue
+			}
+		}
+		results = append(results, Result{Obs: o, Confidence: conf})
+	}
+	utree.SortResults(results)
+	return results, stats, nil
+}
+
+// QuerySegment answers the paper's Query 5: observations whose
+// uncertain road segment equals seg with probability >= qt, via the
+// secondary index into the clustered heap.
+func (t *Table) QuerySegment(seg string, qt float64) ([]Result, error) {
+	rids, confs, err := utree.ScanSegmentIndex(t.segIdx, seg, qt)
+	if err != nil {
+		return nil, err
+	}
+	return utree.FetchSegmentResults(t.heap, rids, confs)
+}

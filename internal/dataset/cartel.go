@@ -1,0 +1,231 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"upidb/internal/prob"
+	"upidb/internal/tuple"
+)
+
+// CartelConfig controls the Cartel-like GPS generator (paper Section
+// 7.1: one year of GPS readings around Boston, constrained Gaussian
+// location uncertainty, an uncertain road-segment attribute derived
+// from the location).
+type CartelConfig struct {
+	Observations int
+	// GridN is the road grid dimension: GridN × GridN intersections
+	// connected by horizontal and vertical segments.
+	GridN int
+	// SegmentLen is the length of one road segment in meters.
+	SegmentLen float64
+	// Sigma is the GPS error standard deviation in meters.
+	Sigma float64
+	// Bound is the constrained-Gaussian truncation radius in meters.
+	Bound float64
+	// MaxSegAlts bounds the alternatives of the segment attribute.
+	MaxSegAlts  int
+	PayloadSize int
+	Seed        int64
+}
+
+// DefaultCartelConfig returns the scaled-down default (the paper used
+// 15M readings; 150k preserves all shapes at 1/100 the load time).
+func DefaultCartelConfig() CartelConfig {
+	return CartelConfig{
+		Observations: 150000,
+		GridN:        40,
+		SegmentLen:   250,
+		Sigma:        20,
+		Bound:        100,
+		MaxSegAlts:   4,
+		PayloadSize:  48,
+		Seed:         2,
+	}
+}
+
+// Scaled returns a copy with the observation count multiplied by f.
+func (c CartelConfig) Scaled(f float64) CartelConfig {
+	c.Observations = int(float64(c.Observations) * f)
+	return c
+}
+
+// Segment is one road segment of the synthetic grid.
+type Segment struct {
+	ID string
+	// A and B are the segment's endpoints in local meters.
+	A, B prob.Point
+}
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() prob.Point {
+	return prob.Point{X: (s.A.X + s.B.X) / 2, Y: (s.A.Y + s.B.Y) / 2}
+}
+
+// distToSegment returns the distance from p to segment s.
+func distToSegment(p prob.Point, s Segment) float64 {
+	ax, ay := s.B.X-s.A.X, s.B.Y-s.A.Y
+	px, py := p.X-s.A.X, p.Y-s.A.Y
+	len2 := ax*ax + ay*ay
+	t := 0.0
+	if len2 > 0 {
+		t = (px*ax + py*ay) / len2
+		t = math.Max(0, math.Min(1, t))
+	}
+	proj := prob.Point{X: s.A.X + t*ax, Y: s.A.Y + t*ay}
+	return p.Dist(proj)
+}
+
+// Cartel holds the generated observations and the road network.
+type Cartel struct {
+	Observations []*tuple.Observation
+	Segments     []Segment
+	// Extent is the bounding box of the road network.
+	Extent prob.Rect
+}
+
+// GenerateCartel builds the dataset.
+func GenerateCartel(cfg CartelConfig) (*Cartel, error) {
+	if cfg.Observations <= 0 || cfg.GridN < 2 || cfg.Sigma <= 0 || cfg.Bound <= cfg.Sigma {
+		return nil, fmt.Errorf("dataset: invalid cartel config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	c := &Cartel{}
+	// Road grid: horizontal and vertical segments between neighboring
+	// intersections. Coordinates are local meters centered on "downtown".
+	half := float64(cfg.GridN-1) * cfg.SegmentLen / 2
+	c.Extent = prob.Rect{MinX: -half, MinY: -half, MaxX: half, MaxY: half}
+	at := func(i, j int) prob.Point {
+		return prob.Point{X: -half + float64(i)*cfg.SegmentLen, Y: -half + float64(j)*cfg.SegmentLen}
+	}
+	segID := 0
+	for i := 0; i < cfg.GridN; i++ {
+		for j := 0; j < cfg.GridN; j++ {
+			if i+1 < cfg.GridN {
+				c.Segments = append(c.Segments, Segment{ID: segName(segID), A: at(i, j), B: at(i+1, j)})
+				segID++
+			}
+			if j+1 < cfg.GridN {
+				c.Segments = append(c.Segments, Segment{ID: segName(segID), A: at(i, j), B: at(i, j+1)})
+				segID++
+			}
+		}
+	}
+
+	// Traffic is skewed toward downtown: segment popularity decays
+	// with distance from the center.
+	popularity := make([]float64, len(c.Segments))
+	sum := 0.0
+	for i, s := range c.Segments {
+		d := s.Midpoint().Dist(prob.Point{}) / (2 * cfg.SegmentLen)
+		popularity[i] = 1 / (1 + d*d)
+		sum += popularity[i]
+	}
+	for i := range popularity {
+		popularity[i] /= sum
+	}
+
+	buckets := bucketSegments(c.Segments, cfg)
+	c.Observations = make([]*tuple.Observation, cfg.Observations)
+	for i := 0; i < cfg.Observations; i++ {
+		o, err := genObservation(rng, uint64(i+1), cfg, c, popularity, buckets)
+		if err != nil {
+			return nil, err
+		}
+		c.Observations[i] = o
+	}
+	return c, nil
+}
+
+// segBuckets is a coarse spatial hash over segments so candidate
+// lookup per observation is O(nearby) instead of O(all segments).
+type segBuckets struct {
+	cell float64
+	m    map[[2]int][]int
+}
+
+func bucketSegments(segs []Segment, cfg CartelConfig) *segBuckets {
+	b := &segBuckets{cell: cfg.SegmentLen, m: make(map[[2]int][]int)}
+	for i, s := range segs {
+		minX := math.Min(s.A.X, s.B.X) - cfg.Bound
+		maxX := math.Max(s.A.X, s.B.X) + cfg.Bound
+		minY := math.Min(s.A.Y, s.B.Y) - cfg.Bound
+		maxY := math.Max(s.A.Y, s.B.Y) + cfg.Bound
+		for cx := int(math.Floor(minX / b.cell)); cx <= int(math.Floor(maxX/b.cell)); cx++ {
+			for cy := int(math.Floor(minY / b.cell)); cy <= int(math.Floor(maxY/b.cell)); cy++ {
+				key := [2]int{cx, cy}
+				b.m[key] = append(b.m[key], i)
+			}
+		}
+	}
+	return b
+}
+
+// near returns indices of segments whose Bound-expanded extent covers
+// p's cell.
+func (b *segBuckets) near(p prob.Point) []int {
+	return b.m[[2]int{int(math.Floor(p.X / b.cell)), int(math.Floor(p.Y / b.cell))}]
+}
+
+func segName(id int) string { return fmt.Sprintf("seg-%05d", id) }
+
+func genObservation(rng *rand.Rand, id uint64, cfg CartelConfig, c *Cartel, popularity []float64, buckets *segBuckets) (*tuple.Observation, error) {
+	si := sampleIndex(rng, popularity)
+	seg := c.Segments[si]
+	// True position: uniform along the segment.
+	t := rng.Float64()
+	truePos := prob.Point{
+		X: seg.A.X + t*(seg.B.X-seg.A.X),
+		Y: seg.A.Y + t*(seg.B.Y-seg.A.Y),
+	}
+	// Reported (GPS) position: true position plus Gaussian error,
+	// clamped to the truncation bound.
+	gx := rng.NormFloat64() * cfg.Sigma
+	gy := rng.NormFloat64() * cfg.Sigma
+	if r := math.Hypot(gx, gy); r > cfg.Bound {
+		gx, gy = gx/r*cfg.Bound*0.99, gy/r*cfg.Bound*0.99
+	}
+	center := prob.Point{X: truePos.X + gx, Y: truePos.Y + gy}
+
+	// Uncertain segment attribute: nearby segments weighted by
+	// exp(-dist²/2σ²), truncated and normalized — the probabilistic
+	// map-matching the paper alludes to.
+	type cand struct {
+		idx int
+		w   float64
+	}
+	var cands []cand
+	for _, j := range buckets.near(center) {
+		d := distToSegment(center, c.Segments[j])
+		if d <= cfg.Bound {
+			cands = append(cands, cand{idx: j, w: math.Exp(-(d * d) / (2 * cfg.Sigma * cfg.Sigma))})
+		}
+	}
+	if len(cands) == 0 {
+		cands = []cand{{idx: si, w: 1}}
+	}
+	wSum := 0.0
+	for _, cd := range cands {
+		wSum += cd.w
+	}
+	alts := make([]prob.Alternative, 0, len(cands))
+	for _, cd := range cands {
+		alts = append(alts, prob.Alternative{Value: c.Segments[cd.idx].ID, Prob: cd.w / wSum})
+	}
+	dist, err := prob.NewDiscrete(alts)
+	if err != nil {
+		return nil, err
+	}
+	dist = dist.TruncateLowest(cfg.MaxSegAlts).Normalize()
+
+	return &tuple.Observation{
+		ID:        id,
+		Loc:       prob.ConstrainedGaussian{Center: center, Sigma: cfg.Sigma, Bound: cfg.Bound},
+		Segment:   dist,
+		Speed:     5 + rng.Float64()*25,
+		Direction: rng.Float64() * 2 * math.Pi,
+		Payload:   payload(rng, cfg.PayloadSize),
+	}, nil
+}

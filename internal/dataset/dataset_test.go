@@ -1,0 +1,271 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"upidb/internal/prob"
+)
+
+func smallDBLP(t *testing.T) *DBLP {
+	t.Helper()
+	cfg := DefaultDBLPConfig()
+	cfg.Authors = 2000
+	cfg.Publications = 3000
+	cfg.Institutions = 200
+	d, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDBLPBasicShape(t *testing.T) {
+	d := smallDBLP(t)
+	if len(d.Authors) != 2000 || len(d.Publications) != 3000 {
+		t.Fatalf("sizes: %d authors, %d pubs", len(d.Authors), len(d.Publications))
+	}
+	for _, a := range d.Authors[:100] {
+		if err := a.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		inst, ok := a.Uncertain(AttrInstitution)
+		if !ok || len(inst) == 0 || len(inst) > 10 {
+			t.Fatalf("author %d institution: %+v", a.ID, inst)
+		}
+		if math.Abs(inst.Mass()-1) > 1e-9 {
+			t.Fatalf("author %d institution mass %v", a.ID, inst.Mass())
+		}
+		if a.Existence < 0.5 || a.Existence > 1 {
+			t.Fatalf("author %d existence %v", a.ID, a.Existence)
+		}
+		if _, ok := a.Uncertain(AttrCountry); !ok {
+			t.Fatalf("author %d lacks country", a.ID)
+		}
+	}
+	for _, p := range d.Publications[:100] {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := p.DetValue(DetJournal); !ok {
+			t.Fatalf("pub %d lacks journal", p.ID)
+		}
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	cfg := DefaultDBLPConfig()
+	cfg.Authors, cfg.Publications, cfg.Institutions = 500, 500, 100
+	a, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Authors[123], b.Authors[123]) || !reflect.DeepEqual(a.Publications[77], b.Publications[77]) {
+		t.Fatal("generation not deterministic")
+	}
+	cfg.Seed = 99
+	c, _ := GenerateDBLP(cfg)
+	if reflect.DeepEqual(a.Authors[123], c.Authors[123]) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestDBLPMITIsPopular(t *testing.T) {
+	d := smallDBLP(t)
+	counts := make(map[string]int)
+	for _, a := range d.Authors {
+		inst, _ := a.Uncertain(AttrInstitution)
+		counts[inst.First().Value]++
+	}
+	mit := counts[MITInstitution]
+	if mit < len(d.Authors)/100 {
+		t.Fatalf("MIT too rare for a non-selective query: %d of %d first-alternatives", mit, len(d.Authors))
+	}
+}
+
+func TestDBLPLongTail(t *testing.T) {
+	d := smallDBLP(t)
+	// The distribution must have a long tail: a sizable share of all
+	// (author, alternative) pairs have probability below 0.1, which is
+	// what the cutoff index exists to absorb.
+	low, total := 0, 0
+	for _, a := range d.Authors {
+		inst, _ := a.Uncertain(AttrInstitution)
+		for _, alt := range inst {
+			total++
+			if alt.Prob < 0.1 {
+				low++
+			}
+		}
+	}
+	if low*5 < total {
+		t.Fatalf("tail too short: %d of %d alternatives below 0.1", low, total)
+	}
+}
+
+func TestDBLPCountryCorrelatedWithInstitution(t *testing.T) {
+	d := smallDBLP(t)
+	// Correlation check: a tuple whose institution distribution is
+	// concentrated on institution I must put at least that much mass
+	// on I's country.
+	for _, a := range d.Authors[:500] {
+		inst, _ := a.Uncertain(AttrInstitution)
+		country, _ := a.Uncertain(AttrCountry)
+		first := inst.First()
+		wantCountry := d.InstitutionCountry[first.Value]
+		if country.P(wantCountry) < first.Prob-1e-9 {
+			t.Fatalf("author %d: country %s has %v < institution prob %v",
+				a.ID, wantCountry, country.P(wantCountry), first.Prob)
+		}
+	}
+}
+
+func TestDBLPInvalidConfig(t *testing.T) {
+	if _, err := GenerateDBLP(DBLPConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultDBLPConfig()
+	cfg.MaxAlts = 0
+	if _, err := GenerateDBLP(cfg); err == nil {
+		t.Fatal("MaxAlts=0 accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := DefaultDBLPConfig().Scaled(0.1)
+	if cfg.Authors != 7000 || cfg.Publications != 13000 {
+		t.Fatalf("scaled: %+v", cfg)
+	}
+	cc := DefaultCartelConfig().Scaled(0.01)
+	if cc.Observations != 1500 {
+		t.Fatalf("scaled cartel: %+v", cc)
+	}
+}
+
+func smallCartel(t *testing.T) *Cartel {
+	t.Helper()
+	cfg := DefaultCartelConfig()
+	cfg.Observations = 2000
+	cfg.GridN = 10
+	c, err := GenerateCartel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCartelBasicShape(t *testing.T) {
+	c := smallCartel(t)
+	if len(c.Observations) != 2000 {
+		t.Fatalf("observations: %d", len(c.Observations))
+	}
+	wantSegs := 2 * 10 * 9 // horizontal + vertical
+	if len(c.Segments) != wantSegs {
+		t.Fatalf("segments: %d want %d", len(c.Segments), wantSegs)
+	}
+	for _, o := range c.Observations[:200] {
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(o.Segment.Mass()-1) > 1e-9 {
+			t.Fatalf("obs %d segment mass %v", o.ID, o.Segment.Mass())
+		}
+		if len(o.Segment) > 4 {
+			t.Fatalf("obs %d has %d segment alternatives", o.ID, len(o.Segment))
+		}
+	}
+}
+
+func TestCartelLocationsWithinExtendedGrid(t *testing.T) {
+	c := smallCartel(t)
+	slack := 200.0 // GPS error can push centers slightly off-grid
+	for _, o := range c.Observations {
+		p := o.Loc.Center
+		if p.X < c.Extent.MinX-slack || p.X > c.Extent.MaxX+slack ||
+			p.Y < c.Extent.MinY-slack || p.Y > c.Extent.MaxY+slack {
+			t.Fatalf("obs %d at %+v far outside grid %+v", o.ID, p, c.Extent)
+		}
+	}
+}
+
+func TestCartelSegmentCorrelatedWithLocation(t *testing.T) {
+	c := smallCartel(t)
+	segByID := make(map[string]Segment, len(c.Segments))
+	for _, s := range c.Segments {
+		segByID[s.ID] = s
+	}
+	for _, o := range c.Observations[:300] {
+		best := o.Segment.First()
+		seg := segByID[best.Value]
+		if d := distToSegment(o.Loc.Center, seg); d > o.Loc.Bound {
+			t.Fatalf("obs %d: top segment %s is %vm away (bound %v)", o.ID, best.Value, d, o.Loc.Bound)
+		}
+	}
+}
+
+func TestCartelTrafficSkewedDowntown(t *testing.T) {
+	c := smallCartel(t)
+	inner, outer := 0, 0
+	half := (c.Extent.MaxX - c.Extent.MinX) / 2
+	for _, o := range c.Observations {
+		if o.Loc.Center.Dist(prob.Point{}) < half/2 {
+			inner++
+		} else {
+			outer++
+		}
+	}
+	// The inner quarter-radius disk covers ~1/4 of the area (π/16 of
+	// the square) but should hold disproportionate traffic.
+	if inner < len(c.Observations)/4 {
+		t.Fatalf("downtown skew missing: inner=%d outer=%d", inner, outer)
+	}
+}
+
+func TestCartelDeterministic(t *testing.T) {
+	cfg := DefaultCartelConfig()
+	cfg.Observations, cfg.GridN = 300, 6
+	a, _ := GenerateCartel(cfg)
+	b, _ := GenerateCartel(cfg)
+	if !reflect.DeepEqual(a.Observations[42], b.Observations[42]) {
+		t.Fatal("cartel generation not deterministic")
+	}
+}
+
+func TestCartelInvalidConfig(t *testing.T) {
+	if _, err := GenerateCartel(CartelConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	cfg := DefaultCartelConfig()
+	cfg.Bound = cfg.Sigma / 2
+	if _, err := GenerateCartel(cfg); err == nil {
+		t.Fatal("bound <= sigma accepted")
+	}
+}
+
+func TestDistToSegment(t *testing.T) {
+	s := Segment{A: prob.Point{X: 0, Y: 0}, B: prob.Point{X: 10, Y: 0}}
+	cases := []struct {
+		p    prob.Point
+		want float64
+	}{
+		{prob.Point{X: 5, Y: 3}, 3},
+		{prob.Point{X: -4, Y: 0}, 4},
+		{prob.Point{X: 13, Y: 4}, 5},
+		{prob.Point{X: 5, Y: 0}, 0},
+	}
+	for _, c := range cases {
+		if got := distToSegment(c.p, s); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("dist(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	pt := Segment{A: prob.Point{X: 1, Y: 1}, B: prob.Point{X: 1, Y: 1}}
+	if got := distToSegment(prob.Point{X: 4, Y: 5}, pt); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("degenerate dist = %v", got)
+	}
+}

@@ -1,0 +1,290 @@
+// Package dataset generates the two synthetic uncertain datasets the
+// experiments run on, standing in for the paper's derived-DBLP and
+// Cartel data (see DESIGN.md, substitutions).
+//
+// Both generators are fully deterministic given their Config seeds, so
+// every experiment is reproducible bit-for-bit.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"upidb/internal/prob"
+	"upidb/internal/tuple"
+)
+
+// DBLPConfig controls the uncertain-DBLP-like generator.
+//
+// The paper built its Author table by querying author names through a
+// web search API and weighting the returned institutions with a
+// Zipfian distribution over search rank, keeping up to ten
+// alternatives per author. This generator reproduces that recipe
+// synthetically: each author draws a "true" institution from a
+// Zipf-popular catalog, then receives a ranked alternative list whose
+// probabilities follow Zipf(rank) weights.
+type DBLPConfig struct {
+	Authors      int     // number of Author tuples
+	Publications int     // number of Publication tuples
+	Institutions int     // size of the institution catalog
+	Journals     int     // size of the journal catalog
+	Countries    int     // size of the country catalog
+	MaxAlts      int     // max alternatives per uncertain attribute ("up to ten per author")
+	ZipfS        float64 // Zipf exponent for rank weighting
+	PayloadSize  int     // opaque payload bytes per tuple
+	Seed         int64
+}
+
+// DefaultDBLPConfig returns the scaled-down default (≈10× smaller than
+// the paper's 700k authors / 1.3M publications; see DESIGN.md).
+func DefaultDBLPConfig() DBLPConfig {
+	return DBLPConfig{
+		Authors:      70000,
+		Publications: 130000,
+		Institutions: 2000,
+		Journals:     500,
+		Countries:    25,
+		MaxAlts:      10,
+		ZipfS:        1.2,
+		PayloadSize:  64,
+		Seed:         1,
+	}
+}
+
+// Scaled returns a copy with all table sizes multiplied by f.
+func (c DBLPConfig) Scaled(f float64) DBLPConfig {
+	c.Authors = int(float64(c.Authors) * f)
+	c.Publications = int(float64(c.Publications) * f)
+	return c
+}
+
+// AttrInstitution and friends are the attribute names in the generated
+// schema, matching the paper's running example.
+const (
+	AttrInstitution = "Institution"
+	AttrCountry     = "Country"
+	DetName         = "Name"
+	DetJournal      = "Journal"
+)
+
+// MITInstitution is the institution name the paper's Query 1 and
+// Query 2 filter on. The generator pins catalog slot 3 to this name so
+// the query is non-selective (a popular institution) at every scale.
+const MITInstitution = "MIT"
+
+// JapanCountry is the country the paper's Query 3 filters on; pinned
+// to a mid-popularity catalog slot.
+const JapanCountry = "Japan"
+
+// DBLP holds the generated dataset plus the catalogs used to build it.
+type DBLP struct {
+	Authors      []*tuple.Tuple
+	Publications []*tuple.Tuple
+	// InstitutionCountry maps each institution to its (deterministic)
+	// country; the Country attribute of a tuple is derived from its
+	// Institution distribution through this map, which is what makes
+	// the two attributes correlated (exploited by Figure 6).
+	InstitutionCountry map[string]string
+	Institutions       []string
+	Journals           []string
+	Countries          []string
+}
+
+// GenerateDBLP builds the dataset.
+func GenerateDBLP(cfg DBLPConfig) (*DBLP, error) {
+	if cfg.Authors <= 0 || cfg.Institutions <= 1 || cfg.MaxAlts < 1 {
+		return nil, fmt.Errorf("dataset: invalid config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	d := &DBLP{
+		InstitutionCountry: make(map[string]string, cfg.Institutions),
+	}
+	d.Countries = make([]string, cfg.Countries)
+	for i := range d.Countries {
+		d.Countries[i] = fmt.Sprintf("Country%02d", i)
+	}
+	// Pin the queried country name.
+	if cfg.Countries > 5 {
+		d.Countries[5] = JapanCountry
+	} else {
+		d.Countries[cfg.Countries-1] = JapanCountry
+	}
+
+	d.Institutions = make([]string, cfg.Institutions)
+	for i := range d.Institutions {
+		d.Institutions[i] = fmt.Sprintf("Inst%05d", i)
+	}
+	// Pin the queried institution name to a popular slot (rank 3 under
+	// the Zipf popularity used below): non-selective, like MIT in DBLP.
+	d.Institutions[3] = MITInstitution
+
+	// Institutions are assigned countries with skew: low country index
+	// is more common. The Zipf head of the institution catalog (the
+	// handful of giants that dominate author counts) is kept out of
+	// the queried country so that Query 3 (Country=Japan) remains a
+	// mid-selectivity query, as it is on the real DBLP data.
+	countryZipf := newZipfWeights(cfg.Countries, 1.0)
+	headSize := cfg.Institutions / 20
+	for i, inst := range d.Institutions {
+		c := d.Countries[sampleIndex(rng, countryZipf)]
+		for i < headSize && c == JapanCountry {
+			c = d.Countries[sampleIndex(rng, countryZipf)]
+		}
+		d.InstitutionCountry[inst] = c
+	}
+
+	// Pool of institution indexes per country: search noise mostly
+	// confuses institutions within the same country (a Japanese
+	// author's wrong hits are mostly other Japanese institutions), so
+	// later alternatives are drawn from the first pick's country pool
+	// with high probability. This is the correlation structure the
+	// tailored secondary access of Figure 6 exploits.
+	countryPools := make(map[string][]int, cfg.Countries)
+	for i, inst := range d.Institutions {
+		c := d.InstitutionCountry[inst]
+		countryPools[c] = append(countryPools[c], i)
+	}
+
+	instPopularity := newZipfWeights(cfg.Institutions, cfg.ZipfS)
+	rankWeights := newZipfWeights(cfg.MaxAlts, cfg.ZipfS)
+
+	d.Authors = make([]*tuple.Tuple, cfg.Authors)
+	for i := 0; i < cfg.Authors; i++ {
+		t, err := genAuthor(rng, uint64(i+1), fmt.Sprintf("Author%06d", i), cfg, d, instPopularity, rankWeights, countryPools)
+		if err != nil {
+			return nil, err
+		}
+		d.Authors[i] = t
+	}
+
+	// Publications: journal + the uncertain attributes of their "last
+	// author" (paper: "assuming the last author represents the paper's
+	// affiliation").
+	d.Journals = make([]string, cfg.Journals)
+	for i := range d.Journals {
+		d.Journals[i] = fmt.Sprintf("Journal%04d", i)
+	}
+	journalWeights := newZipfWeights(cfg.Journals, 1.1)
+	d.Publications = make([]*tuple.Tuple, cfg.Publications)
+	for i := 0; i < cfg.Publications; i++ {
+		author := d.Authors[rng.Intn(len(d.Authors))]
+		inst, _ := author.Uncertain(AttrInstitution)
+		country, _ := author.Uncertain(AttrCountry)
+		pub := &tuple.Tuple{
+			ID:        uint64(i + 1),
+			Existence: author.Existence,
+			Det: []tuple.DetField{
+				{Name: DetJournal, Value: d.Journals[sampleIndex(rng, journalWeights)]},
+			},
+			Unc: []tuple.UncField{
+				{Name: AttrInstitution, Dist: inst},
+				{Name: AttrCountry, Dist: country},
+			},
+			Payload: payload(rng, cfg.PayloadSize),
+		}
+		d.Publications[i] = pub
+	}
+	return d, nil
+}
+
+func genAuthor(rng *rand.Rand, id uint64, name string, cfg DBLPConfig, d *DBLP,
+	instPopularity, rankWeights []float64, countryPools map[string][]int) (*tuple.Tuple, error) {
+	// Number of alternatives: long-tailed, 1..MaxAlts.
+	nAlts := 1 + rng.Intn(cfg.MaxAlts)
+	// The ranked institution list: the first pick is Zipf-popular; the
+	// rest are search noise, drawn mostly from the same country as the
+	// first pick and occasionally from anywhere.
+	const sameCountryBias = 0.8
+	seen := make(map[int]bool, nAlts)
+	alts := make([]prob.Alternative, 0, nAlts)
+	var pool []int
+	for len(alts) < nAlts {
+		var idx int
+		switch {
+		case len(alts) == 0:
+			idx = sampleIndex(rng, instPopularity)
+		case rng.Float64() < sameCountryBias && len(pool) > len(alts):
+			idx = pool[rng.Intn(len(pool))]
+		default:
+			idx = rng.Intn(cfg.Institutions)
+		}
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		if len(alts) == 0 {
+			pool = countryPools[d.InstitutionCountry[d.Institutions[idx]]]
+		}
+		alts = append(alts, prob.Alternative{
+			Value: d.Institutions[idx],
+			Prob:  rankWeights[len(alts)],
+		})
+	}
+	instDist, err := prob.NewDiscrete(alts)
+	if err != nil {
+		return nil, err
+	}
+	instDist = instDist.Normalize()
+
+	// Country distribution: sum institution probabilities by country.
+	countryAlts := make([]prob.Alternative, 0, len(instDist))
+	for _, a := range instDist {
+		countryAlts = append(countryAlts, prob.Alternative{
+			Value: d.InstitutionCountry[a.Value],
+			Prob:  a.Prob,
+		})
+	}
+	countryDist, err := prob.NewDiscrete(countryAlts)
+	if err != nil {
+		return nil, err
+	}
+
+	return &tuple.Tuple{
+		ID:        id,
+		Existence: 0.5 + rng.Float64()*0.5, // 0.5..1.0
+		Det:       []tuple.DetField{{Name: DetName, Value: name}},
+		Unc: []tuple.UncField{
+			{Name: AttrInstitution, Dist: instDist},
+			{Name: AttrCountry, Dist: countryDist},
+		},
+		Payload: payload(rng, cfg.PayloadSize),
+	}, nil
+}
+
+// newZipfWeights returns normalized weights w[i] ∝ 1/(i+1)^s.
+func newZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// sampleIndex draws an index according to the given weights.
+func sampleIndex(rng *rand.Rand, weights []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func payload(rng *rand.Rand, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	rng.Read(p)
+	return p
+}

@@ -1,0 +1,279 @@
+// Package fracture implements the Fractured UPI of paper Section 4.
+//
+// A fractured UPI buffers inserts and deletes in RAM; when the buffer
+// fills, the changes are written out sequentially as a new *fracture*
+// — an independent UPI (heap file + cutoff index + secondary indexes)
+// plus a delete set holding the IDs of tuples deleted since the
+// previous flush. Queries consult the in-memory buffer, every fracture
+// and the main UPI, union the results and drop tuples present in any
+// applicable delete set. A background-style Merge folds all fractures
+// back into the main UPI with one sequential k-way merge pass,
+// restoring query performance (Figure 10).
+package fracture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+)
+
+// Options configure a fractured UPI.
+type Options struct {
+	// UPI are the parameters each fracture and the main UPI share.
+	// (Section 4.2 notes fractures *may* use different parameters; the
+	// Store applies the current value of Options.UPI to each new
+	// fracture, so callers can retune between flushes.)
+	UPI upi.Options
+	// BufferTuples is the insert-buffer capacity; reaching it triggers
+	// an automatic flush. 0 means flush only on explicit Flush calls.
+	BufferTuples int
+}
+
+// Store is a fractured UPI. It is not safe for concurrent use.
+type Store struct {
+	fs       *storage.FS
+	name     string
+	attr     string
+	secAttrs []string
+	opts     Options
+
+	main      *upi.Table
+	fractures []*fract
+	fracGens  []int // generation number of each fracture (for file names)
+	gen       int   // generation counter for fracture / main file names
+
+	// Insert buffer ("on RAM" in Figure 1): pending tuples by ID, plus
+	// their arrival order for deterministic flushing.
+	bufTuples map[uint64]*tuple.Tuple
+	bufOrder  []uint64
+	// Pending delete set: IDs deleted since the last flush.
+	bufDeletes map[uint64]bool
+}
+
+// fract is one on-disk fracture: an independent UPI and the delete set
+// flushed with it. The delete set applies to *older* data (the main
+// UPI and earlier fractures), never to this fracture's own inserts.
+type fract struct {
+	table   *upi.Table
+	deleted map[uint64]bool
+}
+
+// NewStore creates an empty fractured UPI.
+func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
+	opts.UPI = opts.UPI.WithDefaults()
+	s := &Store{
+		fs: fs, name: name, attr: attr,
+		secAttrs:   append([]string(nil), secAttrs...),
+		opts:       opts,
+		bufTuples:  make(map[uint64]*tuple.Tuple),
+		bufDeletes: make(map[uint64]bool),
+	}
+	main, err := upi.Create(fs, s.mainName(0), attr, secAttrs, opts.UPI)
+	if err != nil {
+		return nil, err
+	}
+	s.main = main
+	return s, nil
+}
+
+// BulkLoad creates a fractured UPI whose main partition is bulk-built
+// from tuples (the initial load of the experiments).
+func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Options, tuples []*tuple.Tuple) (*Store, error) {
+	opts.UPI = opts.UPI.WithDefaults()
+	s := &Store{
+		fs: fs, name: name, attr: attr,
+		secAttrs:   append([]string(nil), secAttrs...),
+		opts:       opts,
+		bufTuples:  make(map[uint64]*tuple.Tuple),
+		bufDeletes: make(map[uint64]bool),
+	}
+	main, err := upi.BulkBuild(fs, s.mainName(0), attr, secAttrs, opts.UPI, tuples)
+	if err != nil {
+		return nil, err
+	}
+	s.main = main
+	return s, nil
+}
+
+func (s *Store) mainName(gen int) string { return fmt.Sprintf("%s.main%d", s.name, gen) }
+func (s *Store) fracName(id int) string  { return fmt.Sprintf("%s.frac%d", s.name, id) }
+func (s *Store) delSetFile(id int) string {
+	return fmt.Sprintf("%s.frac%d.delset", s.name, id)
+}
+
+// Main exposes the main UPI (for stats and cache control).
+func (s *Store) Main() *upi.Table { return s.main }
+
+// NumFractures returns the current fracture count (Nfrac in the cost
+// model).
+func (s *Store) NumFractures() int { return len(s.fractures) }
+
+// BufferedInserts returns the number of tuples waiting in RAM.
+func (s *Store) BufferedInserts() int { return len(s.bufTuples) }
+
+// SetFractureOptions changes the UPI parameters used for fractures
+// created by future flushes (Section 4.2: "each fracture can have
+// different tuning parameters as long as the UPI files in the fracture
+// share the same parameters... we propose to dynamically tune these
+// parameters by analyzing recent query workloads... whenever the
+// insert buffer is flushed"). Existing partitions are unaffected;
+// a later Merge rebuilds the main UPI with the current options.
+func (s *Store) SetFractureOptions(o upi.Options) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	s.opts.UPI = o.WithDefaults()
+	return nil
+}
+
+// FractureOptions returns the UPI parameters future fractures will use.
+func (s *Store) FractureOptions() upi.Options { return s.opts.UPI }
+
+// Insert buffers a tuple; the write reaches disk at the next flush.
+func (s *Store) Insert(tup *tuple.Tuple) error {
+	if err := tup.Validate(); err != nil {
+		return err
+	}
+	// Re-inserting an ID pending deletion revives it.
+	delete(s.bufDeletes, tup.ID)
+	if _, exists := s.bufTuples[tup.ID]; !exists {
+		s.bufOrder = append(s.bufOrder, tup.ID)
+	}
+	s.bufTuples[tup.ID] = tup
+	if s.opts.BufferTuples > 0 && len(s.bufTuples) >= s.opts.BufferTuples {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Delete buffers a deletion by tuple ID. "Deletion is handled like
+// insertion by storing a delete set which holds IDs of deleted tuples."
+func (s *Store) Delete(id uint64) {
+	if _, buffered := s.bufTuples[id]; buffered {
+		// Never reached disk; cancel the pending insert.
+		delete(s.bufTuples, id)
+		for i, bid := range s.bufOrder {
+			if bid == id {
+				s.bufOrder = append(s.bufOrder[:i], s.bufOrder[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	s.bufDeletes[id] = true
+}
+
+// Flush writes the buffered changes out as a new fracture: a bulk-built
+// UPI over the buffered tuples plus a sequentially written delete-set
+// file. A flush with empty buffers is a no-op.
+func (s *Store) Flush() error {
+	if len(s.bufTuples) == 0 && len(s.bufDeletes) == 0 {
+		return nil
+	}
+	s.gen++
+	id := s.gen
+	tuples := make([]*tuple.Tuple, 0, len(s.bufTuples))
+	for _, tid := range s.bufOrder {
+		tuples = append(tuples, s.bufTuples[tid])
+	}
+	tab, err := upi.BulkBuild(s.fs, s.fracName(id), s.attr, s.secAttrs, s.opts.UPI, tuples)
+	if err != nil {
+		return err
+	}
+	deleted := make(map[uint64]bool, len(s.bufDeletes))
+	for did := range s.bufDeletes {
+		deleted[did] = true
+	}
+	if err := s.writeDelSet(id, deleted); err != nil {
+		return err
+	}
+	s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted})
+	s.fracGens = append(s.fracGens, id)
+	s.bufTuples = make(map[uint64]*tuple.Tuple)
+	s.bufOrder = nil
+	s.bufDeletes = make(map[uint64]bool)
+	return nil
+}
+
+// writeDelSet writes the delete set as one sequential file: count then
+// sorted IDs.
+func (s *Store) writeDelSet(id int, deleted map[uint64]bool) error {
+	ids := make([]uint64, 0, len(deleted))
+	for d := range deleted {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf := binary.BigEndian.AppendUint64(nil, uint64(len(ids)))
+	for _, d := range ids {
+		buf = binary.BigEndian.AppendUint64(buf, d)
+	}
+	return s.fs.Create(s.delSetFile(id)).WriteAt(buf, 0)
+}
+
+// deletesAfter returns the union of the delete sets of fractures with
+// index > i, plus the in-RAM pending deletes. An entry stored in
+// fracture i (or, with i == -1, in the main UPI) is live iff its ID is
+// absent from this set.
+func (s *Store) deletesAfter(i int) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for j := i + 1; j < len(s.fractures); j++ {
+		for id := range s.fractures[j].deleted {
+			out[id] = true
+		}
+	}
+	for id := range s.bufDeletes {
+		out[id] = true
+	}
+	return out
+}
+
+// SizeBytes returns the total on-disk size: main, fractures and delete
+// sets.
+func (s *Store) SizeBytes() int64 {
+	total := s.main.SizeBytes()
+	for _, f := range s.fractures {
+		total += f.table.SizeBytes()
+	}
+	for _, name := range s.fs.List() {
+		if len(name) > len(s.name) && name[:len(s.name)] == s.name && hasSuffix(name, ".delset") {
+			total += s.fs.Size(name)
+		}
+	}
+	return total
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// Flush-through and cache control for cold-cache measurements.
+
+// FlushPages writes all dirty pages of all partitions to disk.
+func (s *Store) FlushPages() error {
+	if err := s.main.Flush(); err != nil {
+		return err
+	}
+	for _, f := range s.fractures {
+		if err := f.table.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropCaches empties every partition's buffer pools.
+func (s *Store) DropCaches() error {
+	if err := s.main.DropCaches(); err != nil {
+		return err
+	}
+	for _, f := range s.fractures {
+		if err := f.table.DropCaches(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

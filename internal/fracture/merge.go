@@ -1,0 +1,243 @@
+package fracture
+
+import (
+	"bytes"
+
+	"upidb/internal/btree"
+	"upidb/internal/storage"
+	"upidb/internal/upi"
+)
+
+// Merge folds every fracture (and the RAM buffer) back into a fresh
+// main UPI (Section 4.3): "The merging process is essentially a
+// parallel sort-merge operation. Each file is already sorted
+// internally, so we open cursors on all fractures in parallel and keep
+// picking the smallest key from amongst all cursors." The new files
+// are written sequentially; old partitions are then removed. Its cost
+// is therefore ≈ Stable × (Tread + Twrite), the paper's Costmerge.
+func (s *Store) Merge() error {
+	// Buffered changes become one final fracture so the merge only
+	// deals with on-disk partitions.
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	s.gen++
+	newName := s.mainName(s.gen)
+
+	// Entry-level k-way merging preserves each entry's heap-vs-cutoff
+	// placement, which is only correct when every partition was built
+	// with the same parameters as the merged result. When fractures
+	// carry different tuning parameters (Section 4.2), rebuild from
+	// the live tuples instead — still one sequential read of all
+	// partitions plus one sequential write.
+	if !s.partitionsHomogeneous() {
+		return s.mergeByRebuild(newName)
+	}
+
+	// Sources oldest-to-newest: main then fractures. Priority grows
+	// with recency; on duplicate keys the newest version wins.
+	type source struct {
+		table   *upi.Table
+		deleted map[uint64]bool // delete filter for entries of this source
+	}
+	sources := make([]source, 0, 1+len(s.fractures))
+	sources = append(sources, source{table: s.main, deleted: s.deletesAfter(-1)})
+	for i, f := range s.fractures {
+		sources = append(sources, source{table: f.table, deleted: s.deletesAfter(i)})
+	}
+
+	mergeInto := func(file string, pick func(t *upi.Table) *btree.Tree) (*btree.Tree, error) {
+		p, err := storage.NewPager(s.fs.Create(file), s.opts.UPI.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if cp := s.opts.UPI.CachePages; cp > 0 {
+			if err := p.SetCacheLimit(cp); err != nil {
+				return nil, err
+			}
+		}
+		b, err := btree.NewBuilder(p)
+		if err != nil {
+			return nil, err
+		}
+		curs := make([]*mergeCursor, len(sources))
+		for i, src := range sources {
+			tree := pick(src.table)
+			// Sequential read-ahead: the merge reads every source file
+			// front to back, so one seek covers a whole run of pages
+			// ("the cost of merging is about the same as the cost of
+			// sequentially reading all files").
+			tree.Pager().SetPrefetch(mergeReadAhead)
+			curs[i] = &mergeCursor{
+				c:        tree.NewCursor().First(),
+				priority: i,
+				deleted:  src.deleted,
+			}
+		}
+		err = kWayMerge(curs, b)
+		for _, src := range sources {
+			pick(src.table).Pager().SetPrefetch(1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		t, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return t, p.Flush()
+	}
+
+	if _, err := mergeInto(upi.HeapFileName(newName), func(t *upi.Table) *btree.Tree { return t.Heap() }); err != nil {
+		return err
+	}
+	if _, err := mergeInto(upi.CutoffFileName(newName), func(t *upi.Table) *btree.Tree { return t.CutoffIndex() }); err != nil {
+		return err
+	}
+	for _, attr := range s.secAttrs {
+		a := attr
+		if _, err := mergeInto(upi.SecFileName(newName, a), func(t *upi.Table) *btree.Tree {
+			sec, _ := t.Secondary(a)
+			return sec
+		}); err != nil {
+			return err
+		}
+	}
+
+	newMain, err := upi.Open(s.fs, newName, s.attr, s.secAttrs, s.opts.UPI)
+	if err != nil {
+		return err
+	}
+	return s.swapMain(newMain)
+}
+
+// partitionsHomogeneous reports whether the main UPI and every
+// fracture share the placement-relevant parameters of the current
+// options.
+func (s *Store) partitionsHomogeneous() bool {
+	same := func(o upi.Options) bool {
+		return o.Cutoff == s.opts.UPI.Cutoff && o.MaxPointers == s.opts.UPI.MaxPointers
+	}
+	if !same(s.main.Options()) {
+		return false
+	}
+	for _, f := range s.fractures {
+		if !same(f.table.Options()) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeByRebuild collects every live tuple (sequential heap scans,
+// oldest partition first) and bulk-builds a fresh main UPI with the
+// current options.
+func (s *Store) mergeByRebuild(newName string) error {
+	for _, src := range append([]*upi.Table{s.main}, s.fractureTables()...) {
+		src.Heap().Pager().SetPrefetch(mergeReadAhead)
+	}
+	tuples, err := s.collectLiveTuples()
+	for _, src := range append([]*upi.Table{s.main}, s.fractureTables()...) {
+		src.Heap().Pager().SetPrefetch(1)
+	}
+	if err != nil {
+		return err
+	}
+	newMain, err := upi.BulkBuild(s.fs, newName, s.attr, s.secAttrs, s.opts.UPI, tuples)
+	if err != nil {
+		return err
+	}
+	return s.swapMain(newMain)
+}
+
+func (s *Store) fractureTables() []*upi.Table {
+	ts := make([]*upi.Table, len(s.fractures))
+	for i, f := range s.fractures {
+		ts[i] = f.table
+	}
+	return ts
+}
+
+// swapMain installs the merged main UPI and removes all old partition
+// files and delete sets.
+func (s *Store) swapMain(newMain *upi.Table) error {
+	oldFiles := append([]string(nil), s.main.Files()...)
+	for i, f := range s.fractures {
+		oldFiles = append(oldFiles, f.table.Files()...)
+		oldFiles = append(oldFiles, s.delSetFile(s.fracGens[i]))
+	}
+	s.main = newMain
+	s.fractures = nil
+	s.fracGens = nil
+	for _, f := range oldFiles {
+		if s.fs.Exists(f) {
+			if err := s.fs.Remove(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeReadAhead is the per-source read-ahead window (pages) during a
+// merge, standing in for the multi-megabyte merge buffers an LSM engine
+// allocates per input run.
+const mergeReadAhead = 64
+
+type mergeCursor struct {
+	c        *btree.Cursor
+	priority int
+	deleted  map[uint64]bool
+}
+
+// kWayMerge drains the cursors in global key order into the builder,
+// applying each source's delete filter and letting the
+// highest-priority (newest) source win duplicate keys.
+func kWayMerge(curs []*mergeCursor, b *btree.Builder) error {
+	for {
+		// Find the smallest current key.
+		var minKey []byte
+		for _, mc := range curs {
+			if !mc.c.Valid() {
+				continue
+			}
+			if minKey == nil || bytes.Compare(mc.c.Key(), minKey) < 0 {
+				minKey = mc.c.Key()
+			}
+		}
+		if minKey == nil {
+			break
+		}
+		minKey = append([]byte(nil), minKey...)
+		// Collect all cursors at that key; pick the newest live entry.
+		var (
+			bestPriority = -1
+			bestVal      []byte
+		)
+		for _, mc := range curs {
+			if !mc.c.Valid() || !bytes.Equal(mc.c.Key(), minKey) {
+				continue
+			}
+			_, _, id, err := upi.DecodeHeapKey(minKey)
+			if err != nil {
+				return err
+			}
+			if !mc.deleted[id] && mc.priority > bestPriority {
+				bestPriority = mc.priority
+				bestVal = append(bestVal[:0], mc.c.Value()...)
+			}
+			mc.c.Next()
+		}
+		if bestPriority >= 0 {
+			if err := b.Add(minKey, bestVal); err != nil {
+				return err
+			}
+		}
+	}
+	for _, mc := range curs {
+		if err := mc.c.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package fracture
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+)
+
+// Open loads an existing fractured UPI from its files: the newest main
+// generation, every fracture in flush order, and their delete sets.
+// The RAM insert buffer is empty after opening (it never survives a
+// shutdown; unflushed changes are lost by design, like any
+// write-buffered store without a WAL).
+func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
+	opts.UPI = opts.UPI.WithDefaults()
+	s := &Store{
+		fs: fs, name: name, attr: attr,
+		secAttrs:   append([]string(nil), secAttrs...),
+		opts:       opts,
+		bufTuples:  make(map[uint64]*tuple.Tuple),
+		bufDeletes: make(map[uint64]bool),
+	}
+
+	mainGen, fracGens, err := scanPartitions(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	main, err := upi.Open(fs, s.mainName(mainGen), attr, secAttrs, opts.UPI)
+	if err != nil {
+		return nil, err
+	}
+	s.main = main
+	s.gen = mainGen
+	for _, g := range fracGens {
+		tab, err := upi.Open(fs, s.fracName(g), attr, secAttrs, opts.UPI)
+		if err != nil {
+			return nil, err
+		}
+		deleted, err := s.readDelSet(g)
+		if err != nil {
+			return nil, err
+		}
+		s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted})
+		s.fracGens = append(s.fracGens, g)
+		if g > s.gen {
+			s.gen = g
+		}
+	}
+	return s, nil
+}
+
+// scanPartitions finds the newest main generation and the fracture
+// generations (sorted ascending = flush order) from the file listing.
+func scanPartitions(fs *storage.FS, name string) (mainGen int, fracGens []int, err error) {
+	mainGen = -1
+	for _, f := range fs.List() {
+		rest, ok := strings.CutPrefix(f, name+".")
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(rest, "main") && strings.HasSuffix(rest, ".upi.heap"):
+			n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(rest, "main"), ".upi.heap"))
+			if err == nil && n > mainGen {
+				mainGen = n
+			}
+		case strings.HasPrefix(rest, "frac") && strings.HasSuffix(rest, ".upi.heap"):
+			n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(rest, "frac"), ".upi.heap"))
+			if err == nil {
+				fracGens = append(fracGens, n)
+			}
+		}
+	}
+	if mainGen < 0 {
+		return 0, nil, fmt.Errorf("fracture: no main partition found for %q", name)
+	}
+	sort.Ints(fracGens)
+	return mainGen, fracGens, nil
+}
+
+// readDelSet loads one delete-set file written by writeDelSet.
+func (s *Store) readDelSet(gen int) (map[uint64]bool, error) {
+	file := s.delSetFile(gen)
+	if !s.fs.Exists(file) {
+		return map[uint64]bool{}, nil
+	}
+	f, err := s.fs.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	head := make([]byte, 8)
+	if err := f.ReadAt(head, 0); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint64(head)
+	if int64(8+8*n) > f.Size() {
+		return nil, fmt.Errorf("fracture: corrupt delete set %s: %d entries in %d bytes", file, n, f.Size())
+	}
+	body := make([]byte, 8*n)
+	if err := f.ReadAt(body, 8); err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]bool, n)
+	for i := uint64(0); i < n; i++ {
+		out[binary.BigEndian.Uint64(body[8*i:])] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package fracture
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	fs := newFS()
+	rng := rand.New(rand.NewSource(19))
+	s, err := NewStore(fs, "t", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]bool)
+	for b := 0; b < 4; b++ {
+		for _, tup := range randomTuples(t, rng, uint64(b*1000+1), 120) {
+			if err := s.Insert(tup); err != nil {
+				t.Fatal(err)
+			}
+			live[tup.ID] = true
+		}
+		// Delete a few already-flushed tuples.
+		if b > 0 {
+			for id := range live {
+				s.Delete(id)
+				delete(live, id)
+				break
+			}
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FlushPages(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(fs, "t", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumFractures() != s.NumFractures() {
+		t.Fatalf("fractures: %d vs %d", re.NumFractures(), s.NumFractures())
+	}
+	for _, qt := range []float64{0.05, 0.3, 0.7} {
+		for v := 0; v < 14; v++ {
+			val := fmt.Sprintf("v%02d", v)
+			a, _, err := s.Query(val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := re.Query(val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s@%v: %d vs %d after reopen", val, qt, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Tuple.ID != b[i].Tuple.ID || math.Abs(a[i].Confidence-b[i].Confidence) > 1e-9 {
+					t.Fatalf("%s@%v result %d differs after reopen", val, qt, i)
+				}
+			}
+		}
+	}
+	// The reopened store must be fully operational: insert, flush,
+	// merge.
+	for _, tup := range randomTuples(t, rng, 90000, 30) {
+		if err := re.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if re.NumFractures() != 0 {
+		t.Fatal("merge after reopen failed")
+	}
+}
+
+func TestOpenAfterMerge(t *testing.T) {
+	fs := newFS()
+	rng := rand.New(rand.NewSource(23))
+	s, _ := NewStore(fs, "t", "X", []string{"Y"}, defaultOpts())
+	for _, tup := range randomTuples(t, rng, 1, 150) {
+		s.Insert(tup)
+	}
+	s.Flush()
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FlushPages(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(fs, "t", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumFractures() != 0 {
+		t.Fatalf("fractures after reopen: %d", re.NumFractures())
+	}
+	total := 0
+	for v := 0; v < 14; v++ {
+		rs, _, err := re.Query(fmt.Sprintf("v%02d", v), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rs)
+	}
+	if total < 150 {
+		t.Fatalf("tuples lost: %d", total)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(newFS(), "nope", "X", nil, defaultOpts()); err == nil {
+		t.Fatal("open of missing store accepted")
+	}
+}
+
+// TestOpenDropsUnflushedBuffer documents the durability contract: RAM
+// buffer contents do not survive a reopen.
+func TestOpenDropsUnflushedBuffer(t *testing.T) {
+	fs := newFS()
+	rng := rand.New(rand.NewSource(29))
+	s, _ := NewStore(fs, "t", "X", []string{"Y"}, defaultOpts())
+	flushed := randomTuples(t, rng, 1, 50)
+	for _, tup := range flushed {
+		s.Insert(tup)
+	}
+	s.Flush()
+	for _, tup := range randomTuples(t, rng, 1000, 50) { // never flushed
+		s.Insert(tup)
+	}
+	s.FlushPages()
+	re, err := Open(fs, "t", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for v := 0; v < 14; v++ {
+		rs, _, _ := re.Query(fmt.Sprintf("v%02d", v), 0)
+		total += len(rs)
+	}
+	if total < 50 || total >= 100 {
+		t.Fatalf("reopened store has %d results; want only the flushed ~50+", total)
+	}
+	if re.BufferedInserts() != 0 {
+		t.Fatal("buffer should be empty after reopen")
+	}
+}

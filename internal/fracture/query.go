@@ -1,0 +1,211 @@
+package fracture
+
+import (
+	"sort"
+
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+)
+
+// Stats aggregates per-partition query statistics.
+type Stats struct {
+	upi.QueryStats
+	// PartitionsRead is 1 (main) + the number of fractures consulted.
+	PartitionsRead int
+	// BufferHits counts results served from the RAM insert buffer.
+	BufferHits int
+}
+
+// Query answers a PTQ over the fractured UPI: the union of the main
+// UPI, every fracture and the insert buffer, minus deleted tuples
+// (Section 4.2). Each on-disk partition is charged a table-open cost,
+// which is the Nfrac × Costinit term of the Section 6 cost model.
+func (s *Store) Query(value string, qt float64) ([]upi.Result, Stats, error) {
+	var stats Stats
+	disk := s.fs.Disk()
+
+	var results []upi.Result
+	// Main UPI: delete sets of all fractures apply.
+	disk.Open(s.main.Name())
+	stats.PartitionsRead++
+	rs, qs, err := s.main.Query(value, qt)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.QueryStats = addStats(stats.QueryStats, qs)
+	results = appendLive(results, rs, s.deletesAfter(-1))
+
+	for i, f := range s.fractures {
+		disk.Open(f.table.Name())
+		stats.PartitionsRead++
+		rs, qs, err := f.table.Query(value, qt)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.QueryStats = addStats(stats.QueryStats, qs)
+		results = appendLive(results, rs, s.deletesAfter(i))
+	}
+
+	// Insert buffer: pure RAM, no I/O charge.
+	for _, id := range s.bufOrder {
+		tup := s.bufTuples[id]
+		if conf := tup.Confidence(s.attr, value); conf >= qt {
+			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
+			stats.BufferHits++
+		}
+	}
+	sortResults(results)
+	return results, stats, nil
+}
+
+// QuerySecondary answers a PTQ on a secondary attribute across all
+// partitions. Each fracture's secondary index points into that
+// fracture's own heap (Section 4.2), so tailored access runs
+// per-partition.
+func (s *Store) QuerySecondary(attr, value string, qt float64, tailored bool) ([]upi.Result, Stats, error) {
+	var stats Stats
+	disk := s.fs.Disk()
+
+	var results []upi.Result
+	disk.Open(s.main.Name())
+	stats.PartitionsRead++
+	rs, qs, err := s.main.QuerySecondary(attr, value, qt, tailored)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.QueryStats = addStats(stats.QueryStats, qs)
+	results = appendLive(results, rs, s.deletesAfter(-1))
+
+	for i, f := range s.fractures {
+		disk.Open(f.table.Name())
+		stats.PartitionsRead++
+		rs, qs, err := f.table.QuerySecondary(attr, value, qt, tailored)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.QueryStats = addStats(stats.QueryStats, qs)
+		results = appendLive(results, rs, s.deletesAfter(i))
+	}
+
+	for _, id := range s.bufOrder {
+		tup := s.bufTuples[id]
+		if conf := tup.Confidence(attr, value); conf >= qt {
+			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
+			stats.BufferHits++
+		}
+	}
+	sortResults(results)
+	return results, stats, nil
+}
+
+// TopK returns the k highest-confidence matches across all partitions.
+func (s *Store) TopK(value string, k int) ([]upi.Result, Stats, error) {
+	var stats Stats
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	disk := s.fs.Disk()
+	var results []upi.Result
+
+	disk.Open(s.main.Name())
+	stats.PartitionsRead++
+	rs, qs, err := s.main.TopK(value, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.QueryStats = addStats(stats.QueryStats, qs)
+	results = appendLive(results, rs, s.deletesAfter(-1))
+
+	for i, f := range s.fractures {
+		disk.Open(f.table.Name())
+		stats.PartitionsRead++
+		rs, qs, err := f.table.TopK(value, k)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.QueryStats = addStats(stats.QueryStats, qs)
+		results = appendLive(results, rs, s.deletesAfter(i))
+	}
+	for _, id := range s.bufOrder {
+		tup := s.bufTuples[id]
+		if conf := tup.Confidence(s.attr, value); conf > 0 {
+			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
+			stats.BufferHits++
+		}
+	}
+	sortResults(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, stats, nil
+}
+
+func appendLive(dst []upi.Result, src []upi.Result, deleted map[uint64]bool) []upi.Result {
+	for _, r := range src {
+		if !deleted[r.Tuple.ID] {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+func addStats(a, b upi.QueryStats) upi.QueryStats {
+	a.HeapEntries += b.HeapEntries
+	a.CutoffPointers += b.CutoffPointers
+	a.SecondaryEntries += b.SecondaryEntries
+	a.ReusedPointers += b.ReusedPointers
+	return a
+}
+
+func sortResults(rs []upi.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Confidence != rs[j].Confidence {
+			return rs[i].Confidence > rs[j].Confidence
+		}
+		return rs[i].Tuple.ID < rs[j].Tuple.ID
+	})
+}
+
+// collectLiveTuples returns every live tuple across all partitions and
+// the buffer, deduplicated by ID (newest version wins). Used by Merge.
+func (s *Store) collectLiveTuples() ([]*tuple.Tuple, error) {
+	byID := make(map[uint64]*tuple.Tuple)
+	// Oldest first so newer versions overwrite.
+	scan := func(t *upi.Table, deleted map[uint64]bool) error {
+		return t.ScanHeap(func(value string, conf float64, id uint64, enc []byte) bool {
+			if deleted[id] {
+				return true
+			}
+			if _, seen := byID[id]; seen {
+				return true // other alternatives of an already-collected tuple
+			}
+			tup, err := tuple.Decode(enc)
+			if err != nil {
+				return false
+			}
+			byID[id] = tup
+			return true
+		})
+	}
+	if err := scan(s.main, s.deletesAfter(-1)); err != nil {
+		return nil, err
+	}
+	for i, f := range s.fractures {
+		if err := scan(f.table, s.deletesAfter(i)); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range s.bufOrder {
+		byID[id] = s.bufTuples[id]
+	}
+	ids := make([]uint64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*tuple.Tuple, len(ids))
+	for i, id := range ids {
+		out[i] = byID[id]
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package fracture
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"upidb/internal/upi"
+)
+
+// TestPerFractureOptions: fractures created with different cutoff
+// thresholds coexist and answer queries identically to a uniform
+// store, both before and after a merge (which rebuilds everything with
+// the final options).
+func TestPerFractureOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	batch1 := randomTuples(t, rng, 1, 200)
+	batch2 := randomTuples(t, rng, 1000, 200)
+	batch3 := randomTuples(t, rng, 2000, 200)
+
+	tuned, err := NewStore(newFS(), "tuned", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := NewStore(newFS(), "uniform", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 1 with the default cutoff.
+	for _, tup := range batch1 {
+		if err := tuned.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+		if err := uniform.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tuned.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := uniform.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch 2 with an aggressive cutoff on the tuned store only.
+	if err := tuned.SetFractureOptions(upi.Options{Cutoff: 0.45, PageSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range batch2 {
+		tuned.Insert(tup)
+		uniform.Insert(tup)
+	}
+	tuned.Flush()
+	uniform.Flush()
+
+	// Batch 3 with no cutoff at all.
+	if err := tuned.SetFractureOptions(upi.Options{Cutoff: 0, PageSize: 512}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range batch3 {
+		tuned.Insert(tup)
+		uniform.Insert(tup)
+	}
+	tuned.Flush()
+	uniform.Flush()
+
+	compare := func(stage string) {
+		t.Helper()
+		for _, qt := range []float64{0.05, 0.3, 0.7} {
+			for v := 0; v < 14; v++ {
+				val := fmt.Sprintf("v%02d", v)
+				a, _, err := tuned.Query(val, qt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _, err := uniform.Query(val, qt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("%s %s@%v: tuned %d vs uniform %d", stage, val, qt, len(a), len(b))
+				}
+				for i := range a {
+					if a[i].Tuple.ID != b[i].Tuple.ID {
+						t.Fatalf("%s %s@%v: result %d differs", stage, val, qt, i)
+					}
+				}
+			}
+		}
+	}
+	compare("mixed fractures")
+	if err := tuned.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	compare("after merge")
+	if got := tuned.FractureOptions().Cutoff; got != 0 {
+		t.Fatalf("options not retained: %v", got)
+	}
+}
+
+func TestSetFractureOptionsValidates(t *testing.T) {
+	s, err := NewStore(newFS(), "t", "X", nil, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFractureOptions(upi.Options{Cutoff: -1}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

@@ -1,0 +1,236 @@
+// Package heapfile implements an unclustered, append-only heap file
+// with slotted pages and RowID addressing.
+//
+// It is the baseline storage layout the paper compares UPIs against:
+// "an unclustered table (clustered by an auto-increment sequence)".
+// The PII secondary index points into this heap; fetching many rows
+// costs one random seek per distinct page even after sorting RowIDs in
+// heap order (the bitmap-index-scan discipline the paper assumes).
+package heapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"upidb/internal/storage"
+)
+
+// RowID locates one record: a page number and a slot within the page.
+type RowID struct {
+	Page storage.PageID
+	Slot uint16
+}
+
+// Less orders RowIDs in physical heap order (the order a bitmap scan
+// visits pages in).
+func (r RowID) Less(o RowID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+func (r RowID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Page layout:
+//
+//	[2: nslots][2: freeOff] then per slot [2: off][2: len]
+//	record data grows from the end of the page downward.
+//
+// A slot with len == 0xFFFF is a tombstone.
+const (
+	pageHeader   = 4
+	slotSize     = 4
+	tombstoneLen = 0xFFFF
+)
+
+// Heap is an append-only heap file. Records are immutable once
+// written; Delete marks a tombstone. Not safe for concurrent use.
+type Heap struct {
+	pager *storage.Pager
+	// tail is the page records are currently appended to.
+	tail      storage.PageID
+	tailValid bool
+	count     int64
+}
+
+// Create initializes an empty heap on an empty pager.
+func Create(p *storage.Pager) (*Heap, error) {
+	if p.NumPages() != 0 {
+		return nil, fmt.Errorf("heapfile: create on non-empty file %s", p.File().Name())
+	}
+	return &Heap{pager: p}, nil
+}
+
+// Open loads an existing heap, recounting live records with one
+// sequential pass (heap files carry no meta page).
+func Open(p *storage.Pager) (*Heap, error) {
+	h := &Heap{pager: p}
+	if p.NumPages() > 0 {
+		h.tail = p.NumPages() - 1
+		h.tailValid = true
+	}
+	err := h.Scan(func(RowID, []byte) bool {
+		h.count++
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Count returns the number of live (non-deleted) records.
+func (h *Heap) Count() int64 { return h.count }
+
+// Pager exposes the underlying pager for cache control.
+func (h *Heap) Pager() *storage.Pager { return h.pager }
+
+// NumPages returns the heap size in pages.
+func (h *Heap) NumPages() storage.PageID { return h.pager.NumPages() }
+
+func readHeader(buf []byte) (nslots int, freeOff int) {
+	return int(binary.BigEndian.Uint16(buf[0:])), int(binary.BigEndian.Uint16(buf[2:]))
+}
+
+func writeHeader(buf []byte, nslots, freeOff int) {
+	binary.BigEndian.PutUint16(buf[0:], uint16(nslots))
+	binary.BigEndian.PutUint16(buf[2:], uint16(freeOff))
+}
+
+func slotAt(buf []byte, i int) (off, length int) {
+	base := pageHeader + i*slotSize
+	return int(binary.BigEndian.Uint16(buf[base:])), int(binary.BigEndian.Uint16(buf[base+2:]))
+}
+
+func setSlot(buf []byte, i, off, length int) {
+	base := pageHeader + i*slotSize
+	binary.BigEndian.PutUint16(buf[base:], uint16(off))
+	binary.BigEndian.PutUint16(buf[base+2:], uint16(length))
+}
+
+// Append stores a record at the end of the heap and returns its RowID.
+// Appends are sequential I/O: they only ever touch the tail page.
+func (h *Heap) Append(rec []byte) (RowID, error) {
+	ps := h.pager.PageSize()
+	need := len(rec) + slotSize
+	if len(rec) >= tombstoneLen || need > ps-pageHeader {
+		return RowID{}, fmt.Errorf("heapfile: record of %d bytes exceeds page capacity", len(rec))
+	}
+	if h.tailValid {
+		buf, err := h.pager.Read(h.tail)
+		if err != nil {
+			return RowID{}, err
+		}
+		nslots, freeOff := readHeader(buf)
+		slotEnd := pageHeader + (nslots+1)*slotSize
+		if freeOff-len(rec) >= slotEnd {
+			newOff := freeOff - len(rec)
+			copy(buf[newOff:], rec)
+			setSlot(buf, nslots, newOff, len(rec))
+			writeHeader(buf, nslots+1, newOff)
+			h.pager.MarkDirty(h.tail)
+			h.count++
+			return RowID{Page: h.tail, Slot: uint16(nslots)}, nil
+		}
+	}
+	id, buf, err := h.pager.Alloc()
+	if err != nil {
+		return RowID{}, err
+	}
+	newOff := ps - len(rec)
+	copy(buf[newOff:], rec)
+	setSlot(buf, 0, newOff, len(rec))
+	writeHeader(buf, 1, newOff)
+	h.pager.MarkDirty(id)
+	h.tail = id
+	h.tailValid = true
+	h.count++
+	return RowID{Page: id, Slot: 0}, nil
+}
+
+// Get returns the record at id, or ok=false if it was deleted.
+func (h *Heap) Get(id RowID) ([]byte, bool, error) {
+	buf, err := h.pager.Read(id.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	nslots, _ := readHeader(buf)
+	if int(id.Slot) >= nslots {
+		return nil, false, fmt.Errorf("heapfile: no slot %d on page %d", id.Slot, id.Page)
+	}
+	off, length := slotAt(buf, int(id.Slot))
+	if length == tombstoneLen {
+		return nil, false, nil
+	}
+	return buf[off : off+length], true, nil
+}
+
+// Delete tombstones the record at id. Deleting an already-deleted
+// record reports false. Deletes touch random pages, which is why the
+// paper's Table 7 shows even the unclustered heap paying dearly for
+// random deletions.
+func (h *Heap) Delete(id RowID) (bool, error) {
+	buf, err := h.pager.Read(id.Page)
+	if err != nil {
+		return false, err
+	}
+	nslots, _ := readHeader(buf)
+	if int(id.Slot) >= nslots {
+		return false, fmt.Errorf("heapfile: no slot %d on page %d", id.Slot, id.Page)
+	}
+	off, length := slotAt(buf, int(id.Slot))
+	if length == tombstoneLen {
+		return false, nil
+	}
+	setSlot(buf, int(id.Slot), off, tombstoneLen)
+	h.pager.MarkDirty(id.Page)
+	h.count--
+	return true, nil
+}
+
+// Scan visits all live records in physical order (one sequential pass).
+// fn returning false stops early.
+func (h *Heap) Scan(fn func(id RowID, rec []byte) bool) error {
+	for pg := storage.PageID(0); pg < h.pager.NumPages(); pg++ {
+		buf, err := h.pager.Read(pg)
+		if err != nil {
+			return err
+		}
+		nslots, _ := readHeader(buf)
+		for s := 0; s < nslots; s++ {
+			off, length := slotAt(buf, s)
+			if length == tombstoneLen {
+				continue
+			}
+			if !fn(RowID{Page: pg, Slot: uint16(s)}, buf[off:off+length]) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// FetchSorted retrieves the records for the given RowIDs, visiting
+// pages in physical order (the paper: "we always sort pointers in heap
+// order before accessing heap files similarly to PostgreSQL's bitmap
+// index scan"). The callback receives rows in heap order, not in the
+// order ids were supplied. Deleted rows are skipped.
+func (h *Heap) FetchSorted(ids []RowID, fn func(id RowID, rec []byte) bool) error {
+	sorted := append([]RowID(nil), ids...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for _, id := range sorted {
+		rec, ok, err := h.Get(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(id, rec) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package heapfile
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+)
+
+func newTestHeap(t *testing.T, pageSize int) (*Heap, *sim.Disk, *storage.Pager) {
+	t.Helper()
+	disk := sim.NewDisk(sim.DefaultParams())
+	fs := storage.NewFS(disk)
+	p, err := storage.NewPager(fs.Create("h"), pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, disk, p
+}
+
+func rec(i int) []byte { return []byte(fmt.Sprintf("record-%06d-payload", i)) }
+
+func TestAppendGet(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	var ids []RowID
+	for i := 0; i < 100; i++ {
+		id, err := h.Append(rec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for i, id := range ids {
+		got, ok, err := h.Get(id)
+		if err != nil || !ok || !bytes.Equal(got, rec(i)) {
+			t.Fatalf("get %d: %q %v %v", i, got, ok, err)
+		}
+	}
+	if h.NumPages() < 10 {
+		t.Fatalf("expected multiple pages, got %d", h.NumPages())
+	}
+}
+
+func TestRowIDsAreMonotonic(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	var prev RowID
+	for i := 0; i < 200; i++ {
+		id, err := h.Append(rec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && !prev.Less(id) {
+			t.Fatalf("RowID went backwards: %v then %v", prev, id)
+		}
+		prev = id
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	id0, _ := h.Append(rec(0))
+	id1, _ := h.Append(rec(1))
+	del, err := h.Delete(id0)
+	if err != nil || !del {
+		t.Fatalf("delete: %v %v", del, err)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if _, ok, _ := h.Get(id0); ok {
+		t.Fatal("deleted record still readable")
+	}
+	if got, ok, _ := h.Get(id1); !ok || !bytes.Equal(got, rec(1)) {
+		t.Fatal("sibling record damaged by delete")
+	}
+	if del, _ := h.Delete(id0); del {
+		t.Fatal("double delete reported true")
+	}
+	if _, _, err := h.Get(RowID{Page: 0, Slot: 99}); err == nil {
+		t.Fatal("bad slot should error")
+	}
+}
+
+func TestScan(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	var ids []RowID
+	for i := 0; i < 50; i++ {
+		id, _ := h.Append(rec(i))
+		ids = append(ids, id)
+	}
+	h.Delete(ids[10])
+	h.Delete(ids[20])
+	seen := 0
+	err := h.Scan(func(id RowID, r []byte) bool {
+		if bytes.Equal(r, rec(10)) || bytes.Equal(r, rec(20)) {
+			t.Fatal("scan returned deleted record")
+		}
+		seen++
+		return true
+	})
+	if err != nil || seen != 48 {
+		t.Fatalf("scan: %v, saw %d", err, seen)
+	}
+	// Early termination.
+	n := 0
+	h.Scan(func(RowID, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestFetchSortedVisitsHeapOrder(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	var ids []RowID
+	for i := 0; i < 100; i++ {
+		id, _ := h.Append(rec(i))
+		ids = append(ids, id)
+	}
+	// Request in shuffled order; expect heap order back.
+	shuffled := append([]RowID(nil), ids...)
+	rand.New(rand.NewSource(5)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var prev *RowID
+	n := 0
+	err := h.FetchSorted(shuffled, func(id RowID, _ []byte) bool {
+		if prev != nil && !prev.Less(id) {
+			t.Fatalf("fetch out of heap order: %v then %v", *prev, id)
+		}
+		p := id
+		prev = &p
+		n++
+		return true
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("fetch: %v, n=%d", err, n)
+	}
+}
+
+func TestAppendIsSequentialDeleteIsNot(t *testing.T) {
+	h, disk, p := newTestHeap(t, 256)
+	p.SetCacheLimit(4)
+	var ids []RowID
+	for i := 0; i < 2000; i++ {
+		id, err := h.Append(rec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	p.Flush()
+	apStats := disk.Stats()
+	if apStats.Seeks*10 > apStats.SequentialIO {
+		t.Fatalf("appends too seeky: %+v", apStats)
+	}
+
+	// Random deletes touch random pages: mostly seeks.
+	p.DropCache()
+	before := disk.Stats()
+	rng := rand.New(rand.NewSource(9))
+	for _, i := range rng.Perm(2000)[:200] {
+		if _, err := h.Delete(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Flush()
+	d := disk.Stats().Sub(before)
+	if d.Seeks < 100 {
+		t.Fatalf("random deletes should seek heavily: %+v", d)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	h, _, _ := newTestHeap(t, 256)
+	if _, err := h.Append(make([]byte, 300)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestOpenRecounts(t *testing.T) {
+	disk := sim.NewDisk(sim.DefaultParams())
+	fs := storage.NewFS(disk)
+	p, _ := storage.NewPager(fs.Create("h"), 256)
+	h, _ := Create(p)
+	var ids []RowID
+	for i := 0; i < 60; i++ {
+		id, _ := h.Append(rec(i))
+		ids = append(ids, id)
+	}
+	h.Delete(ids[0])
+	p.Flush()
+
+	f2, _ := fs.Open("h")
+	p2, _ := storage.NewPager(f2, 256)
+	h2, err := Open(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Count() != 59 {
+		t.Fatalf("reopened count = %d", h2.Count())
+	}
+	// Appends continue on the tail page without corrupting old data.
+	if _, err := h2.Append(rec(999)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := h2.Get(ids[59])
+	if !ok || !bytes.Equal(got, rec(59)) {
+		t.Fatal("old record damaged after reopen+append")
+	}
+}

@@ -1,0 +1,149 @@
+// Package keyenc implements order-preserving binary key encoding.
+//
+// UPI heap files and cutoff indexes are B+Trees keyed by the composite
+// {attribute value ASC, probability DESC, tuple ID ASC} (paper
+// Section 2: "a B+Tree indexed by {Institution (ASC) and probability
+// (DESC)}"). B+Trees compare raw bytes, so every component must be
+// encoded such that bytes.Compare on the encodings agrees with the
+// desired component order, and components must be self-delimiting so
+// composites compare component-wise.
+package keyenc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// String escape scheme: 0x00 inside the string is escaped as
+// {0x00, 0xFF}; the string is terminated by {0x00, 0x00}. Any string
+// that is a prefix of another sorts first, and no encoded string is a
+// prefix of a different encoded string's component boundary.
+const (
+	strEscape byte = 0x00
+	strEscTag byte = 0xFF
+	strTerm   byte = 0x00
+)
+
+// AppendString appends the ascending order-preserving encoding of s.
+func AppendString(dst []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == strEscape {
+			dst = append(dst, strEscape, strEscTag)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, strEscape, strTerm)
+}
+
+// DecodeString decodes a string encoded by AppendString from the front
+// of b, returning the string and the remaining bytes.
+func DecodeString(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != strEscape {
+			out = append(out, c)
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("keyenc: truncated string escape")
+		}
+		switch b[i+1] {
+		case strTerm:
+			return string(out), b[i+2:], nil
+		case strEscTag:
+			out = append(out, strEscape)
+			i++
+		default:
+			return "", nil, fmt.Errorf("keyenc: bad string escape 0x%02x", b[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("keyenc: unterminated string")
+}
+
+// AppendUint64 appends the ascending encoding of v (8 bytes, big endian).
+func AppendUint64(dst []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// DecodeUint64 decodes a uint64 from the front of b.
+func DecodeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("keyenc: short uint64: %d bytes", len(b))
+	}
+	return binary.BigEndian.Uint64(b[:8]), b[8:], nil
+}
+
+// floatBits maps a float64 to a uint64 whose unsigned order matches
+// the float order: flip the sign bit for non-negative values, flip all
+// bits for negative ones. NaN is rejected by callers that care; here
+// it maps above +Inf (sign 0, max exponent, nonzero mantissa).
+func floatBits(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | (1 << 63)
+}
+
+func floatFromBits(u uint64) float64 {
+	if u&(1<<63) != 0 {
+		return math.Float64frombits(u &^ (1 << 63))
+	}
+	return math.Float64frombits(^u)
+}
+
+// AppendFloat64 appends the ascending encoding of f (8 bytes).
+func AppendFloat64(dst []byte, f float64) []byte {
+	return AppendUint64(dst, floatBits(f))
+}
+
+// DecodeFloat64 decodes an ascending float64 from the front of b.
+func DecodeFloat64(b []byte) (float64, []byte, error) {
+	u, rest, err := DecodeUint64(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return floatFromBits(u), rest, nil
+}
+
+// AppendFloat64Desc appends the DESCENDING encoding of f: larger
+// floats sort earlier. UPI keys use this for the probability component
+// so that within one attribute value, high-probability duplicates come
+// first and a PTQ scan can stop at the query threshold.
+func AppendFloat64Desc(dst []byte, f float64) []byte {
+	return AppendUint64(dst, ^floatBits(f))
+}
+
+// DecodeFloat64Desc decodes a descending float64 from the front of b.
+func DecodeFloat64Desc(b []byte) (float64, []byte, error) {
+	u, rest, err := DecodeUint64(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return floatFromBits(^u), rest, nil
+}
+
+// Compare is bytes.Compare, re-exported so index code does not import
+// bytes just for key comparison.
+func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// PrefixEnd returns the smallest key strictly greater than every key
+// having the given prefix, or nil if no such key exists (prefix is all
+// 0xFF). It is used to bound range scans over one attribute value.
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

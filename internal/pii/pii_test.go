@@ -1,0 +1,226 @@
+package pii
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"upidb/internal/prob"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+)
+
+func newFS() *storage.FS { return storage.NewFS(sim.NewDisk(sim.DefaultParams())) }
+
+func mkTuple(t *testing.T, id uint64, exist float64, alts ...prob.Alternative) *tuple.Tuple {
+	t.Helper()
+	d, err := prob.NewDiscrete(alts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tuple.Tuple{ID: id, Existence: exist, Unc: []tuple.UncField{{Name: "X", Dist: d}}}
+}
+
+func TestInsertQuery(t *testing.T) {
+	tab, err := Create(newFS(), "t", []string{"X"}, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(mkTuple(t, 1, 0.9, prob.Alternative{Value: "A", Prob: 0.8}, prob.Alternative{Value: "B", Prob: 0.2}))
+	tab.Insert(mkTuple(t, 2, 1.0, prob.Alternative{Value: "A", Prob: 0.5}, prob.Alternative{Value: "C", Prob: 0.5}))
+	res, err := tab.Query("X", "A", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// Ordered by confidence desc: tuple 1 (0.72), tuple 2 (0.5).
+	if res[0].Tuple.ID != 1 || math.Abs(res[0].Confidence-0.72) > 1e-9 {
+		t.Fatalf("first: %+v", res[0])
+	}
+	res, _ = tab.Query("X", "A", 0.6)
+	if len(res) != 1 {
+		t.Fatalf("qt=0.6: %d", len(res))
+	}
+	res, _ = tab.Query("X", "Z", 0.0)
+	if len(res) != 0 {
+		t.Fatalf("unknown value: %d", len(res))
+	}
+	if _, err := tab.Query("Nope", "A", 0); err == nil {
+		t.Fatal("missing index accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab, _ := Create(newFS(), "t", []string{"X"}, Options{PageSize: 512})
+	t1 := mkTuple(t, 1, 1.0, prob.Alternative{Value: "A", Prob: 1.0})
+	tab.Insert(t1)
+	tab.Insert(mkTuple(t, 2, 1.0, prob.Alternative{Value: "A", Prob: 0.9}))
+	if err := tab.Delete(t1); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := tab.Query("X", "A", 0)
+	if len(res) != 1 || res[0].Tuple.ID != 2 {
+		t.Fatalf("after delete: %+v", res)
+	}
+	if err := tab.Delete(t1); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestBulkBuildMatchesInserts(t *testing.T) {
+	var tuples []*tuple.Tuple
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v1 := fmt.Sprintf("v%02d", rng.Intn(20))
+		v2 := fmt.Sprintf("v%02d", (rng.Intn(20)+7)%25)
+		p := 0.3 + rng.Float64()*0.6
+		alts := []prob.Alternative{{Value: v1, Prob: p}}
+		if v2 != v1 {
+			alts = append(alts, prob.Alternative{Value: v2, Prob: (1 - p) * 0.9})
+		}
+		tuples = append(tuples, mkTuple(t, uint64(i+1), 0.5+rng.Float64()/2, alts...))
+	}
+	ins, _ := Create(newFS(), "t", []string{"X"}, Options{PageSize: 512})
+	for _, tup := range tuples {
+		if err := ins.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bulk, err := BulkBuild(newFS(), "t", []string{"X"}, Options{PageSize: 512}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qt := range []float64{0.1, 0.4, 0.8} {
+		for v := 0; v < 25; v++ {
+			val := fmt.Sprintf("v%02d", v)
+			a, err := ins.Query("X", val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := bulk.Query("X", val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s@%v: %d vs %d", val, qt, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Tuple.ID != b[i].Tuple.ID {
+					t.Fatalf("%s@%v: result %d differs", val, qt, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPIIAgreesWithUPI: the baseline and the UPI must return identical
+// answer sets; only their I/O profiles differ.
+func TestPIIAgreesWithUPI(t *testing.T) {
+	var tuples []*tuple.Tuple
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 800; i++ {
+		v1 := fmt.Sprintf("v%02d", rng.Intn(15))
+		v2 := fmt.Sprintf("w%02d", rng.Intn(15))
+		p := 0.2 + rng.Float64()*0.7
+		tuples = append(tuples, mkTuple(t, uint64(i+1), 0.5+rng.Float64()/2,
+			prob.Alternative{Value: v1, Prob: p},
+			prob.Alternative{Value: v2, Prob: (1 - p) * 0.8}))
+	}
+	piiTab, err := BulkBuild(newFS(), "t", []string{"X"}, Options{PageSize: 512}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upiTab, err := upi.BulkBuild(newFS(), "t", "X", nil, upi.Options{Cutoff: 0.15, PageSize: 512}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qt := range []float64{0.05, 0.3, 0.7} {
+		for v := 0; v < 15; v++ {
+			val := fmt.Sprintf("v%02d", v)
+			a, err := piiTab.Query("X", val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := upiTab.Query(val, qt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("%s@%v: pii %d vs upi %d", val, qt, len(a), len(b))
+			}
+			for i := range a {
+				if a[i].Tuple.ID != b[i].Tuple.ID || math.Abs(a[i].Confidence-b[i].Confidence) > 1e-9 {
+					t.Fatalf("%s@%v: result %d differs: %+v vs %+v", val, qt, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPIINeedsMoreSeeksThanUPI verifies the paper's headline physical
+// claim on a non-selective query.
+func TestPIINeedsMoreSeeksThanUPI(t *testing.T) {
+	var tuples []*tuple.Tuple
+	rng := rand.New(rand.NewSource(31))
+	// 2% of tuples match the query; matches are scattered across the
+	// whole unclustered heap, so the PII pays ~one seek per match
+	// while the UPI reads one small contiguous region.
+	for i := 0; i < 8000; i++ {
+		v := "hot"
+		if i%50 != 0 {
+			v = fmt.Sprintf("cold%03d", rng.Intn(400))
+		}
+		tuples = append(tuples, &tuple.Tuple{
+			ID: uint64(i + 1), Existence: 1,
+			Unc: []tuple.UncField{{Name: "X", Dist: prob.Discrete{
+				{Value: v, Prob: 0.9}, {Value: "alt" + fmt.Sprint(i%11), Prob: 0.1},
+			}}},
+			Payload: bytes.Repeat([]byte{7}, 300),
+		})
+	}
+	// Shuffle so heap insertion order is uncorrelated with the value.
+	rng.Shuffle(len(tuples), func(i, j int) { tuples[i], tuples[j] = tuples[j], tuples[i] })
+
+	piiDisk := sim.NewDisk(sim.DefaultParams())
+	piiTab, err := BulkBuild(storage.NewFS(piiDisk), "t", []string{"X"}, Options{}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upiDisk := sim.NewDisk(sim.DefaultParams())
+	upiTab, err := upi.BulkBuild(storage.NewFS(upiDisk), "t", "X", nil, upi.Options{Cutoff: 0.2}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	piiTab.DropCaches()
+	b1 := piiDisk.Stats()
+	resP, err := piiTab.Query("X", "hot", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piiCost := piiDisk.Stats().Sub(b1)
+
+	upiTab.DropCaches()
+	b2 := upiDisk.Stats()
+	resU, _, err := upiTab.Query("hot", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upiCost := upiDisk.Stats().Sub(b2)
+
+	if len(resP) != len(resU) || len(resP) == 0 {
+		t.Fatalf("answer sizes: %d vs %d", len(resP), len(resU))
+	}
+	if piiCost.Seeks < upiCost.Seeks*5 {
+		t.Fatalf("PII should seek far more than UPI: pii=%+v upi=%+v", piiCost, upiCost)
+	}
+	if piiCost.Elapsed <= upiCost.Elapsed {
+		t.Fatalf("PII should be slower: pii=%v upi=%v", piiCost.Elapsed, upiCost.Elapsed)
+	}
+}

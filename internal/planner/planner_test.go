@@ -1,0 +1,189 @@
+package planner
+
+import (
+	"strings"
+	"testing"
+
+	"upidb/internal/dataset"
+	"upidb/internal/fracture"
+	"upidb/internal/histogram"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+	"upidb/internal/upi"
+)
+
+func testPlanner(t *testing.T) (*Planner, *fracture.Store, *dataset.DBLP) {
+	t.Helper()
+	cfg := dataset.DefaultDBLPConfig().Scaled(0.05)
+	d, err := dataset.GenerateDBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
+	store, err := fracture.BulkLoad(fs, "authors", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: 0.1}}, d.Authors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instHist, err := histogram.Build(dataset.AttrInstitution, d.Authors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countryHist, err := histogram.Build(dataset.AttrCountry, d.Authors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(store, map[string]*histogram.Histogram{
+		dataset.AttrInstitution: instHist,
+		dataset.AttrCountry:     countryHist,
+	}, sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, store, d
+}
+
+func TestNewRequiresPrimaryHistogram(t *testing.T) {
+	_, store, d := testPlanner(t)
+	countryHist, _ := histogram.Build(dataset.AttrCountry, d.Authors)
+	if _, err := New(store, map[string]*histogram.Histogram{
+		dataset.AttrCountry: countryHist,
+	}, sim.DefaultParams()); err == nil {
+		t.Fatal("missing primary histogram accepted")
+	}
+}
+
+func TestPrimaryPlanBeatsFullScanWhenSelective(t *testing.T) {
+	p, _, _ := testPlanner(t)
+	plans, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans: %+v", plans)
+	}
+	if plans[0].Kind != PrimaryScan {
+		t.Fatalf("expected PrimaryScan to win: %s", Explain(plans))
+	}
+	if plans[0].EstimatedCost >= plans[1].EstimatedCost {
+		t.Fatal("plans not sorted by cost")
+	}
+	if plans[0].EstimatedRows <= 0 {
+		t.Fatal("row estimate missing")
+	}
+}
+
+func TestSecondaryPlanAvailable(t *testing.T) {
+	p, _, _ := testPlanner(t)
+	plans, err := p.PlanPTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []PlanKind
+	for _, pl := range plans {
+		kinds = append(kinds, pl.Kind)
+	}
+	if len(plans) != 2 || (kinds[0] != SecondaryTailored && kinds[1] != SecondaryTailored) {
+		t.Fatalf("expected a secondary plan: %s", Explain(plans))
+	}
+}
+
+func TestUnknownAttribute(t *testing.T) {
+	p, _, _ := testPlanner(t)
+	if _, err := p.PlanPTQ("Nope", "x", 0.1); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestExecuteMatchesDirectQuery(t *testing.T) {
+	p, store, _ := testPlanner(t)
+	rs, plan, err := p.Execute(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := store.Query(dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(direct) {
+		t.Fatalf("planner answer %d != direct %d (plan %v)", len(rs), len(direct), plan.Kind)
+	}
+	// Secondary attribute execution also agrees.
+	rs, _, err = p.Execute(dataset.AttrCountry, dataset.JapanCountry, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directSec, _, err := store.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(directSec) {
+		t.Fatalf("secondary: %d != %d", len(rs), len(directSec))
+	}
+}
+
+func TestExplainFormat(t *testing.T) {
+	p, _, _ := testPlanner(t)
+	plans, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Explain(plans)
+	if !strings.HasPrefix(s, "*") || !strings.Contains(s, "cost=") {
+		t.Fatalf("explain output: %q", s)
+	}
+}
+
+// TestPlannerTracksFractures: adding fractures raises every plan's
+// cost via the Nfrac term.
+func TestPlannerTracksFractures(t *testing.T) {
+	p, store, d := testPlanner(t)
+	before, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tup := *d.Authors[i]
+		tup.ID = uint64(900000 + i)
+		if err := store.Insert(&tup); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0].EstimatedCost <= before[0].EstimatedCost {
+		t.Fatalf("fractures should raise cost: %v -> %v", before[0].EstimatedCost, after[0].EstimatedCost)
+	}
+}
+
+// TestCutoffCrossoverChangesPlanCost: for QT below the cutoff, the
+// primary plan's estimate includes the saturation term and exceeds the
+// same query above the cutoff.
+func TestCutoffCrossoverChangesPlanCost(t *testing.T) {
+	p, _, _ := testPlanner(t)
+	below, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOf := func(plans []Plan, k PlanKind) (c int64) {
+		for _, pl := range plans {
+			if pl.Kind == k {
+				return int64(pl.EstimatedCost)
+			}
+		}
+		t.Fatalf("no %v plan", k)
+		return 0
+	}
+	if costOf(below, PrimaryScan) <= costOf(above, PrimaryScan) {
+		t.Fatal("QT below cutoff should cost more than above")
+	}
+}

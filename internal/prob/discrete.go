@@ -1,0 +1,173 @@
+// Package prob implements the uncertainty model of the paper: tuples
+// with an existence probability and uncertain attributes carrying
+// either a discrete distribution over alternative values or a
+// constrained (truncated) Gaussian over 2-D locations.
+//
+// Semantics follow possible-world semantics (paper Section 1): an
+// uncertain database is a distribution over deterministic instances;
+// the confidence of an answer tuple for an equality predicate on an
+// uncertain attribute is existence × P(attribute = value).
+package prob
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ProbEpsilon is the tolerance used when validating that probabilities
+// sum to at most 1.
+const ProbEpsilon = 1e-9
+
+// Alternative is one possible value of a discrete uncertain attribute
+// together with its conditional probability (given the tuple exists).
+type Alternative struct {
+	Value string
+	Prob  float64
+}
+
+// Discrete is a discrete distribution over alternative values, kept
+// sorted by decreasing probability (the paper's "Alternatives = sort
+// by probability" in Algorithm 1). Probabilities may sum to less than
+// 1 (the remainder is "some other, unmodeled value"), never more.
+type Discrete []Alternative
+
+// errors returned by Validate.
+var (
+	ErrProbRange = errors.New("prob: probability outside (0, 1]")
+	ErrProbSum   = errors.New("prob: probabilities sum to more than 1")
+	ErrDupValue  = errors.New("prob: duplicate alternative value")
+	ErrUnsorted  = errors.New("prob: alternatives not sorted by decreasing probability")
+)
+
+// NewDiscrete builds a distribution from alternatives, merging
+// duplicate values (summing their probabilities, mirroring the
+// paper's dataset construction: "sum the probabilities if an
+// institution appears at more than one ranks"), sorting by decreasing
+// probability and validating.
+func NewDiscrete(alts []Alternative) (Discrete, error) {
+	merged := make(map[string]float64, len(alts))
+	for _, a := range alts {
+		merged[a.Value] += a.Prob
+	}
+	d := make(Discrete, 0, len(merged))
+	for v, p := range merged {
+		d = append(d, Alternative{Value: v, Prob: p})
+	}
+	d.sort()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// sort orders by decreasing probability, breaking ties by value so the
+// ordering (and therefore "the first alternative" that Algorithm 1
+// keeps in the heap file) is deterministic.
+func (d Discrete) sort() {
+	sort.Slice(d, func(i, j int) bool {
+		if d[i].Prob != d[j].Prob {
+			return d[i].Prob > d[j].Prob
+		}
+		return d[i].Value < d[j].Value
+	})
+}
+
+// Validate checks range, ordering, uniqueness and total mass.
+func (d Discrete) Validate() error {
+	sum := 0.0
+	seen := make(map[string]bool, len(d))
+	for i, a := range d {
+		if a.Prob <= 0 || a.Prob > 1 {
+			return fmt.Errorf("%w: %q has %v", ErrProbRange, a.Value, a.Prob)
+		}
+		if seen[a.Value] {
+			return fmt.Errorf("%w: %q", ErrDupValue, a.Value)
+		}
+		seen[a.Value] = true
+		if i > 0 && d[i-1].Prob < a.Prob {
+			return fmt.Errorf("%w: index %d", ErrUnsorted, i)
+		}
+		sum += a.Prob
+	}
+	if sum > 1+ProbEpsilon {
+		return fmt.Errorf("%w: %v", ErrProbSum, sum)
+	}
+	return nil
+}
+
+// First returns the highest-probability alternative. It panics on an
+// empty distribution; uncertain attributes always have at least one
+// alternative.
+func (d Discrete) First() Alternative {
+	if len(d) == 0 {
+		panic("prob: First on empty distribution")
+	}
+	return d[0]
+}
+
+// P returns the probability of the given value (0 if absent).
+func (d Discrete) P(value string) float64 {
+	for _, a := range d {
+		if a.Value == value {
+			return a.Prob
+		}
+	}
+	return 0
+}
+
+// Mass returns the total probability mass of the alternatives.
+func (d Discrete) Mass() float64 {
+	sum := 0.0
+	for _, a := range d {
+		sum += a.Prob
+	}
+	return sum
+}
+
+// Normalize scales probabilities to sum to exactly 1, returning a new
+// distribution. Used by dataset generation where alternatives are
+// derived from scores rather than true probabilities.
+func (d Discrete) Normalize() Discrete {
+	mass := d.Mass()
+	if mass == 0 {
+		return nil
+	}
+	out := make(Discrete, len(d))
+	for i, a := range d {
+		out[i] = Alternative{Value: a.Value, Prob: a.Prob / mass}
+	}
+	return out
+}
+
+// TruncateLowest drops alternatives beyond maxAlts, keeping the
+// highest-probability ones (the paper keeps "up to ten per author").
+func (d Discrete) TruncateLowest(maxAlts int) Discrete {
+	if len(d) <= maxAlts {
+		return d
+	}
+	return d[:maxAlts]
+}
+
+// Confidence is the possible-world confidence of an equality answer:
+// existence × P(value).
+func Confidence(existence float64, d Discrete, value string) float64 {
+	return existence * d.P(value)
+}
+
+// Entropy returns the Shannon entropy (nats) of the distribution,
+// counting any residual mass as one extra outcome. Used by adaptive
+// tuning heuristics to characterize attribute uncertainty.
+func (d Discrete) Entropy() float64 {
+	h := 0.0
+	sum := 0.0
+	for _, a := range d {
+		h -= a.Prob * math.Log(a.Prob)
+		sum += a.Prob
+	}
+	if rest := 1 - sum; rest > ProbEpsilon {
+		h -= rest * math.Log(rest)
+	}
+	return h
+}

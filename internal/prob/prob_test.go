@@ -1,0 +1,268 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewDiscreteSortsAndMerges(t *testing.T) {
+	d, err := NewDiscrete([]Alternative{
+		{Value: "MIT", Prob: 0.2},
+		{Value: "Brown", Prob: 0.5},
+		{Value: "Brown", Prob: 0.3}, // merged: Brown = 0.8
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0].Value != "Brown" || !almostEq(d[0].Prob, 0.8, 1e-12) {
+		t.Fatalf("got %+v", d)
+	}
+	if d.First().Value != "Brown" {
+		t.Fatalf("First = %+v", d.First())
+	}
+}
+
+func TestNewDiscreteValidation(t *testing.T) {
+	if _, err := NewDiscrete([]Alternative{{Value: "A", Prob: 0.7}, {Value: "B", Prob: 0.7}}); err == nil {
+		t.Fatal("over-mass distribution accepted")
+	}
+	if _, err := NewDiscrete([]Alternative{{Value: "A", Prob: -0.1}}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := NewDiscrete([]Alternative{{Value: "A", Prob: 1.5}}); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestDiscreteDeterministicTieBreak(t *testing.T) {
+	d1, _ := NewDiscrete([]Alternative{{Value: "B", Prob: 0.5}, {Value: "A", Prob: 0.5}})
+	d2, _ := NewDiscrete([]Alternative{{Value: "A", Prob: 0.5}, {Value: "B", Prob: 0.5}})
+	if d1[0].Value != d2[0].Value || d1[0].Value != "A" {
+		t.Fatalf("tie break not deterministic: %+v vs %+v", d1, d2)
+	}
+}
+
+func TestPAndMass(t *testing.T) {
+	d, _ := NewDiscrete([]Alternative{{Value: "MIT", Prob: 0.95}, {Value: "UCB", Prob: 0.05}})
+	if d.P("MIT") != 0.95 || d.P("UCB") != 0.05 || d.P("Brown") != 0 {
+		t.Fatalf("P wrong: %+v", d)
+	}
+	if !almostEq(d.Mass(), 1.0, 1e-12) {
+		t.Fatalf("mass = %v", d.Mass())
+	}
+}
+
+func TestNormalizeAndTruncate(t *testing.T) {
+	d := Discrete{{Value: "A", Prob: 0.6}, {Value: "B", Prob: 0.3}, {Value: "C", Prob: 0.1}}
+	trunc := d.TruncateLowest(2)
+	if len(trunc) != 2 || trunc[0].Value != "A" || trunc[1].Value != "B" {
+		t.Fatalf("truncate: %+v", trunc)
+	}
+	n := trunc.Normalize()
+	if !almostEq(n.Mass(), 1.0, 1e-12) || !almostEq(n[0].Prob, 2.0/3.0, 1e-12) {
+		t.Fatalf("normalize: %+v", n)
+	}
+	if got := d.TruncateLowest(10); len(got) != 3 {
+		t.Fatal("truncate with large limit changed distribution")
+	}
+	if Discrete(nil).Normalize() != nil {
+		t.Fatal("normalize of empty should be nil")
+	}
+}
+
+func TestConfidenceRunningExample(t *testing.T) {
+	// Paper Section 1: Alice works for MIT with confidence 90%×20% = 18%.
+	alice, _ := NewDiscrete([]Alternative{{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2}})
+	if c := Confidence(0.9, alice, "MIT"); !almostEq(c, 0.18, 1e-12) {
+		t.Fatalf("Alice MIT confidence = %v, want 0.18", c)
+	}
+	bob, _ := NewDiscrete([]Alternative{{Value: "MIT", Prob: 0.95}, {Value: "UCB", Prob: 0.05}})
+	if c := Confidence(1.0, bob, "MIT"); !almostEq(c, 0.95, 1e-12) {
+		t.Fatalf("Bob MIT confidence = %v, want 0.95", c)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	uniform := Discrete{{Value: "A", Prob: 0.5}, {Value: "B", Prob: 0.5}}
+	point := Discrete{{Value: "A", Prob: 1.0}}
+	if uniform.Entropy() <= point.Entropy() {
+		t.Fatal("uniform should have higher entropy than point mass")
+	}
+	if !almostEq(point.Entropy(), 0, 1e-12) {
+		t.Fatalf("point entropy = %v", point.Entropy())
+	}
+}
+
+// TestWorldEnumerationMatchesClosedForm: the exponential enumerator
+// must agree with existence × P(value) since tuples are independent.
+func TestWorldEnumerationMatchesClosedForm(t *testing.T) {
+	alice, _ := NewDiscrete([]Alternative{{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2}})
+	bob, _ := NewDiscrete([]Alternative{{Value: "MIT", Prob: 0.95}, {Value: "UCB", Prob: 0.05}})
+	carol, _ := NewDiscrete([]Alternative{{Value: "Brown", Prob: 0.6}, {Value: "U. Tokyo", Prob: 0.4}})
+	tuples := []WorldTuple{
+		{ID: 1, Existence: 0.9, Attr: alice},
+		{ID: 2, Existence: 1.0, Attr: bob},
+		{ID: 3, Existence: 0.8, Attr: carol},
+	}
+	conf := EqualityConfidences(tuples, "MIT")
+	if !almostEq(conf[1], 0.18, 1e-9) || !almostEq(conf[2], 0.95, 1e-9) || !almostEq(conf[3], 0, 1e-9) {
+		t.Fatalf("confidences: %+v", conf)
+	}
+	// Paper's Query 1 with QT given: {Alice 18%, Bob 95%}.
+	ids := PTQAnswer(tuples, "MIT", 0.10)
+	if len(ids) != 2 {
+		t.Fatalf("PTQ answer: %v", ids)
+	}
+	ids = PTQAnswer(tuples, "MIT", 0.50)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("PTQ answer at 0.5: %v", ids)
+	}
+}
+
+func TestWorldEnumerationResidualMass(t *testing.T) {
+	// Distribution with mass 0.6: residual 0.4 never matches.
+	d := Discrete{{Value: "A", Prob: 0.6}}
+	conf := EqualityConfidences([]WorldTuple{{ID: 1, Existence: 1.0, Attr: d}}, "A")
+	if !almostEq(conf[1], 0.6, 1e-9) {
+		t.Fatalf("conf = %v", conf[1])
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	if !a.Intersects(b) || a.Intersection(b).Area() != 25 {
+		t.Fatalf("intersection: %+v", a.Intersection(b))
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 15, 15}) {
+		t.Fatalf("union: %+v", u)
+	}
+	if a.Area() != 100 || a.Margin() != 20 {
+		t.Fatalf("area/margin: %v %v", a.Area(), a.Margin())
+	}
+	if !a.Contains(Point{5, 5}) || a.Contains(Point{11, 5}) {
+		t.Fatal("contains wrong")
+	}
+	if !u.ContainsRect(a) || a.ContainsRect(u) {
+		t.Fatal("ContainsRect wrong")
+	}
+	far := Rect{100, 100, 110, 110}
+	if a.Intersects(far) || a.Intersection(far).Area() != 0 {
+		t.Fatal("disjoint rect handling wrong")
+	}
+	if c := a.Center(); c != (Point{5, 5}) {
+		t.Fatalf("center: %+v", c)
+	}
+}
+
+func TestConstrainedGaussianRadialCDF(t *testing.T) {
+	g := ConstrainedGaussian{Center: Point{0, 0}, Sigma: 20, Bound: 100}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.CDFRadius(0) != 0 || g.CDFRadius(100) != 1 || g.CDFRadius(200) != 1 {
+		t.Fatal("CDF boundary values wrong")
+	}
+	// Monotone.
+	prev := 0.0
+	for d := 5.0; d <= 100; d += 5 {
+		c := g.CDFRadius(d)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v", d)
+		}
+		prev = c
+	}
+	// Quantile inverts CDF.
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		r := g.QuantileRadius(p)
+		if !almostEq(g.CDFRadius(r), p, 1e-9) {
+			t.Fatalf("quantile/CDF mismatch at p=%v: r=%v cdf=%v", p, r, g.CDFRadius(r))
+		}
+	}
+	if g.QuantileRadius(0) != 0 || g.QuantileRadius(1) != g.Bound {
+		t.Fatal("quantile boundaries wrong")
+	}
+	if (ConstrainedGaussian{Sigma: 0, Bound: 1}).Validate() == nil {
+		t.Fatal("zero sigma accepted")
+	}
+	if (ConstrainedGaussian{Sigma: 1, Bound: 0}).Validate() == nil {
+		t.Fatal("zero bound accepted")
+	}
+}
+
+func TestProbInCircleAgreesWithRadialCDF(t *testing.T) {
+	// A query circle centered on the object: grid integration must
+	// agree with the exact radial CDF.
+	g := ConstrainedGaussian{Center: Point{50, -30}, Sigma: 20, Bound: 100}
+	for _, r := range []float64{20, 40, 60, 80} {
+		grid := g.ProbInCircle(g.Center, r)
+		exact := g.CDFRadius(r)
+		if !almostEq(grid, exact, 0.01) {
+			t.Fatalf("r=%v: grid=%v exact=%v", r, grid, exact)
+		}
+	}
+}
+
+func TestProbInCircleFastPaths(t *testing.T) {
+	g := ConstrainedGaussian{Center: Point{0, 0}, Sigma: 10, Bound: 50}
+	if p := g.ProbInCircle(Point{1000, 0}, 100); p != 0 {
+		t.Fatalf("disjoint: %v", p)
+	}
+	if p := g.ProbInCircle(Point{0, 0}, 200); p != 1 {
+		t.Fatalf("containing: %v", p)
+	}
+}
+
+func TestProbInCircleOffCenter(t *testing.T) {
+	g := ConstrainedGaussian{Center: Point{0, 0}, Sigma: 20, Bound: 100}
+	// A query covering exactly half the plane through the center
+	// cannot be represented as a circle, but a big circle centered far
+	// to the right whose boundary passes through the origin covers
+	// about half the mass.
+	p := g.ProbInCircle(Point{10000, 0}, 10000)
+	if !almostEq(p, 0.5, 0.03) {
+		t.Fatalf("half-plane approx = %v, want ~0.5", p)
+	}
+}
+
+func TestProbInRect(t *testing.T) {
+	g := ConstrainedGaussian{Center: Point{0, 0}, Sigma: 20, Bound: 100}
+	if p := g.ProbInRect(Rect{-200, -200, 200, 200}); !almostEq(p, 1, 0.01) {
+		t.Fatalf("covering rect: %v", p)
+	}
+	if p := g.ProbInRect(Rect{500, 500, 600, 600}); p != 0 {
+		t.Fatalf("disjoint rect: %v", p)
+	}
+	// Right half-plane ≈ 0.5.
+	if p := g.ProbInRect(Rect{0, -200, 200, 200}); !almostEq(p, 0.5, 0.03) {
+		t.Fatalf("half rect: %v", p)
+	}
+}
+
+// Property: confidence is always within [0, existence].
+func TestConfidenceBounds(t *testing.T) {
+	err := quick.Check(func(e, p1, p2 float64) bool {
+		e = math.Abs(math.Mod(e, 1))
+		p1 = math.Abs(math.Mod(p1, 0.5))
+		p2 = math.Abs(math.Mod(p2, 0.5))
+		if p1 == 0 {
+			p1 = 0.25
+		}
+		if p2 == 0 {
+			p2 = 0.25
+		}
+		d, err := NewDiscrete([]Alternative{{Value: "A", Prob: p1}, {Value: "B", Prob: p2}})
+		if err != nil {
+			return false
+		}
+		c := Confidence(e, d, "A")
+		return c >= 0 && c <= e+1e-12
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

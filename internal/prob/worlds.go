@@ -1,0 +1,71 @@
+package prob
+
+// Possible-world enumeration. This is the executable specification of
+// the paper's query semantics: it is exponential in the number of
+// tuples and exists so tests can check that index-based query answers
+// match the semantics exactly on small instances.
+
+// WorldTuple is one uncertain tuple as seen by the enumerator: an
+// existence probability and a discrete distribution for the queried
+// attribute.
+type WorldTuple struct {
+	ID        uint64
+	Existence float64
+	Attr      Discrete
+}
+
+// EqualityConfidences computes, for every tuple, the exact confidence
+// that the tuple exists and its attribute equals value, by enumerating
+// possible worlds. Tuples are independent, so the closed form is
+// existence × P(value); the enumeration is done the hard way on
+// purpose, as an independent oracle for tests.
+func EqualityConfidences(tuples []WorldTuple, value string) map[uint64]float64 {
+	conf := make(map[uint64]float64, len(tuples))
+	for _, t := range tuples {
+		conf[t.ID] = 0
+	}
+	var walk func(i int, p float64, matches []uint64)
+	walk = func(i int, p float64, matches []uint64) {
+		if p == 0 {
+			return
+		}
+		if i == len(tuples) {
+			for _, id := range matches {
+				conf[id] += p
+			}
+			return
+		}
+		t := tuples[i]
+		// World branch: tuple absent.
+		walk(i+1, p*(1-t.Existence), matches)
+		// World branches: tuple present with each alternative.
+		rest := 1.0
+		for _, a := range t.Attr {
+			rest -= a.Prob
+			if a.Value == value {
+				walk(i+1, p*t.Existence*a.Prob, append(matches, t.ID))
+			} else {
+				walk(i+1, p*t.Existence*a.Prob, matches)
+			}
+		}
+		// Residual mass: attribute takes some unmodeled value.
+		if rest > ProbEpsilon {
+			walk(i+1, p*t.Existence*rest, matches)
+		}
+	}
+	walk(0, 1, nil)
+	return conf
+}
+
+// PTQAnswer returns the IDs whose equality confidence meets the
+// threshold qt, per possible-world enumeration.
+func PTQAnswer(tuples []WorldTuple, value string, qt float64) []uint64 {
+	conf := EqualityConfidences(tuples, value)
+	var out []uint64
+	for _, t := range tuples {
+		if conf[t.ID] >= qt {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package storage
+
+import (
+	"testing"
+
+	"upidb/internal/sim"
+)
+
+func newPrefetchPager(t *testing.T) (*Pager, *sim.Disk) {
+	t.Helper()
+	disk := sim.NewDisk(sim.DefaultParams())
+	fs := NewFS(disk)
+	p, err := NewPager(fs.Create("t"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, disk
+}
+
+func fillPages(t *testing.T, p *Pager, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id, buf, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		p.MarkDirty(id)
+	}
+	if err := p.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchReadsRunInOneOp(t *testing.T) {
+	p, disk := newPrefetchPager(t)
+	fillPages(t, p, 100)
+	p.SetPrefetch(16)
+	before := disk.Stats()
+	for i := 0; i < 32; i++ {
+		got, err := p.Read(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("page %d corrupted by prefetch", i)
+		}
+	}
+	d := disk.Stats().Sub(before)
+	// 32 pages with a 16-page window: 2 disk ops, contiguous.
+	if d.Seeks+d.SequentialIO > 3 {
+		t.Fatalf("prefetch did not batch: %+v", d)
+	}
+	if d.BytesRead != 32*64 {
+		t.Fatalf("read %d bytes", d.BytesRead)
+	}
+}
+
+func TestPrefetchStopsAtCachedPage(t *testing.T) {
+	p, disk := newPrefetchPager(t)
+	fillPages(t, p, 20)
+	p.SetPrefetch(16)
+	// Warm page 5 and dirty it with a value newer than disk.
+	if _, err := p.Read(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(5, append(make([]byte, 63), 0xEE)); err != nil {
+		t.Fatal(err)
+	}
+	_ = disk
+	// Reading page 0 with a 16-page window must not clobber cached
+	// page 5.
+	if _, err := p.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[63] != 0xEE {
+		t.Fatal("prefetch clobbered a dirty cached page")
+	}
+}
+
+func TestPrefetchClampsToFileEnd(t *testing.T) {
+	p, _ := newPrefetchPager(t)
+	fillPages(t, p, 10)
+	p.SetPrefetch(64)
+	got, err := p.Read(8) // only pages 8,9 remain on disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 8 {
+		t.Fatalf("page 8 = %d", got[0])
+	}
+	if _, err := p.Read(9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchClampsToCache(t *testing.T) {
+	p, _ := newPrefetchPager(t)
+	fillPages(t, p, 50)
+	if err := p.SetCacheLimit(8); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPrefetch(100) // larger than the pool: clamped to maxPages/2
+	got, err := p.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("requested page evicted by its own read-ahead")
+	}
+	if p.CachedPages() > 8 {
+		t.Fatalf("cache over limit: %d", p.CachedPages())
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	p, disk := newPrefetchPager(t)
+	fillPages(t, p, 10)
+	before := disk.Stats()
+	if _, err := p.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := disk.Stats().Sub(before); d.BytesRead != 64 {
+		t.Fatalf("default read fetched %d bytes", d.BytesRead)
+	}
+	p.SetPrefetch(0) // invalid values clamp to 1
+	if _, err := p.Read(1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"upidb/internal/prob"
+)
+
+func sampleTuple() *Tuple {
+	inst, _ := prob.NewDiscrete([]prob.Alternative{
+		{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2},
+	})
+	country, _ := prob.NewDiscrete([]prob.Alternative{{Value: "US", Prob: 1.0}})
+	return &Tuple{
+		ID:        42,
+		Existence: 0.9,
+		Det:       []DetField{{Name: "Name", Value: "Alice"}},
+		Unc: []UncField{
+			{Name: "Institution", Dist: inst},
+			{Name: "Country", Dist: country},
+		},
+		Payload: bytes.Repeat([]byte{0xAB}, 64),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleTuple()
+	enc := Encode(orig)
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestEncodeDecodeMinimal(t *testing.T) {
+	orig := &Tuple{ID: 1, Existence: 1}
+	got, err := Decode(Encode(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 1 || got.Existence != 1 || got.Det != nil || got.Unc != nil || got.Payload != nil {
+		t.Fatalf("minimal round trip: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	enc := Encode(sampleTuple())
+	for _, n := range []int{0, 5, 10, len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := Decode(append(enc, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tp := sampleTuple()
+	if v, ok := tp.DetValue("Name"); !ok || v != "Alice" {
+		t.Fatalf("DetValue: %q %v", v, ok)
+	}
+	if _, ok := tp.DetValue("Nope"); ok {
+		t.Fatal("missing det field found")
+	}
+	d, ok := tp.Uncertain("Institution")
+	if !ok || d.First().Value != "Brown" {
+		t.Fatalf("Uncertain: %+v %v", d, ok)
+	}
+	if _, ok := tp.Uncertain("Nope"); ok {
+		t.Fatal("missing unc field found")
+	}
+	// Alice@MIT confidence: 0.9 * 0.2 = 0.18 (paper running example).
+	if c := tp.Confidence("Institution", "MIT"); math.Abs(c-0.18) > 1e-12 {
+		t.Fatalf("confidence = %v", c)
+	}
+	if c := tp.Confidence("Nope", "X"); c != 0 {
+		t.Fatalf("confidence of missing attr = %v", c)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tp := sampleTuple()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTuple()
+	bad.Existence = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("bad existence accepted")
+	}
+	bad2 := sampleTuple()
+	bad2.Unc[0].Dist = nil
+	if bad2.Validate() == nil {
+		t.Fatal("empty distribution accepted")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a := Encode(sampleTuple())
+	b := Encode(sampleTuple())
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+// Property: any tuple built from quick-generated fields round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, name, v1, v2 string, p1 uint8, payload []byte) bool {
+		prob1 := float64(p1%99+1) / 100
+		if v1 == v2 {
+			v2 += "x"
+		}
+		d, err := prob.NewDiscrete([]prob.Alternative{
+			{Value: v1, Prob: prob1 / 2}, {Value: v2, Prob: prob1 / 2},
+		})
+		if err != nil {
+			return false
+		}
+		orig := &Tuple{
+			ID:        id,
+			Existence: prob1,
+			Det:       []DetField{{Name: "Name", Value: name}},
+			Unc:       []UncField{{Name: "A", Dist: d}},
+			Payload:   payload,
+		}
+		got, err := Decode(Encode(orig))
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			got.Payload = orig.Payload // nil vs empty slice
+		}
+		return reflect.DeepEqual(orig, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleObservation() *Observation {
+	seg, _ := prob.NewDiscrete([]prob.Alternative{
+		{Value: "seg-00123", Prob: 0.7}, {Value: "seg-00124", Prob: 0.3},
+	})
+	return &Observation{
+		ID:        7,
+		Loc:       prob.ConstrainedGaussian{Center: prob.Point{X: 1500, Y: -800}, Sigma: 20, Bound: 100},
+		Segment:   seg,
+		Speed:     13.4,
+		Direction: 1.57,
+		Payload:   bytes.Repeat([]byte{1}, 32),
+	}
+}
+
+func TestObservationRoundTrip(t *testing.T) {
+	orig := sampleObservation()
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeObservation(EncodeObservation(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+}
+
+func TestObservationDecodeErrors(t *testing.T) {
+	enc := EncodeObservation(sampleObservation())
+	for _, n := range []int{0, 8, 20, len(enc) - 1} {
+		if _, err := DecodeObservation(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+	if _, err := DecodeObservation(append(enc, 9)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestObservationValidate(t *testing.T) {
+	bad := sampleObservation()
+	bad.Segment = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty segment accepted")
+	}
+	bad2 := sampleObservation()
+	bad2.Loc.Sigma = -1
+	if bad2.Validate() == nil {
+		t.Fatal("bad sigma accepted")
+	}
+}

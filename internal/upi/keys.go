@@ -1,0 +1,116 @@
+package upi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"upidb/internal/keyenc"
+)
+
+// Heap-file and cutoff-index keys are the composite
+// {attribute value ASC, confidence DESC, tuple ID ASC} where
+// confidence = existence × alternative probability, matching the
+// paper's Table 2 ("Brown (80%*90%=72%) Alice"). The tuple ID makes
+// keys unique when confidences tie.
+
+// HeapKey encodes the composite key.
+func HeapKey(value string, conf float64, id uint64) []byte {
+	k := keyenc.AppendString(nil, value)
+	k = keyenc.AppendFloat64Desc(k, conf)
+	return keyenc.AppendUint64(k, id)
+}
+
+// DecodeHeapKey parses a composite key.
+func DecodeHeapKey(k []byte) (value string, conf float64, id uint64, err error) {
+	value, rest, err := keyenc.DecodeString(k)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("upi: heap key: %w", err)
+	}
+	conf, rest, err = keyenc.DecodeFloat64Desc(rest)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("upi: heap key: %w", err)
+	}
+	id, rest, err = keyenc.DecodeUint64(rest)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("upi: heap key: %w", err)
+	}
+	if len(rest) != 0 {
+		return "", 0, 0, fmt.Errorf("upi: heap key has %d trailing bytes", len(rest))
+	}
+	return value, conf, id, nil
+}
+
+// ValuePrefix returns the key prefix covering every entry for one
+// attribute value; [ValuePrefix, ValuePrefixEnd) bounds the range scan
+// of Algorithm 2.
+func ValuePrefix(value string) []byte { return keyenc.AppendString(nil, value) }
+
+// ValuePrefixEnd returns the exclusive upper bound for ValuePrefix.
+func ValuePrefixEnd(value string) []byte { return keyenc.PrefixEnd(ValuePrefix(value)) }
+
+// Pointer references one heap entry of a tuple: the alternative value
+// it is clustered under and that alternative's confidence. Together
+// with the tuple ID (carried alongside) it reconstructs the heap key.
+type Pointer struct {
+	Value string
+	Conf  float64
+}
+
+// HeapKey returns the heap key this pointer resolves to for tuple id.
+func (p Pointer) HeapKey(id uint64) []byte { return HeapKey(p.Value, p.Conf, id) }
+
+// appendPointer serializes one pointer.
+func appendPointer(dst []byte, p Pointer) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Value)))
+	dst = append(dst, p.Value...)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Conf))
+}
+
+func decodePointer(b []byte) (Pointer, []byte, error) {
+	if len(b) < 2 {
+		return Pointer{}, nil, fmt.Errorf("upi: short pointer")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n+8 {
+		return Pointer{}, nil, fmt.Errorf("upi: truncated pointer")
+	}
+	p := Pointer{
+		Value: string(b[:n]),
+		Conf:  math.Float64frombits(binary.BigEndian.Uint64(b[n:])),
+	}
+	return p, b[n+8:], nil
+}
+
+// EncodePointers serializes a pointer list (a secondary-index entry
+// value or, with a single element, a cutoff-index entry value).
+func EncodePointers(ps []Pointer) []byte {
+	out := binary.BigEndian.AppendUint16(nil, uint16(len(ps)))
+	for _, p := range ps {
+		out = appendPointer(out, p)
+	}
+	return out
+}
+
+// DecodePointers parses a pointer list.
+func DecodePointers(b []byte) ([]Pointer, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("upi: short pointer list")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	ps := make([]Pointer, 0, n)
+	for i := 0; i < n; i++ {
+		p, rest, err := decodePointer(b)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("upi: pointer list has %d trailing bytes", len(b))
+	}
+	return ps, nil
+}

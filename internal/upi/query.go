@@ -1,0 +1,334 @@
+package upi
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"upidb/internal/tuple"
+)
+
+// Result is one query answer: a tuple and the possible-world
+// confidence with which it satisfies the predicate.
+type Result struct {
+	Tuple      *tuple.Tuple
+	Confidence float64
+}
+
+// QueryStats reports what one query touched, for cost-model validation.
+type QueryStats struct {
+	// HeapEntries is the number of heap-file entries scanned.
+	HeapEntries int
+	// CutoffPointers is the number of pointers retrieved from the
+	// cutoff index (the x of the saturation model, Figure 11).
+	CutoffPointers int
+	// SecondaryEntries is the number of secondary-index entries read.
+	SecondaryEntries int
+	// ReusedPointers counts tailored-access pointer choices that
+	// landed on an already-visited heap region.
+	ReusedPointers int
+}
+
+// Query answers the PTQ "SELECT * WHERE attr = value, confidence >= qt"
+// per Algorithm 2: one seek plus a sequential scan of the heap file,
+// followed — only when qt < C — by a cutoff-index scan whose pointers
+// are sorted in heap order before being chased.
+func (t *Table) Query(value string, qt float64) ([]Result, QueryStats, error) {
+	var (
+		results []Result
+		stats   QueryStats
+	)
+	// Heap scan: entries are ordered by confidence DESC within the
+	// value prefix, so stop at the first entry below qt.
+	start, end := ValuePrefix(value), ValuePrefixEnd(value)
+	var scanErr error
+	err := t.heap.Scan(start, end, func(k, v []byte) bool {
+		_, conf, _, err := DecodeHeapKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if conf < qt {
+			return false
+		}
+		stats.HeapEntries++
+		tup, err := tuple.Decode(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		results = append(results, Result{Tuple: tup, Confidence: conf})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if qt < t.opts.Cutoff {
+		cutoffResults, n, err := t.queryCutoff(value, qt)
+		stats.CutoffPointers = n
+		if err != nil {
+			return nil, stats, err
+		}
+		results = append(results, cutoffResults...)
+	}
+	sortByConfDesc(results)
+	return results, stats, nil
+}
+
+// queryCutoff performs the second half of Algorithm 2: collect
+// matching cutoff pointers, sort them in heap order (the bitmap-scan
+// discipline that produces saturation), then fetch each tuple.
+func (t *Table) queryCutoff(value string, qt float64) ([]Result, int, error) {
+	type ref struct {
+		heapKey []byte
+		conf    float64 // confidence of the *queried* value, not the pointed-to one
+	}
+	var refs []ref
+	start, end := ValuePrefix(value), ValuePrefixEnd(value)
+	var scanErr error
+	err := t.cutoff.Scan(start, end, func(k, v []byte) bool {
+		_, conf, id, err := DecodeHeapKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if conf < qt {
+			return false
+		}
+		ps, err := DecodePointers(v)
+		if err != nil || len(ps) != 1 {
+			scanErr = fmt.Errorf("upi: bad cutoff entry: %v", err)
+			return false
+		}
+		refs = append(refs, ref{heapKey: ps[0].HeapKey(id), conf: conf})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.Slice(refs, func(i, j int) bool { return bytes.Compare(refs[i].heapKey, refs[j].heapKey) < 0 })
+	results := make([]Result, 0, len(refs))
+	for _, r := range refs {
+		v, ok, err := t.heap.Get(r.heapKey)
+		if err != nil {
+			return nil, len(refs), err
+		}
+		if !ok {
+			return nil, len(refs), fmt.Errorf("upi: dangling cutoff pointer %x", r.heapKey)
+		}
+		tup, err := tuple.Decode(v)
+		if err != nil {
+			return nil, len(refs), err
+		}
+		results = append(results, Result{Tuple: tup, Confidence: r.conf})
+	}
+	return results, len(refs), nil
+}
+
+// QuerySecondary answers a PTQ on a secondary uncertain attribute. With
+// tailored access (Algorithm 3) it exploits the duplicated heap
+// entries: entries with a single pointer commit their heap region
+// first, then multi-pointer entries preferentially reuse regions
+// already being read. Without tailored access it always follows the
+// first (highest-confidence) pointer, like a conventional secondary
+// index.
+func (t *Table) QuerySecondary(attr, value string, qt float64, tailored bool) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	sec, ok := t.secondaries[attr]
+	if !ok {
+		return nil, stats, fmt.Errorf("upi: no secondary index on %q", attr)
+	}
+	type secEntry struct {
+		id   uint64
+		conf float64
+		ptrs []Pointer
+	}
+	var entries []secEntry
+	start, end := ValuePrefix(value), ValuePrefixEnd(value)
+	var scanErr error
+	err := sec.Scan(start, end, func(k, v []byte) bool {
+		_, conf, id, err := DecodeHeapKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if conf < qt {
+			return false
+		}
+		ps, err := DecodePointers(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		entries = append(entries, secEntry{id: id, conf: conf, ptrs: ps})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SecondaryEntries = len(entries)
+
+	// Choose one pointer per entry.
+	chosen := make([]Pointer, len(entries))
+	if !tailored {
+		for i, e := range entries {
+			chosen[i] = e.ptrs[0]
+		}
+	} else {
+		// Algorithm 3, pass 1: single-pointer entries are forced moves;
+		// record the heap regions (primary values) they commit us to.
+		seen := make(map[string]bool)
+		for i, e := range entries {
+			if len(e.ptrs) == 1 {
+				chosen[i] = e.ptrs[0]
+				seen[e.ptrs[0].Value] = true
+			}
+		}
+		// Pass 2: multi-pointer entries reuse a committed region when
+		// any of their pointers lands in one.
+		for i, e := range entries {
+			if len(e.ptrs) == 1 {
+				continue
+			}
+			picked := false
+			for _, p := range e.ptrs {
+				if seen[p.Value] {
+					chosen[i] = p
+					picked = true
+					stats.ReusedPointers++
+					break
+				}
+			}
+			if !picked {
+				chosen[i] = e.ptrs[0]
+				seen[e.ptrs[0].Value] = true
+			}
+		}
+	}
+
+	// Fetch tuples in heap order (bitmap-scan discipline).
+	type fetchRef struct {
+		key  []byte
+		conf float64
+	}
+	refs := make([]fetchRef, len(entries))
+	for i, e := range entries {
+		refs[i] = fetchRef{key: chosen[i].HeapKey(e.id), conf: e.conf}
+	}
+	sort.Slice(refs, func(i, j int) bool { return bytes.Compare(refs[i].key, refs[j].key) < 0 })
+	results := make([]Result, 0, len(refs))
+	for _, r := range refs {
+		v, ok, err := t.heap.Get(r.key)
+		if err != nil {
+			return nil, stats, err
+		}
+		if !ok {
+			return nil, stats, fmt.Errorf("upi: dangling secondary pointer %x", r.key)
+		}
+		tup, err := tuple.Decode(v)
+		if err != nil {
+			return nil, stats, err
+		}
+		results = append(results, Result{Tuple: tup, Confidence: r.conf})
+	}
+	sortByConfDesc(results)
+	return results, stats, nil
+}
+
+// TopK returns the k highest-confidence tuples for the given value of
+// the primary attribute. Because the heap orders entries by confidence
+// DESC, the scan stops after k heap entries unless the cutoff index
+// may still hold candidates (Section 3.1: "a top-k query can terminate
+// scanning the index when the top-k results are identified").
+func (t *Table) TopK(value string, k int) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	if k <= 0 {
+		return nil, stats, nil
+	}
+	var results []Result
+	start, end := ValuePrefix(value), ValuePrefixEnd(value)
+	var scanErr error
+	err := t.heap.Scan(start, end, func(kk, v []byte) bool {
+		if len(results) >= k {
+			return false
+		}
+		_, conf, _, err := DecodeHeapKey(kk)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		stats.HeapEntries++
+		tup, err := tuple.Decode(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		results = append(results, Result{Tuple: tup, Confidence: conf})
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	// The heap may have fewer than k entries above the cutoff; any
+	// remaining candidates (all with confidence < C) live in the
+	// cutoff index. Only consult it when needed.
+	if len(results) >= k {
+		minConf := results[len(results)-1].Confidence
+		if minConf >= t.opts.Cutoff {
+			return results, stats, nil
+		}
+	}
+	cutoffResults, n, err := t.queryCutoff(value, 0)
+	stats.CutoffPointers = n
+	if err != nil {
+		return nil, stats, err
+	}
+	results = append(results, cutoffResults...)
+	sortByConfDesc(results)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, stats, nil
+}
+
+// sortByConfDesc orders results by confidence descending, tuple ID
+// ascending for determinism.
+func sortByConfDesc(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Confidence != rs[j].Confidence {
+			return rs[i].Confidence > rs[j].Confidence
+		}
+		return rs[i].Tuple.ID < rs[j].Tuple.ID
+	})
+}
+
+// ScanHeap visits every heap entry in key order. Used by histogram
+// construction and fracture merging.
+func (t *Table) ScanHeap(fn func(value string, conf float64, id uint64, tup []byte) bool) error {
+	var scanErr error
+	err := t.heap.Scan(nil, nil, func(k, v []byte) bool {
+		value, conf, id, err := DecodeHeapKey(k)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		return fn(value, conf, id, v)
+	})
+	if err == nil {
+		err = scanErr
+	}
+	return err
+}

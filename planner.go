@@ -1,0 +1,57 @@
+package upidb
+
+import (
+	"fmt"
+
+	"upidb/internal/histogram"
+	"upidb/internal/planner"
+	"upidb/internal/sim"
+)
+
+// BuildStats builds attribute-value + probability histograms (paper
+// Section 6.1) from a representative sample of the table's tuples and
+// attaches them to the table, enabling cost-based planning via Explain
+// and QueryPlanned. Call it again after significant data drift.
+func (t *Table) BuildStats(sample []*Tuple, attrs ...string) error {
+	if len(attrs) == 0 {
+		attrs = append([]string{t.store.Main().Attr()}, t.store.Main().SecondaryAttrs()...)
+	}
+	hists := make(map[string]*histogram.Histogram, len(attrs))
+	for _, a := range attrs {
+		h, err := histogram.Build(a, sample)
+		if err != nil {
+			return err
+		}
+		hists[a] = h
+	}
+	p, err := planner.New(t.store, hists, sim.DefaultParams())
+	if err != nil {
+		return err
+	}
+	t.planner = p
+	return nil
+}
+
+// Explain returns the costed physical plans for a PTQ, cheapest first,
+// in EXPLAIN-style text. BuildStats must have been called.
+func (t *Table) Explain(attr, value string, qt float64) (string, error) {
+	if t.planner == nil {
+		return "", fmt.Errorf("upidb: call BuildStats before Explain")
+	}
+	plans, err := t.planner.PlanPTQ(attr, value, qt)
+	if err != nil {
+		return "", err
+	}
+	return planner.Explain(plans), nil
+}
+
+// QueryPlanned runs the PTQ with the cheapest plan the cost model
+// finds and reports which plan was used. BuildStats must have been
+// called.
+func (t *Table) QueryPlanned(attr, value string, qt float64) ([]Result, string, error) {
+	if t.planner == nil {
+		return nil, "", fmt.Errorf("upidb: call BuildStats before QueryPlanned")
+	}
+	rs, plan, err := t.planner.Execute(attr, value, qt)
+	return rs, plan.Kind.String(), err
+}

@@ -1,0 +1,60 @@
+package upidb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadePlanner(t *testing.T) {
+	db := New()
+	tuples := exampleTuples(t)
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
+		TableOptions{Cutoff: 0.1}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without stats, planning fails loudly.
+	if _, err := authors.Explain("Institution", "MIT", 0.1); err == nil {
+		t.Fatal("Explain without stats accepted")
+	}
+	if _, _, err := authors.QueryPlanned("Institution", "MIT", 0.1); err == nil {
+		t.Fatal("QueryPlanned without stats accepted")
+	}
+	if err := authors.BuildStats(tuples); err != nil {
+		t.Fatal(err)
+	}
+	out, err := authors.Explain("Institution", "MIT", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PrimaryScan") || !strings.Contains(out, "FullScan") {
+		t.Fatalf("explain output: %q", out)
+	}
+	rs, plan, err := authors.QueryPlanned("Institution", "MIT", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("planned query: %d results via %s", len(rs), plan)
+	}
+	// Secondary planning.
+	out, err = authors.Explain("Country", "Japan", 0.3)
+	if err != nil || !strings.Contains(out, "SecondaryTailored") {
+		t.Fatalf("secondary explain: %v %q", err, out)
+	}
+	rs, _, err = authors.QueryPlanned("Country", "Japan", 0.3)
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("planned secondary: %v %d", err, len(rs))
+	}
+	// Unknown attribute fails.
+	if _, err := authors.Explain("Nope", "x", 0.1); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	// BuildStats with explicit attrs subset.
+	if err := authors.BuildStats(tuples, "Institution"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := authors.Explain("Country", "Japan", 0.3); err == nil {
+		t.Fatal("country stats should be absent after subset rebuild")
+	}
+}

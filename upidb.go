@@ -1,0 +1,297 @@
+// Package upidb is a Go implementation of UPI — the Uncertain Primary
+// Index of Kimura, Madden and Zdonik (PVLDB 3(1), 2010) — together
+// with every substrate the paper builds on: a page-based B+Tree and
+// R-Tree over a simulated disk, probabilistic inverted indexes (PII),
+// U-Trees, cutoff indexes, multi-pointer secondary indexes with
+// tailored access, fractured UPIs with LSM-style merging, and the
+// paper's cost models.
+//
+// The package root is the public facade. A DB owns a simulated disk
+// and file system; tables created through it are fractured UPIs (the
+// paper's full-featured variant: RAM insert buffer, sequential flush,
+// k-way merge). Probabilistic threshold queries (PTQs), secondary
+// PTQs with tailored access and top-k queries are all first-class.
+//
+// Quick start:
+//
+//	db := upidb.New()
+//	authors, _ := db.CreateTable("authors", "Institution",
+//		[]string{"Country"}, upidb.TableOptions{Cutoff: 0.1})
+//	authors.Insert(&upidb.Tuple{
+//		ID: 1, Existence: 0.9,
+//		Unc: []upidb.UncField{{Name: "Institution", Dist: upidb.Discrete{
+//			{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2},
+//		}}, {Name: "Country", Dist: upidb.Discrete{{Value: "US", Prob: 1}}}},
+//	})
+//	results, _ := authors.Query("MIT", 0.1) // PTQ: confidence >= 0.1
+//
+// All I/O is charged to a deterministic disk model using the paper's
+// cost constants (10 ms seek, 20 ms/MB read, 50 ms/MB write), so query
+// costs reported by Stats are reproducible modeled times rather than
+// wall-clock noise. See DESIGN.md and EXPERIMENTS.md for the full
+// reproduction of the paper's evaluation.
+package upidb
+
+import (
+	"fmt"
+	"time"
+
+	"upidb/internal/cupi"
+	"upidb/internal/fracture"
+	"upidb/internal/planner"
+	"upidb/internal/prob"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+	"upidb/internal/utree"
+)
+
+// Re-exported data-model types. These are aliases, so values flow
+// freely between the facade and the internal packages.
+type (
+	// Tuple is one uncertain row: existence probability, deterministic
+	// fields, uncertain attributes and an opaque payload.
+	Tuple = tuple.Tuple
+	// DetField is a deterministic named string field.
+	DetField = tuple.DetField
+	// UncField is an uncertain attribute with a discrete distribution.
+	UncField = tuple.UncField
+	// Alternative is one possible value of an uncertain attribute.
+	Alternative = prob.Alternative
+	// Discrete is a discrete distribution over alternatives, sorted by
+	// decreasing probability.
+	Discrete = prob.Discrete
+	// Observation is an uncertain 2-D point (GPS-style) record.
+	Observation = tuple.Observation
+	// Point is a 2-D location.
+	Point = prob.Point
+	// ConstrainedGaussian is a truncated isotropic Gaussian in 2-D.
+	ConstrainedGaussian = prob.ConstrainedGaussian
+	// Result is a query answer: tuple plus confidence.
+	Result = upi.Result
+	// SpatialResult is a spatial query answer: observation plus
+	// appearance probability.
+	SpatialResult = utree.Result
+	// DiskStats is a snapshot of simulated-disk activity.
+	DiskStats = sim.Stats
+)
+
+// NewDiscrete builds a validated discrete distribution from
+// alternatives, merging duplicates and sorting by probability.
+func NewDiscrete(alts []Alternative) (Discrete, error) { return prob.NewDiscrete(alts) }
+
+// TableOptions tune a UPI table.
+type TableOptions struct {
+	// Cutoff is the cutoff threshold C (Section 3.1). Alternatives
+	// with confidence below C live in the cutoff index instead of
+	// being duplicated in the heap file. 0 disables the cutoff index.
+	Cutoff float64
+	// MaxPointers caps pointers per secondary-index entry (0 =
+	// unlimited).
+	MaxPointers int
+	// BufferTuples is the RAM insert-buffer capacity before an
+	// automatic flush into a new fracture (0 = manual Flush only).
+	BufferTuples int
+}
+
+// DB owns a simulated disk and the tables created on it.
+type DB struct {
+	disk *sim.Disk
+	fs   *storage.FS
+}
+
+// New creates a database over a fresh simulated disk with the paper's
+// default cost constants.
+func New() *DB {
+	disk := sim.NewDisk(sim.DefaultParams())
+	return &DB{disk: disk, fs: storage.NewFS(disk)}
+}
+
+// NewWithParams creates a database with custom disk cost constants.
+func NewWithParams(p sim.Params) *DB {
+	disk := sim.NewDisk(p)
+	return &DB{disk: disk, fs: storage.NewFS(disk)}
+}
+
+// DiskParams returns the paper's default disk cost constants (Table
+// 6), as a starting point for NewWithParams.
+func DiskParams() sim.Params { return sim.DefaultParams() }
+
+// DiskStats returns the accumulated simulated-disk activity.
+func (db *DB) DiskStats() DiskStats { return db.disk.Stats() }
+
+// TotalSizeBytes returns the total on-disk size of all files.
+func (db *DB) TotalSizeBytes() int64 { return db.fs.TotalSize() }
+
+// CreateTable creates an empty fractured-UPI table clustered on the
+// uncertain attribute primaryAttr, with secondary indexes on secAttrs.
+func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, fracture.Options{
+		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
+		BufferTuples: opts.BufferTuples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, store: store}, nil
+}
+
+// BulkLoadTable creates a fractured-UPI table whose main partition is
+// bulk-built from tuples with sequential I/O only.
+func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, opts TableOptions, tuples []*Tuple) (*Table, error) {
+	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, fracture.Options{
+		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
+		BufferTuples: opts.BufferTuples,
+	}, tuples)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, store: store}, nil
+}
+
+// OpenTable reloads a table previously created on this DB's file
+// system (after Flush; unflushed RAM-buffer contents do not survive).
+func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, fracture.Options{
+		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
+		BufferTuples: opts.BufferTuples,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table{db: db, store: store}, nil
+}
+
+// Table is an uncertain table clustered by a UPI. All mutations are
+// buffered in RAM and reach disk on Flush (or automatically when the
+// buffer fills); queries always see the freshest data.
+type Table struct {
+	db      *DB
+	store   *fracture.Store
+	planner *planner.Planner // set by BuildStats
+}
+
+// Insert adds or replaces a tuple (buffered).
+func (t *Table) Insert(tup *Tuple) error { return t.store.Insert(tup) }
+
+// Delete removes the tuple with the given ID (buffered).
+func (t *Table) Delete(id uint64) { t.store.Delete(id) }
+
+// Flush writes buffered changes out as a new fracture.
+func (t *Table) Flush() error { return t.store.Flush() }
+
+// Merge folds all fractures back into the main UPI with one
+// sequential pass, restoring query performance.
+func (t *Table) Merge() error { return t.store.Merge() }
+
+// Query answers the PTQ "primaryAttr = value AND confidence >= qt".
+func (t *Table) Query(value string, qt float64) ([]Result, error) {
+	rs, _, err := t.store.Query(value, qt)
+	return rs, err
+}
+
+// QueryStats answers the PTQ and also reports modeled cost and what
+// the query touched.
+func (t *Table) QueryStats(value string, qt float64) ([]Result, QueryInfo, error) {
+	sp := sim.StartSpan(t.db.disk)
+	rs, st, err := t.store.Query(value, qt)
+	info := QueryInfo{
+		ModeledTime:    sp.End().Elapsed,
+		HeapEntries:    st.HeapEntries,
+		CutoffPointers: st.CutoffPointers,
+		Partitions:     st.PartitionsRead,
+	}
+	return rs, info, err
+}
+
+// QuerySecondary answers a PTQ on a secondary uncertain attribute,
+// using tailored secondary index access (Section 3.2).
+func (t *Table) QuerySecondary(attr, value string, qt float64) ([]Result, error) {
+	rs, _, err := t.store.QuerySecondary(attr, value, qt, true)
+	return rs, err
+}
+
+// TopK returns the k highest-confidence tuples for the given value of
+// the primary attribute.
+func (t *Table) TopK(value string, k int) ([]Result, error) {
+	rs, _, err := t.store.TopK(value, k)
+	return rs, err
+}
+
+// NumFractures returns the current fracture count (merge when this
+// grows large; see the cost model).
+func (t *Table) NumFractures() int { return t.store.NumFractures() }
+
+// SizeBytes returns the table's total on-disk size.
+func (t *Table) SizeBytes() int64 { return t.store.SizeBytes() }
+
+// DropCaches empties all buffer pools; the next query runs cold.
+func (t *Table) DropCaches() error { return t.store.DropCaches() }
+
+// QueryInfo reports the modeled cost of one query.
+type QueryInfo struct {
+	// ModeledTime is the simulated disk time the query took.
+	ModeledTime time.Duration
+	// HeapEntries is the number of heap-file entries scanned.
+	HeapEntries int
+	// CutoffPointers is the number of cutoff-index pointers chased.
+	CutoffPointers int
+	// Partitions is 1 (main UPI) + the number of fractures consulted.
+	Partitions int
+}
+
+func (q QueryInfo) String() string {
+	return fmt.Sprintf("modeled=%v heapEntries=%d cutoffPointers=%d partitions=%d",
+		q.ModeledTime, q.HeapEntries, q.CutoffPointers, q.Partitions)
+}
+
+// SpatialOptions tune a continuous-UPI table.
+type SpatialOptions struct {
+	// NodePageSize is the R-Tree node page size (default 4 KiB).
+	NodePageSize int
+	// HeapPageSize is the clustered heap page size (default 64 KiB).
+	HeapPageSize int
+}
+
+// SpatialTable is a continuous UPI (Section 5) over uncertain 2-D
+// observations, with a secondary index on the uncertain segment
+// attribute.
+type SpatialTable struct {
+	db  *DB
+	tab *cupi.Table
+}
+
+// BulkLoadSpatial builds a continuous UPI from observations.
+func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptions) (*SpatialTable, error) {
+	tab, err := cupi.BulkBuild(db.fs, name, obs, cupi.Options{
+		NodePageSize: opts.NodePageSize,
+		HeapPageSize: opts.HeapPageSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SpatialTable{db: db, tab: tab}, nil
+}
+
+// Insert adds one observation after the initial load.
+func (s *SpatialTable) Insert(o *Observation) error { return s.tab.Insert(o) }
+
+// QueryCircle answers "within radius of q with appearance probability
+// >= threshold" (the paper's Query 4).
+func (s *SpatialTable) QueryCircle(q Point, radius, threshold float64) ([]SpatialResult, error) {
+	rs, _, err := s.tab.QueryCircle(q, radius, threshold)
+	return rs, err
+}
+
+// QuerySegment answers a PTQ on the uncertain road-segment attribute
+// (the paper's Query 5).
+func (s *SpatialTable) QuerySegment(segment string, qt float64) ([]SpatialResult, error) {
+	return s.tab.QuerySegment(segment, qt)
+}
+
+// SizeBytes returns the spatial table's total on-disk size.
+func (s *SpatialTable) SizeBytes() int64 { return s.tab.SizeBytes() }
+
+// DropCaches empties the table's buffer pools.
+func (s *SpatialTable) DropCaches() error { return s.tab.DropCaches() }

@@ -1,0 +1,204 @@
+package upidb
+
+import (
+	"math"
+	"testing"
+)
+
+func exampleTuples(t *testing.T) []*Tuple {
+	t.Helper()
+	mk := func(id uint64, name string, exist float64, inst, country []Alternative) *Tuple {
+		instD, err := NewDiscrete(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		countryD, err := NewDiscrete(country)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Tuple{
+			ID: id, Existence: exist,
+			Det: []DetField{{Name: "Name", Value: name}},
+			Unc: []UncField{
+				{Name: "Institution", Dist: instD},
+				{Name: "Country", Dist: countryD},
+			},
+		}
+	}
+	return []*Tuple{
+		mk(1, "Alice", 0.9,
+			[]Alternative{{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2}},
+			[]Alternative{{Value: "US", Prob: 1.0}}),
+		mk(2, "Bob", 1.0,
+			[]Alternative{{Value: "MIT", Prob: 0.95}, {Value: "UCB", Prob: 0.05}},
+			[]Alternative{{Value: "US", Prob: 1.0}}),
+		mk(3, "Carol", 0.8,
+			[]Alternative{{Value: "Brown", Prob: 0.6}, {Value: "U. Tokyo", Prob: 0.4}},
+			[]Alternative{{Value: "US", Prob: 0.6}, {Value: "Japan", Prob: 0.4}}),
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	db := New()
+	authors, err := db.CreateTable("authors", "Institution", []string{"Country"}, TableOptions{Cutoff: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range exampleTuples(t) {
+		if err := authors.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Paper Query 1: {Alice 18%, Bob 95%}.
+	rs, err := authors.Query("MIT", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || math.Abs(rs[0].Confidence-0.95) > 1e-9 || math.Abs(rs[1].Confidence-0.18) > 1e-9 {
+		t.Fatalf("Query 1: %+v", rs)
+	}
+	// Secondary PTQ with tailored access.
+	rs, err = authors.QuerySecondary("Country", "Japan", 0.3)
+	if err != nil || len(rs) != 1 || rs[0].Tuple.ID != 3 {
+		t.Fatalf("secondary: %v %+v", err, rs)
+	}
+	// Top-k.
+	rs, err = authors.TopK("MIT", 1)
+	if err != nil || len(rs) != 1 || rs[0].Tuple.ID != 2 {
+		t.Fatalf("topk: %v %+v", err, rs)
+	}
+	// Delete and flush + merge lifecycle.
+	authors.Delete(2)
+	if err := authors.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = authors.Query("MIT", 0.1)
+	if len(rs) != 1 || rs[0].Tuple.ID != 1 {
+		t.Fatalf("after delete: %+v", rs)
+	}
+	if err := authors.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if authors.NumFractures() != 0 {
+		t.Fatalf("fractures after merge: %d", authors.NumFractures())
+	}
+	rs, _ = authors.Query("MIT", 0.1)
+	if len(rs) != 1 {
+		t.Fatalf("after merge: %+v", rs)
+	}
+	if authors.SizeBytes() == 0 || db.TotalSizeBytes() == 0 {
+		t.Fatal("sizes should be positive")
+	}
+}
+
+func TestFacadeQueryStats(t *testing.T) {
+	db := New()
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
+		TableOptions{Cutoff: 0.1}, exampleTuples(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authors.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	rs, info, err := authors.QueryStats("MIT", 0.01)
+	if err != nil || len(rs) != 3 { // Alice, Bob + Bob's UCB? no: MIT matches Alice 0.18, Bob 0.95 => 2
+		if len(rs) != 2 {
+			t.Fatalf("%v %+v", err, rs)
+		}
+	}
+	if info.ModeledTime <= 0 || info.Partitions != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+	if info.CutoffPointers != 0 {
+		t.Fatalf("no UCB cutoff pointers expected for MIT: %+v", info)
+	}
+	if info.String() == "" {
+		t.Fatal("empty info string")
+	}
+	if db.DiskStats().BytesRead == 0 {
+		t.Fatal("cold query should read from disk")
+	}
+}
+
+func TestFacadeSpatial(t *testing.T) {
+	db := New()
+	seg, err := NewDiscrete([]Alternative{{Value: "seg-1", Prob: 0.7}, {Value: "seg-2", Prob: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := []*Observation{
+		{ID: 1, Loc: ConstrainedGaussian{Center: Point{X: 0, Y: 0}, Sigma: 10, Bound: 50}, Segment: seg},
+		{ID: 2, Loc: ConstrainedGaussian{Center: Point{X: 1000, Y: 1000}, Sigma: 10, Bound: 50}, Segment: seg},
+	}
+	cars, err := db.BulkLoadSpatial("cars", obs, SpatialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := cars.QueryCircle(Point{X: 0, Y: 0}, 100, 0.5)
+	if err != nil || len(rs) != 1 || rs[0].Obs.ID != 1 {
+		t.Fatalf("circle: %v %+v", err, rs)
+	}
+	rs, err = cars.QuerySegment("seg-1", 0.5)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("segment: %v %+v", err, rs)
+	}
+	if err := cars.Insert(&Observation{
+		ID: 3, Loc: ConstrainedGaussian{Center: Point{X: 10, Y: 10}, Sigma: 10, Bound: 50}, Segment: seg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = cars.QueryCircle(Point{X: 0, Y: 0}, 100, 0.5)
+	if len(rs) != 2 {
+		t.Fatalf("after insert: %+v", rs)
+	}
+	if cars.SizeBytes() == 0 {
+		t.Fatal("size should be positive")
+	}
+	if err := cars.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeOpenTable(t *testing.T) {
+	db := New()
+	opts := TableOptions{Cutoff: 0.1}
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, opts, exampleTuples(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := authors.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := db.OpenTable("authors", "Institution", []string{"Country"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := re.Query("MIT", 0.1)
+	if err != nil || len(rs) != 2 {
+		t.Fatalf("reopened: %v %d", err, len(rs))
+	}
+	if _, err := db.OpenTable("missing", "X", nil, opts); err == nil {
+		t.Fatal("open of missing table accepted")
+	}
+}
+
+func TestFacadeCustomDiskParams(t *testing.T) {
+	p := DiskParams()
+	p.Seek *= 2
+	db := NewWithParams(p)
+	tab, err := db.CreateTable("t", "X", nil, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewDiscrete([]Alternative{{Value: "a", Prob: 1}})
+	if err := tab.Insert(&Tuple{ID: 1, Existence: 1, Unc: []UncField{{Name: "X", Dist: d}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.DiskStats().Elapsed == 0 {
+		t.Fatal("disk time should accumulate")
+	}
+}
