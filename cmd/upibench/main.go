@@ -21,13 +21,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig3..fig12, table7, table8) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig3..fig12, table7, table8, parallel-ptq) or 'all'")
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = 70k authors, 130k publications, 150k observations)")
 		seed       = flag.Int64("seed", 1, "dataset generation seed")
+		parallel   = flag.Int("parallel", 0, "per-query partition fan-out for fractured-UPI experiments (0 = GOMAXPROCS, 1 = serial; modeled results are identical)")
 	)
 	flag.Parse()
 
-	env := bench.NewEnv(bench.Config{Scale: *scale, Seed: *seed})
+	env := bench.NewEnv(bench.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel})
 	ids := make([]string, 0)
 	if *experiment == "all" {
 		for _, r := range bench.Registered() {

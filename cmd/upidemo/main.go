@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -26,9 +27,12 @@ func dist(alts ...upidb.Alternative) upidb.Discrete {
 }
 
 func main() {
+	parallel := flag.Int("parallel", 0, "per-query partition fan-out (0 = GOMAXPROCS, 1 = serial; modeled costs are identical)")
+	flag.Parse()
+
 	db := upidb.New()
 	authors, err := db.CreateTable("authors", "Institution", []string{"Country"},
-		upidb.TableOptions{Cutoff: 0.10})
+		upidb.TableOptions{Cutoff: 0.10, Parallelism: *parallel})
 	must(err)
 
 	fmt.Println("Loading the paper's running example (Table 4):")

@@ -16,9 +16,11 @@ func main() {
 	// A UPI clusters the heap file on an uncertain attribute; here
 	// Institution, with a secondary index on Country and a 10% cutoff
 	// threshold (alternatives below 10% confidence go to the cutoff
-	// index instead of being duplicated in the heap).
+	// index instead of being duplicated in the heap). Parallelism: 0
+	// fans queries out over the main UPI and all fractures with up to
+	// GOMAXPROCS workers; modeled costs are the same at any width.
 	authors, err := db.CreateTable("authors", "Institution", []string{"Country"},
-		upidb.TableOptions{Cutoff: 0.10})
+		upidb.TableOptions{Cutoff: 0.10, Parallelism: 0})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module upidb
+
+go 1.24

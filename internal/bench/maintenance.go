@@ -170,7 +170,8 @@ func Table7Maintenance(e *Env) (*Experiment, error) {
 	{
 		disk, fs := newDisk()
 		store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-			[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff}}, d.Authors)
+			[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff},
+				Parallelism: e.cfg.Parallelism}, d.Authors)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +235,8 @@ func Fig9Deterioration(e *Env) (*Experiment, error) {
 	}
 	fracDisk, fracFS := newDisk()
 	store, err := fracture.BulkLoad(fracFS, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT}}, d.Authors)
+		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT},
+			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +325,8 @@ func Fig10FracturedModel(e *Env) (*Experiment, error) {
 	}
 	disk, fs := newDisk()
 	store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT}}, d.Authors)
+		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT},
+			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +395,8 @@ func Table8Merging(e *Env) (*Experiment, error) {
 	}
 	disk, fs := newDisk()
 	store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff}}, d.Authors)
+		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff},
+			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err
 	}

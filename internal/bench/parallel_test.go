@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"upidb/internal/dataset"
+)
+
+// TestParallelPTQModeledInvariant: the modeled cost and result count of
+// the PTQ are bit-identical at every fan-out width; only wall-clock may
+// differ.
+func TestParallelPTQModeledInvariant(t *testing.T) {
+	exp, err := ParallelPTQ(testEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeled := getColumn(t, exp, "Modeled [s/query]")
+	results := getColumn(t, exp, "Results")
+	if len(modeled) < 3 {
+		t.Fatalf("want >= 3 parallelism levels, got %d", len(modeled))
+	}
+	for i := 1; i < len(modeled); i++ {
+		if modeled[i] != modeled[0] {
+			t.Errorf("parallelism row %d: modeled cost %v != serial %v", i, modeled[i], modeled[0])
+		}
+		if results[i] != results[0] {
+			t.Errorf("parallelism row %d: %v results != serial %v", i, results[i], results[0])
+		}
+	}
+	if modeled[0] <= 0 {
+		t.Fatalf("modeled cost should be positive, got %v", modeled[0])
+	}
+}
+
+// BenchmarkParallelPTQ reports wall-clock per query at each fan-out
+// width over the fractured author table (modeled cost is identical at
+// every width; the speedup is real CPU/scan parallelism).
+func BenchmarkParallelPTQ(b *testing.B) {
+	env := NewEnv(Config{Scale: 0.25, Seed: 1})
+	store, _, err := buildFracturedAuthors(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			store.SetParallelism(par)
+			for i := 0; i < b.N; i++ {
+				if err := store.DropCaches(); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := store.Query(dataset.MITInstitution, fig9QT); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

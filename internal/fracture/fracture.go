@@ -6,15 +6,39 @@
 // plus a delete set holding the IDs of tuples deleted since the
 // previous flush. Queries consult the in-memory buffer, every fracture
 // and the main UPI, union the results and drop tuples present in any
-// applicable delete set. A background-style Merge folds all fractures
-// back into the main UPI with one sequential k-way merge pass,
-// restoring query performance (Figure 10).
+// applicable delete set. Merge folds all fractures back into the main
+// UPI with one sequential k-way merge pass, restoring query
+// performance (Figure 10).
+//
+// # Concurrency
+//
+// Store is safe for concurrent use. An RWMutex guards the partition
+// list, the RAM buffer and the delete sets: queries snapshot the
+// partition set under the read lock and then scan the on-disk
+// partitions — which are immutable once built — outside it, so readers
+// never block each other. Insert and Delete block readers only
+// momentarily; a Flush (explicit or buffer-triggered) holds the write
+// lock while the new fracture is bulk-built, the paper's one
+// sequential write. Queries fan the per-partition scans out across a bounded
+// worker pool (Options.Parallelism); each partition records its I/O on
+// a private sim.Tape that is replayed in partition order afterwards,
+// so the modeled cost is identical to a serial scan regardless of how
+// the goroutines interleave.
+//
+// Merge may run in the background (see StartAutoMerge): it snapshots
+// the partitions to fold under the write lock, builds the new main
+// generation without holding any lock, and atomically swaps it in.
+// Old partition files are reference-counted and removed only after the
+// last in-flight query over the previous generation finishes.
 package fracture
 
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"upidb/internal/storage"
 	"upidb/internal/tuple"
@@ -31,17 +55,30 @@ type Options struct {
 	// BufferTuples is the insert-buffer capacity; reaching it triggers
 	// an automatic flush. 0 means flush only on explicit Flush calls.
 	BufferTuples int
+	// Parallelism bounds the worker goroutines one query fans out
+	// across the main UPI and the fractures. 0 means GOMAXPROCS;
+	// 1 scans partitions serially. The modeled I/O cost of a query is
+	// the same at every setting.
+	Parallelism int
 }
 
-// Store is a fractured UPI. It is not safe for concurrent use.
+// Store is a fractured UPI. It is safe for concurrent use: any number
+// of concurrent readers (Query, QuerySecondary, TopK) may run alongside
+// writers (Insert, Delete, Flush) and a Merge — including the
+// background merger started with StartAutoMerge.
 type Store struct {
 	fs       *storage.FS
 	name     string
 	attr     string
 	secAttrs []string
-	opts     Options
+
+	// mu guards every field below. Queries hold it only while
+	// snapshotting; partition scans run outside it.
+	mu   sync.RWMutex
+	opts Options
 
 	main      *upi.Table
+	mainRef   *partRef // lifetime of the current main's files
 	fractures []*fract
 	fracGens  []int // generation number of each fracture (for file names)
 	gen       int   // generation counter for fracture / main file names
@@ -52,6 +89,16 @@ type Store struct {
 	bufOrder  []uint64
 	// Pending delete set: IDs deleted since the last flush.
 	bufDeletes map[uint64]bool
+
+	// am is the background merger, if StartAutoMerge is active.
+	// amFailed holds a merger that died on a merge error until
+	// StopAutoMerge collects it.
+	am       *autoMerger
+	amFailed *autoMerger
+
+	// mergeMu serializes whole merges (manual and background) so at
+	// most one new main generation is under construction at a time.
+	mergeMu sync.Mutex
 }
 
 // fract is one on-disk fracture: an independent UPI and the delete set
@@ -60,18 +107,70 @@ type Store struct {
 type fract struct {
 	table   *upi.Table
 	deleted map[uint64]bool
+	ref     *partRef
+}
+
+// partRef tracks the on-disk lifetime of one partition (the main UPI
+// or a fracture). Query snapshots pin every partition they reference;
+// a merge that replaces partitions dooms them with the list of files
+// to remove, and the files disappear when the last pin is released —
+// so in-flight queries always finish on the generation they started
+// on, even while a background merge swaps the main underneath them.
+type partRef struct {
+	fs *storage.FS
+
+	mu     sync.Mutex
+	refs   int
+	doomed bool
+	dead   []string
+}
+
+func newPartRef(fs *storage.FS) *partRef { return &partRef{fs: fs} }
+
+func (p *partRef) pin() {
+	p.mu.Lock()
+	p.refs++
+	p.mu.Unlock()
+}
+
+func (p *partRef) unpin() {
+	p.mu.Lock()
+	p.refs--
+	var dead []string
+	if p.doomed && p.refs == 0 {
+		dead, p.dead = p.dead, nil
+	}
+	p.mu.Unlock()
+	p.remove(dead)
+}
+
+// doom marks the partition's files for removal once no query pins it.
+func (p *partRef) doom(files []string) {
+	p.mu.Lock()
+	p.doomed = true
+	p.dead = append(p.dead, files...)
+	var dead []string
+	if p.refs == 0 {
+		dead, p.dead = p.dead, nil
+	}
+	p.mu.Unlock()
+	p.remove(dead)
+}
+
+func (p *partRef) remove(files []string) {
+	for _, f := range files {
+		if p.fs.Exists(f) {
+			// Remove on the in-memory FS only fails for missing files,
+			// which Exists just excluded.
+			_ = p.fs.Remove(f)
+		}
+	}
 }
 
 // NewStore creates an empty fractured UPI.
 func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
-	s := &Store{
-		fs: fs, name: name, attr: attr,
-		secAttrs:   append([]string(nil), secAttrs...),
-		opts:       opts,
-		bufTuples:  make(map[uint64]*tuple.Tuple),
-		bufDeletes: make(map[uint64]bool),
-	}
+	s := newShell(fs, name, attr, secAttrs, opts)
 	main, err := upi.Create(fs, s.mainName(0), attr, secAttrs, opts.UPI)
 	if err != nil {
 		return nil, err
@@ -84,13 +183,7 @@ func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Options
 // from tuples (the initial load of the experiments).
 func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Options, tuples []*tuple.Tuple) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
-	s := &Store{
-		fs: fs, name: name, attr: attr,
-		secAttrs:   append([]string(nil), secAttrs...),
-		opts:       opts,
-		bufTuples:  make(map[uint64]*tuple.Tuple),
-		bufDeletes: make(map[uint64]bool),
-	}
+	s := newShell(fs, name, attr, secAttrs, opts)
 	main, err := upi.BulkBuild(fs, s.mainName(0), attr, secAttrs, opts.UPI, tuples)
 	if err != nil {
 		return nil, err
@@ -99,21 +192,48 @@ func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Options
 	return s, nil
 }
 
+// newShell builds a Store with everything but the main partition.
+func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Options) *Store {
+	return &Store{
+		fs: fs, name: name, attr: attr,
+		secAttrs:   append([]string(nil), secAttrs...),
+		opts:       opts,
+		mainRef:    newPartRef(fs),
+		bufTuples:  make(map[uint64]*tuple.Tuple),
+		bufDeletes: make(map[uint64]bool),
+	}
+}
+
 func (s *Store) mainName(gen int) string { return fmt.Sprintf("%s.main%d", s.name, gen) }
 func (s *Store) fracName(id int) string  { return fmt.Sprintf("%s.frac%d", s.name, id) }
 func (s *Store) delSetFile(id int) string {
 	return fmt.Sprintf("%s.frac%d.delset", s.name, id)
 }
 
-// Main exposes the main UPI (for stats and cache control).
-func (s *Store) Main() *upi.Table { return s.main }
+// Main exposes the main UPI (for stats and cache control). The
+// returned table is replaced — not mutated — by Merge, so it is safe
+// to read concurrently; it may be one generation stale by the time the
+// caller uses it.
+func (s *Store) Main() *upi.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.main
+}
 
 // NumFractures returns the current fracture count (Nfrac in the cost
 // model).
-func (s *Store) NumFractures() int { return len(s.fractures) }
+func (s *Store) NumFractures() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.fractures)
+}
 
 // BufferedInserts returns the number of tuples waiting in RAM.
-func (s *Store) BufferedInserts() int { return len(s.bufTuples) }
+func (s *Store) BufferedInserts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.bufTuples)
+}
 
 // SetFractureOptions changes the UPI parameters used for fractures
 // created by future flushes (Section 4.2: "each fracture can have
@@ -126,33 +246,67 @@ func (s *Store) SetFractureOptions(o upi.Options) error {
 	if err := o.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.opts.UPI = o.WithDefaults()
+	s.mu.Unlock()
 	return nil
 }
 
 // FractureOptions returns the UPI parameters future fractures will use.
-func (s *Store) FractureOptions() upi.Options { return s.opts.UPI }
+func (s *Store) FractureOptions() upi.Options {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.opts.UPI
+}
+
+// SetParallelism changes the per-query partition fan-out width
+// (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not depend on
+// it.
+func (s *Store) SetParallelism(n int) {
+	s.mu.Lock()
+	s.opts.Parallelism = n
+	s.mu.Unlock()
+}
+
+// parallelismLocked resolves the effective worker count.
+func (s *Store) parallelismLocked() int {
+	if s.opts.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.opts.Parallelism
+}
 
 // Insert buffers a tuple; the write reaches disk at the next flush.
 func (s *Store) Insert(tup *tuple.Tuple) error {
 	if err := tup.Validate(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	// Re-inserting an ID pending deletion revives it.
 	delete(s.bufDeletes, tup.ID)
 	if _, exists := s.bufTuples[tup.ID]; !exists {
 		s.bufOrder = append(s.bufOrder, tup.ID)
 	}
 	s.bufTuples[tup.ID] = tup
+	var err error
+	flushed := false
 	if s.opts.BufferTuples > 0 && len(s.bufTuples) >= s.opts.BufferTuples {
-		return s.Flush()
+		err = s.flushLocked()
+		flushed = err == nil
 	}
-	return nil
+	am := s.am
+	s.mu.Unlock()
+	if flushed && am != nil {
+		am.kick()
+	}
+	return err
 }
 
 // Delete buffers a deletion by tuple ID. "Deletion is handled like
 // insertion by storing a delete set which holds IDs of deleted tuples."
 func (s *Store) Delete(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, buffered := s.bufTuples[id]; buffered {
 		// Never reached disk; cancel the pending insert.
 		delete(s.bufTuples, id)
@@ -171,6 +325,17 @@ func (s *Store) Delete(id uint64) {
 // UPI over the buffered tuples plus a sequentially written delete-set
 // file. A flush with empty buffers is a no-op.
 func (s *Store) Flush() error {
+	s.mu.Lock()
+	err := s.flushLocked()
+	am := s.am
+	s.mu.Unlock()
+	if err == nil && am != nil {
+		am.kick()
+	}
+	return err
+}
+
+func (s *Store) flushLocked() error {
 	if len(s.bufTuples) == 0 && len(s.bufDeletes) == 0 {
 		return nil
 	}
@@ -191,7 +356,7 @@ func (s *Store) Flush() error {
 	if err := s.writeDelSet(id, deleted); err != nil {
 		return err
 	}
-	s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted})
+	s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted, ref: newPartRef(s.fs)})
 	s.fracGens = append(s.fracGens, id)
 	s.bufTuples = make(map[uint64]*tuple.Tuple)
 	s.bufOrder = nil
@@ -214,11 +379,11 @@ func (s *Store) writeDelSet(id int, deleted map[uint64]bool) error {
 	return s.fs.Create(s.delSetFile(id)).WriteAt(buf, 0)
 }
 
-// deletesAfter returns the union of the delete sets of fractures with
-// index > i, plus the in-RAM pending deletes. An entry stored in
+// deletesAfterLocked returns the union of the delete sets of fractures
+// with index > i, plus the in-RAM pending deletes. An entry stored in
 // fracture i (or, with i == -1, in the main UPI) is live iff its ID is
-// absent from this set.
-func (s *Store) deletesAfter(i int) map[uint64]bool {
+// absent from this set. Callers must hold mu (either mode).
+func (s *Store) deletesAfterLocked(i int) map[uint64]bool {
 	out := make(map[uint64]bool)
 	for j := i + 1; j < len(s.fractures); j++ {
 		for id := range s.fractures[j].deleted {
@@ -234,26 +399,38 @@ func (s *Store) deletesAfter(i int) map[uint64]bool {
 // SizeBytes returns the total on-disk size: main, fractures and delete
 // sets.
 func (s *Store) SizeBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	total := s.main.SizeBytes()
 	for _, f := range s.fractures {
 		total += f.table.SizeBytes()
 	}
 	for _, name := range s.fs.List() {
-		if len(name) > len(s.name) && name[:len(s.name)] == s.name && hasSuffix(name, ".delset") {
+		if strings.HasPrefix(name, s.name) && len(name) > len(s.name) && strings.HasSuffix(name, ".delset") {
 			total += s.fs.Size(name)
 		}
 	}
 	return total
 }
 
-func hasSuffix(s, suf string) bool {
-	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+// fractureBytes returns the on-disk size of the fractures alone (the
+// size-based auto-merge trigger).
+func (s *Store) fractureBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, f := range s.fractures {
+		total += f.table.SizeBytes()
+	}
+	return total
 }
 
 // Flush-through and cache control for cold-cache measurements.
 
 // FlushPages writes all dirty pages of all partitions to disk.
 func (s *Store) FlushPages() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.main.Flush(); err != nil {
 		return err
 	}
@@ -267,6 +444,8 @@ func (s *Store) FlushPages() error {
 
 // DropCaches empties every partition's buffer pools.
 func (s *Store) DropCaches() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if err := s.main.DropCaches(); err != nil {
 		return err
 	}

@@ -8,113 +8,90 @@ import (
 	"upidb/internal/upi"
 )
 
+// mergeSnapshot is everything a merge needs from the store, captured
+// under the write lock so the build can proceed without holding it.
+type mergeSnapshot struct {
+	parts    []*upi.Table // index 0 = main, then the fractures to fold
+	deletes  []map[uint64]bool
+	nMerged  int // number of fractures being folded
+	newName  string
+	opts     upi.Options
+	homogene bool
+}
+
 // Merge folds every fracture (and the RAM buffer) back into a fresh
 // main UPI (Section 4.3): "The merging process is essentially a
 // parallel sort-merge operation. Each file is already sorted
 // internally, so we open cursors on all fractures in parallel and keep
 // picking the smallest key from amongst all cursors." The new files
-// are written sequentially; old partitions are then removed. Its cost
-// is therefore ≈ Stable × (Tread + Twrite), the paper's Costmerge.
+// are written sequentially.
+//
+// Merge is concurrency-friendly: it snapshots the partitions to fold
+// under the write lock, builds the new main generation with no lock
+// held — queries, inserts and flushes proceed meanwhile — and then
+// atomically swaps the new main in. Fractures flushed while the merge
+// was building survive the swap untouched. Old partition files are
+// removed once the last in-flight query over them finishes.
+//
+// Queries that overlap the build window read the same source
+// partitions the merge is scanning, so their modeled cost can vary
+// with timing (the merge widens those pagers' read-ahead and warms
+// their caches, and I/O attribution between overlapping scans of one
+// file is approximate). Total disk accounting stays exactly-once;
+// queries that do not overlap a merge keep fully deterministic costs.
 func (s *Store) Merge() error {
+	// One merge at a time; a second caller (or the background merger)
+	// waits rather than building a competing generation.
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+
+	s.mu.Lock()
 	// Buffered changes become one final fracture so the merge only
 	// deals with on-disk partitions.
-	if err := s.Flush(); err != nil {
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	s.gen++
-	newName := s.mainName(s.gen)
-
-	// Entry-level k-way merging preserves each entry's heap-vs-cutoff
-	// placement, which is only correct when every partition was built
-	// with the same parameters as the merged result. When fractures
-	// carry different tuning parameters (Section 4.2), rebuild from
-	// the live tuples instead — still one sequential read of all
-	// partitions plus one sequential write.
-	if !s.partitionsHomogeneous() {
-		return s.mergeByRebuild(newName)
+	snap := mergeSnapshot{
+		parts:   make([]*upi.Table, 0, 1+len(s.fractures)),
+		deletes: make([]map[uint64]bool, 0, 1+len(s.fractures)),
+		nMerged: len(s.fractures),
+		newName: s.mainName(s.gen),
+		opts:    s.opts.UPI,
 	}
-
-	// Sources oldest-to-newest: main then fractures. Priority grows
-	// with recency; on duplicate keys the newest version wins.
-	type source struct {
-		table   *upi.Table
-		deleted map[uint64]bool // delete filter for entries of this source
-	}
-	sources := make([]source, 0, 1+len(s.fractures))
-	sources = append(sources, source{table: s.main, deleted: s.deletesAfter(-1)})
+	snap.parts = append(snap.parts, s.main)
+	snap.deletes = append(snap.deletes, s.deletesAfterLocked(-1))
 	for i, f := range s.fractures {
-		sources = append(sources, source{table: f.table, deleted: s.deletesAfter(i)})
+		snap.parts = append(snap.parts, f.table)
+		snap.deletes = append(snap.deletes, s.deletesAfterLocked(i))
 	}
+	snap.homogene = s.partitionsHomogeneousLocked()
+	s.mu.Unlock()
 
-	mergeInto := func(file string, pick func(t *upi.Table) *btree.Tree) (*btree.Tree, error) {
-		p, err := storage.NewPager(s.fs.Create(file), s.opts.UPI.PageSize)
-		if err != nil {
-			return nil, err
-		}
-		if cp := s.opts.UPI.CachePages; cp > 0 {
-			if err := p.SetCacheLimit(cp); err != nil {
-				return nil, err
-			}
-		}
-		b, err := btree.NewBuilder(p)
-		if err != nil {
-			return nil, err
-		}
-		curs := make([]*mergeCursor, len(sources))
-		for i, src := range sources {
-			tree := pick(src.table)
-			// Sequential read-ahead: the merge reads every source file
-			// front to back, so one seek covers a whole run of pages
-			// ("the cost of merging is about the same as the cost of
-			// sequentially reading all files").
-			tree.Pager().SetPrefetch(mergeReadAhead)
-			curs[i] = &mergeCursor{
-				c:        tree.NewCursor().First(),
-				priority: i,
-				deleted:  src.deleted,
-			}
-		}
-		err = kWayMerge(curs, b)
-		for _, src := range sources {
-			pick(src.table).Pager().SetPrefetch(1)
-		}
-		if err != nil {
-			return nil, err
-		}
-		t, err := b.Finish()
-		if err != nil {
-			return nil, err
-		}
-		return t, p.Flush()
+	// Build the new main generation without holding the store lock.
+	// The source partitions are immutable on disk, and mergeMu keeps
+	// any other merge from removing them mid-read.
+	var (
+		newMain *upi.Table
+		err     error
+	)
+	if snap.homogene {
+		newMain, err = s.mergeByCursor(snap)
+	} else {
+		newMain, err = s.mergeByRebuild(snap)
 	}
-
-	if _, err := mergeInto(upi.HeapFileName(newName), func(t *upi.Table) *btree.Tree { return t.Heap() }); err != nil {
-		return err
-	}
-	if _, err := mergeInto(upi.CutoffFileName(newName), func(t *upi.Table) *btree.Tree { return t.CutoffIndex() }); err != nil {
-		return err
-	}
-	for _, attr := range s.secAttrs {
-		a := attr
-		if _, err := mergeInto(upi.SecFileName(newName, a), func(t *upi.Table) *btree.Tree {
-			sec, _ := t.Secondary(a)
-			return sec
-		}); err != nil {
-			return err
-		}
-	}
-
-	newMain, err := upi.Open(s.fs, newName, s.attr, s.secAttrs, s.opts.UPI)
 	if err != nil {
 		return err
 	}
-	return s.swapMain(newMain)
+	s.swapMerged(newMain, snap.nMerged)
+	return nil
 }
 
-// partitionsHomogeneous reports whether the main UPI and every
+// partitionsHomogeneousLocked reports whether the main UPI and every
 // fracture share the placement-relevant parameters of the current
-// options.
-func (s *Store) partitionsHomogeneous() bool {
+// options. Callers must hold mu.
+func (s *Store) partitionsHomogeneousLocked() bool {
 	same := func(o upi.Options) bool {
 		return o.Cutoff == s.opts.UPI.Cutoff && o.MaxPointers == s.opts.UPI.MaxPointers
 	}
@@ -129,54 +106,110 @@ func (s *Store) partitionsHomogeneous() bool {
 	return true
 }
 
+// mergeByCursor performs the entry-level k-way merge. Entry-level
+// merging preserves each entry's heap-vs-cutoff placement, which is
+// only correct when every partition was built with the same parameters
+// as the merged result (snap.homogene).
+func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
+	mergeInto := func(file string, pick func(t *upi.Table) *btree.Tree) (*btree.Tree, error) {
+		p, err := storage.NewPager(s.fs.Create(file), snap.opts.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		if cp := snap.opts.CachePages; cp > 0 {
+			if err := p.SetCacheLimit(cp); err != nil {
+				return nil, err
+			}
+		}
+		b, err := btree.NewBuilder(p)
+		if err != nil {
+			return nil, err
+		}
+		// Sources oldest-to-newest: main then fractures. Priority grows
+		// with recency; on duplicate keys the newest version wins.
+		curs := make([]*mergeCursor, len(snap.parts))
+		for i, src := range snap.parts {
+			tree := pick(src)
+			// Sequential read-ahead: the merge reads every source file
+			// front to back, so one seek covers a whole run of pages
+			// ("the cost of merging is about the same as the cost of
+			// sequentially reading all files").
+			tree.Pager().SetPrefetch(mergeReadAhead)
+			curs[i] = &mergeCursor{
+				c:        tree.NewCursor().First(),
+				priority: i,
+				deleted:  snap.deletes[i],
+			}
+		}
+		err = kWayMerge(curs, b)
+		for _, src := range snap.parts {
+			pick(src).Pager().SetPrefetch(1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		t, err := b.Finish()
+		if err != nil {
+			return nil, err
+		}
+		return t, p.Flush()
+	}
+
+	if _, err := mergeInto(upi.HeapFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.Heap() }); err != nil {
+		return nil, err
+	}
+	if _, err := mergeInto(upi.CutoffFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.CutoffIndex() }); err != nil {
+		return nil, err
+	}
+	for _, attr := range s.secAttrs {
+		a := attr
+		if _, err := mergeInto(upi.SecFileName(snap.newName, a), func(t *upi.Table) *btree.Tree {
+			sec, _ := t.Secondary(a)
+			return sec
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return upi.Open(s.fs, snap.newName, s.attr, s.secAttrs, snap.opts)
+}
+
 // mergeByRebuild collects every live tuple (sequential heap scans,
 // oldest partition first) and bulk-builds a fresh main UPI with the
 // current options.
-func (s *Store) mergeByRebuild(newName string) error {
-	for _, src := range append([]*upi.Table{s.main}, s.fractureTables()...) {
+func (s *Store) mergeByRebuild(snap mergeSnapshot) (*upi.Table, error) {
+	for _, src := range snap.parts {
 		src.Heap().Pager().SetPrefetch(mergeReadAhead)
 	}
-	tuples, err := s.collectLiveTuples()
-	for _, src := range append([]*upi.Table{s.main}, s.fractureTables()...) {
+	tuples, err := collectLiveTuples(snap.parts, snap.deletes)
+	for _, src := range snap.parts {
 		src.Heap().Pager().SetPrefetch(1)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
-	newMain, err := upi.BulkBuild(s.fs, newName, s.attr, s.secAttrs, s.opts.UPI, tuples)
-	if err != nil {
-		return err
-	}
-	return s.swapMain(newMain)
+	return upi.BulkBuild(s.fs, snap.newName, s.attr, s.secAttrs, snap.opts, tuples)
 }
 
-func (s *Store) fractureTables() []*upi.Table {
-	ts := make([]*upi.Table, len(s.fractures))
-	for i, f := range s.fractures {
-		ts[i] = f.table
-	}
-	return ts
-}
-
-// swapMain installs the merged main UPI and removes all old partition
-// files and delete sets.
-func (s *Store) swapMain(newMain *upi.Table) error {
-	oldFiles := append([]string(nil), s.main.Files()...)
-	for i, f := range s.fractures {
-		oldFiles = append(oldFiles, f.table.Files()...)
-		oldFiles = append(oldFiles, s.delSetFile(s.fracGens[i]))
-	}
+// swapMerged atomically installs the merged main UPI, drops the folded
+// fractures (keeping any flushed while the merge was building) and
+// dooms the replaced partitions' files: they disappear as soon as the
+// last in-flight query over the old generation releases its snapshot.
+func (s *Store) swapMerged(newMain *upi.Table, nMerged int) {
+	s.mu.Lock()
+	oldMain := s.main
+	oldMainRef := s.mainRef
+	merged := s.fractures[:nMerged]
+	mergedGens := s.fracGens[:nMerged]
 	s.main = newMain
-	s.fractures = nil
-	s.fracGens = nil
-	for _, f := range oldFiles {
-		if s.fs.Exists(f) {
-			if err := s.fs.Remove(f); err != nil {
-				return err
-			}
-		}
+	s.mainRef = newPartRef(s.fs)
+	s.fractures = append([]*fract(nil), s.fractures[nMerged:]...)
+	s.fracGens = append([]int(nil), s.fracGens[nMerged:]...)
+	s.mu.Unlock()
+
+	oldMainRef.doom(oldMain.Files())
+	for i, f := range merged {
+		f.ref.doom(append(f.table.Files(), s.delSetFile(mergedGens[i])))
 	}
-	return nil
 }
 
 // mergeReadAhead is the per-source read-ahead window (pages) during a

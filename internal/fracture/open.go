@@ -8,7 +8,6 @@ import (
 	"strings"
 
 	"upidb/internal/storage"
-	"upidb/internal/tuple"
 	"upidb/internal/upi"
 )
 
@@ -19,13 +18,7 @@ import (
 // write-buffered store without a WAL).
 func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
-	s := &Store{
-		fs: fs, name: name, attr: attr,
-		secAttrs:   append([]string(nil), secAttrs...),
-		opts:       opts,
-		bufTuples:  make(map[uint64]*tuple.Tuple),
-		bufDeletes: make(map[uint64]bool),
-	}
+	s := newShell(fs, name, attr, secAttrs, opts)
 
 	mainGen, fracGens, err := scanPartitions(fs, name)
 	if err != nil {
@@ -46,7 +39,7 @@ func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*
 		if err != nil {
 			return nil, err
 		}
-		s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted})
+		s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted, ref: newPartRef(fs)})
 		s.fracGens = append(s.fracGens, g)
 		if g > s.gen {
 			s.gen = g

@@ -2,7 +2,10 @@ package fracture
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"upidb/internal/sim"
 	"upidb/internal/tuple"
 	"upidb/internal/upi"
 )
@@ -16,124 +19,184 @@ type Stats struct {
 	BufferHits int
 }
 
-// Query answers a PTQ over the fractured UPI: the union of the main
-// UPI, every fracture and the insert buffer, minus deleted tuples
-// (Section 4.2). Each on-disk partition is charged a table-open cost,
-// which is the Nfrac × Costinit term of the Section 6 cost model.
-func (s *Store) Query(value string, qt float64) ([]upi.Result, Stats, error) {
-	var stats Stats
-	disk := s.fs.Disk()
+// snapshot is a consistent view of the store taken under the read
+// lock: the partition tables (index 0 = main), the delete filter each
+// partition's results must pass, the matches already found in the RAM
+// insert buffer, and pins on every partition's file lifetime so a
+// concurrent merge cannot remove files mid-scan.
+type snapshot struct {
+	parts       []*upi.Table
+	deletes     []map[uint64]bool
+	pins        []*partRef
+	bufResults  []upi.Result
+	parallelism int
+}
 
-	var results []upi.Result
-	// Main UPI: delete sets of all fractures apply.
-	disk.Open(s.main.Name())
-	stats.PartitionsRead++
-	rs, qs, err := s.main.Query(value, qt)
-	if err != nil {
-		return nil, stats, err
+// snapshotFor captures the current partitions and evaluates the RAM
+// buffer under the read lock. match returns the confidence of a
+// buffered tuple and whether it qualifies; buffer evaluation is pure
+// CPU, so doing it under the lock keeps the snapshot consistent at no
+// I/O cost.
+func (s *Store) snapshotFor(match func(*tuple.Tuple) (float64, bool)) *snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 1 + len(s.fractures)
+	snap := &snapshot{
+		parts:       make([]*upi.Table, n),
+		deletes:     make([]map[uint64]bool, n),
+		pins:        make([]*partRef, n),
+		parallelism: s.parallelismLocked(),
 	}
-	stats.QueryStats = addStats(stats.QueryStats, qs)
-	results = appendLive(results, rs, s.deletesAfter(-1))
-
+	snap.parts[0] = s.main
+	snap.deletes[0] = s.deletesAfterLocked(-1)
+	snap.pins[0] = s.mainRef
 	for i, f := range s.fractures {
-		disk.Open(f.table.Name())
-		stats.PartitionsRead++
-		rs, qs, err := f.table.Query(value, qt)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.QueryStats = addStats(stats.QueryStats, qs)
-		results = appendLive(results, rs, s.deletesAfter(i))
+		snap.parts[i+1] = f.table
+		snap.deletes[i+1] = s.deletesAfterLocked(i)
+		snap.pins[i+1] = f.ref
 	}
-
-	// Insert buffer: pure RAM, no I/O charge.
+	for _, p := range snap.pins {
+		p.pin()
+	}
 	for _, id := range s.bufOrder {
 		tup := s.bufTuples[id]
-		if conf := tup.Confidence(s.attr, value); conf >= qt {
-			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
-			stats.BufferHits++
+		if conf, ok := match(tup); ok {
+			snap.bufResults = append(snap.bufResults, upi.Result{Tuple: tup, Confidence: conf})
 		}
 	}
+	return snap
+}
+
+func (snap *snapshot) release() {
+	for _, p := range snap.pins {
+		p.unpin()
+	}
+}
+
+// partQuery runs one query against a single partition.
+type partQuery func(t *upi.Table) ([]upi.Result, upi.QueryStats, error)
+
+// collect fans q out over the snapshot's partitions with a bounded
+// worker pool, then merges results in partition order. Each partition
+// is charged a table-open cost (the Nfrac × Costinit term of the
+// Section 6 cost model) plus its scan I/O, recorded on a per-partition
+// tape and replayed in partition order — so the modeled cost equals a
+// serial scan's at any parallelism.
+func (s *Store) collect(snap *snapshot, q partQuery) ([]upi.Result, Stats, error) {
+	n := len(snap.parts)
+	type partOut struct {
+		rs   []upi.Result
+		qs   upi.QueryStats
+		err  error
+		tape *sim.Tape
+	}
+	outs := make([]partOut, n)
+
+	scan := func(i int) {
+		t := snap.parts[i]
+		tape := sim.NewTape()
+		release := s.fs.RouteTo(t.Files(), tape)
+		tape.Open(t.Name())
+		rs, qs, err := q(t)
+		release()
+		outs[i] = partOut{rs: rs, qs: qs, err: err, tape: tape}
+	}
+
+	if workers := min(snap.parallelism, n); workers <= 1 {
+		for i := 0; i < n; i++ {
+			scan(i)
+		}
+	} else {
+		var next atomic.Int32
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					scan(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic accounting: charge partition I/O in partition
+	// order, exactly as a serial scan would have.
+	disk := s.fs.Disk()
+	for i := range outs {
+		disk.Replay(outs[i].tape)
+	}
+
+	var stats Stats
+	var results []upi.Result
+	for i := range outs {
+		stats.PartitionsRead++
+		if outs[i].err != nil {
+			return nil, stats, outs[i].err
+		}
+		stats.QueryStats = addStats(stats.QueryStats, outs[i].qs)
+		results = appendLive(results, outs[i].rs, snap.deletes[i])
+	}
+	// Insert buffer: pure RAM, no I/O charge.
+	results = append(results, snap.bufResults...)
+	stats.BufferHits = len(snap.bufResults)
 	sortResults(results)
 	return results, stats, nil
+}
+
+// Query answers a PTQ over the fractured UPI: the union of the main
+// UPI, every fracture and the insert buffer, minus deleted tuples
+// (Section 4.2). Partitions are scanned in parallel up to
+// Options.Parallelism.
+func (s *Store) Query(value string, qt float64) ([]upi.Result, Stats, error) {
+	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
+		conf := tup.Confidence(s.attr, value)
+		return conf, conf >= qt
+	})
+	defer snap.release()
+	return s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		return t.Query(value, qt)
+	})
 }
 
 // QuerySecondary answers a PTQ on a secondary attribute across all
 // partitions. Each fracture's secondary index points into that
 // fracture's own heap (Section 4.2), so tailored access runs
-// per-partition.
+// per-partition — which also makes the fan-out embarrassingly
+// parallel.
 func (s *Store) QuerySecondary(attr, value string, qt float64, tailored bool) ([]upi.Result, Stats, error) {
-	var stats Stats
-	disk := s.fs.Disk()
-
-	var results []upi.Result
-	disk.Open(s.main.Name())
-	stats.PartitionsRead++
-	rs, qs, err := s.main.QuerySecondary(attr, value, qt, tailored)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.QueryStats = addStats(stats.QueryStats, qs)
-	results = appendLive(results, rs, s.deletesAfter(-1))
-
-	for i, f := range s.fractures {
-		disk.Open(f.table.Name())
-		stats.PartitionsRead++
-		rs, qs, err := f.table.QuerySecondary(attr, value, qt, tailored)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.QueryStats = addStats(stats.QueryStats, qs)
-		results = appendLive(results, rs, s.deletesAfter(i))
-	}
-
-	for _, id := range s.bufOrder {
-		tup := s.bufTuples[id]
-		if conf := tup.Confidence(attr, value); conf >= qt {
-			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
-			stats.BufferHits++
-		}
-	}
-	sortResults(results)
-	return results, stats, nil
+	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
+		conf := tup.Confidence(attr, value)
+		return conf, conf >= qt
+	})
+	defer snap.release()
+	return s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		return t.QuerySecondary(attr, value, qt, tailored)
+	})
 }
 
 // TopK returns the k highest-confidence matches across all partitions.
 func (s *Store) TopK(value string, k int) ([]upi.Result, Stats, error) {
-	var stats Stats
 	if k <= 0 {
-		return nil, stats, nil
+		return nil, Stats{}, nil
 	}
-	disk := s.fs.Disk()
-	var results []upi.Result
-
-	disk.Open(s.main.Name())
-	stats.PartitionsRead++
-	rs, qs, err := s.main.TopK(value, k)
+	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
+		conf := tup.Confidence(s.attr, value)
+		return conf, conf > 0
+	})
+	defer snap.release()
+	results, stats, err := s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		return t.TopK(value, k)
+	})
 	if err != nil {
 		return nil, stats, err
 	}
-	stats.QueryStats = addStats(stats.QueryStats, qs)
-	results = appendLive(results, rs, s.deletesAfter(-1))
-
-	for i, f := range s.fractures {
-		disk.Open(f.table.Name())
-		stats.PartitionsRead++
-		rs, qs, err := f.table.TopK(value, k)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.QueryStats = addStats(stats.QueryStats, qs)
-		results = appendLive(results, rs, s.deletesAfter(i))
-	}
-	for _, id := range s.bufOrder {
-		tup := s.bufTuples[id]
-		if conf := tup.Confidence(s.attr, value); conf > 0 {
-			results = append(results, upi.Result{Tuple: tup, Confidence: conf})
-			stats.BufferHits++
-		}
-	}
-	sortResults(results)
 	if len(results) > k {
 		results = results[:k]
 	}
@@ -166,13 +229,17 @@ func sortResults(rs []upi.Result) {
 	})
 }
 
-// collectLiveTuples returns every live tuple across all partitions and
-// the buffer, deduplicated by ID (newest version wins). Used by Merge.
-func (s *Store) collectLiveTuples() ([]*tuple.Tuple, error) {
+// collectLiveTuples returns every live tuple across the given
+// partitions (index 0 = main, then fractures oldest first),
+// deduplicated by ID. The per-partition delete filters are the
+// snapshot-time deletesAfter sets. Used by the rebuild path of Merge,
+// which always runs after a flush, so there is no RAM buffer to fold
+// in.
+func collectLiveTuples(parts []*upi.Table, deletes []map[uint64]bool) ([]*tuple.Tuple, error) {
 	byID := make(map[uint64]*tuple.Tuple)
-	// Oldest first so newer versions overwrite.
-	scan := func(t *upi.Table, deleted map[uint64]bool) error {
-		return t.ScanHeap(func(value string, conf float64, id uint64, enc []byte) bool {
+	for i, t := range parts {
+		deleted := deletes[i]
+		err := t.ScanHeap(func(value string, conf float64, id uint64, enc []byte) bool {
 			if deleted[id] {
 				return true
 			}
@@ -186,17 +253,9 @@ func (s *Store) collectLiveTuples() ([]*tuple.Tuple, error) {
 			byID[id] = tup
 			return true
 		})
-	}
-	if err := scan(s.main, s.deletesAfter(-1)); err != nil {
-		return nil, err
-	}
-	for i, f := range s.fractures {
-		if err := scan(f.table, s.deletesAfter(i)); err != nil {
+		if err != nil {
 			return nil, err
 		}
-	}
-	for _, id := range s.bufOrder {
-		byID[id] = s.bufTuples[id]
 	}
 	ids := make([]uint64, 0, len(byID))
 	for id := range byID {

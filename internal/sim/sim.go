@@ -121,12 +121,15 @@ func (d *Disk) Write(file string, off, n int64) time.Duration {
 }
 
 func (d *Disk) access(file string, off, n int64, write bool) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.accessLocked(file, off, n, write)
+}
+
+func (d *Disk) accessLocked(file string, off, n int64, write bool) time.Duration {
 	if n < 0 {
 		panic("sim: negative I/O size")
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-
 	var cost time.Duration
 	if !d.headSet || d.headFile != file || d.headOff != off {
 		cost += d.params.Seek

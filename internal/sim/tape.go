@@ -1,0 +1,91 @@
+package sim
+
+import "sync"
+
+// opKind distinguishes the operations a Tape can record.
+type opKind uint8
+
+const (
+	opOpen opKind = iota
+	opRead
+	opWrite
+)
+
+type tapeOp struct {
+	kind opKind
+	file string
+	off  int64
+	n    int64
+}
+
+// Tape records disk operations without charging them, preserving their
+// order. A parallel query records each partition's I/O on its own tape
+// while the partitions are scanned concurrently, then replays the tapes
+// in partition order: the charged sequence — and therefore every seek/
+// sequential classification and the modeled total — is identical to a
+// serial scan, no matter how the goroutines actually interleaved.
+//
+// Tape is safe for concurrent use, though a tape normally has a single
+// writer (the worker that owns the partition).
+type Tape struct {
+	mu  sync.Mutex
+	ops []tapeOp
+}
+
+// NewTape returns an empty tape.
+func NewTape() *Tape { return &Tape{} }
+
+// Open records a file-open (Costinit) charge.
+func (t *Tape) Open(file string) {
+	t.mu.Lock()
+	t.ops = append(t.ops, tapeOp{kind: opOpen, file: file})
+	t.mu.Unlock()
+}
+
+// Read records a read of n bytes at offset off.
+func (t *Tape) Read(file string, off, n int64) {
+	t.mu.Lock()
+	t.ops = append(t.ops, tapeOp{kind: opRead, file: file, off: off, n: n})
+	t.mu.Unlock()
+}
+
+// Write records a write of n bytes at offset off.
+func (t *Tape) Write(file string, off, n int64) {
+	t.mu.Lock()
+	t.ops = append(t.ops, tapeOp{kind: opWrite, file: file, off: off, n: n})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded operations.
+func (t *Tape) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ops)
+}
+
+// Replay charges every operation recorded on the tape, in order, as one
+// atomic batch: no other disk activity can interleave with the tape, so
+// head movement within the batch is exactly what the recorded sequence
+// dictates. The tape is left empty.
+func (d *Disk) Replay(t *Tape) {
+	t.mu.Lock()
+	ops := t.ops
+	t.ops = nil
+	t.mu.Unlock()
+	if len(ops) == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, op := range ops {
+		switch op.kind {
+		case opOpen:
+			d.stats.FileOpens++
+			d.stats.Elapsed += d.params.Init
+		case opRead:
+			d.accessLocked(op.file, op.off, op.n, false)
+		case opWrite:
+			d.accessLocked(op.file, op.off, op.n, true)
+		}
+	}
+}

@@ -22,8 +22,23 @@ import (
 type FS struct {
 	disk *sim.Disk
 
-	mu    sync.Mutex
-	files map[string]*fileData
+	mu       sync.Mutex
+	files    map[string]*fileData
+	routes   map[string]routeEntry
+	routeSeq uint64
+}
+
+// Recorder receives the I/O charges of routed files in place of the
+// disk. *sim.Tape implements it.
+type Recorder interface {
+	Open(file string)
+	Read(file string, off, n int64)
+	Write(file string, off, n int64)
+}
+
+type routeEntry struct {
+	rec   Recorder
+	token uint64
 }
 
 type fileData struct {
@@ -37,6 +52,50 @@ func NewFS(disk *sim.Disk) *FS {
 
 // Disk returns the simulated disk backing this file system.
 func (fs *FS) Disk() *sim.Disk { return fs.disk }
+
+// RouteTo diverts the I/O charges of the named files to rec instead of
+// the disk until the returned release function is called. A parallel
+// query routes each partition's files to a private sim.Tape, then
+// replays the tapes in partition order for deterministic accounting.
+//
+// Routes nest last-writer-wins: if a second RouteTo claims a file, the
+// newer route receives subsequent charges and the older release leaves
+// it untouched, so every operation is charged to exactly one sink.
+// Consequently, when two actors scan the same files at the same time
+// (two queries on one table, or a query overlapping a background
+// merge), totals remain exactly-once but the split *between* their
+// recorders is approximate — per-query determinism is guaranteed only
+// for scans that do not share files with concurrent activity.
+func (fs *FS) RouteTo(files []string, rec Recorder) (release func()) {
+	fs.mu.Lock()
+	if fs.routes == nil {
+		fs.routes = make(map[string]routeEntry)
+	}
+	fs.routeSeq++
+	token := fs.routeSeq
+	for _, name := range files {
+		fs.routes[name] = routeEntry{rec: rec, token: token}
+	}
+	fs.mu.Unlock()
+	routed := append([]string(nil), files...)
+	return func() {
+		fs.mu.Lock()
+		for _, name := range routed {
+			if e, ok := fs.routes[name]; ok && e.token == token {
+				delete(fs.routes, name)
+			}
+		}
+		fs.mu.Unlock()
+	}
+}
+
+// route returns the recorder currently claiming name, if any.
+func (fs *FS) route(name string) Recorder {
+	if e, ok := fs.routes[name]; ok {
+		return e.rec
+	}
+	return nil
+}
 
 // Create creates (or truncates) a file and returns an open handle.
 // Creating charges the file-open cost.
@@ -156,8 +215,13 @@ func (f *File) ReadAt(p []byte, off int64) error {
 			f.name, off, off+int64(len(p)), len(fd.data))
 	}
 	copy(p, fd.data[off:])
+	rec := f.fs.route(f.name)
 	f.fs.mu.Unlock()
-	f.fs.disk.Read(f.name, off, int64(len(p)))
+	if rec != nil {
+		rec.Read(f.name, off, int64(len(p)))
+	} else {
+		f.fs.disk.Read(f.name, off, int64(len(p)))
+	}
 	return nil
 }
 
@@ -190,7 +254,12 @@ func (f *File) WriteAt(p []byte, off int64) error {
 		}
 	}
 	copy(fd.data[off:], p)
+	rec := f.fs.route(f.name)
 	f.fs.mu.Unlock()
-	f.fs.disk.Write(f.name, off, int64(len(p)))
+	if rec != nil {
+		rec.Write(f.name, off, int64(len(p)))
+	} else {
+		f.fs.disk.Write(f.name, off, int64(len(p)))
+	}
 	return nil
 }

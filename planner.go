@@ -28,17 +28,27 @@ func (t *Table) BuildStats(sample []*Tuple, attrs ...string) error {
 	if err != nil {
 		return err
 	}
+	t.plannerMu.Lock()
 	t.planner = p
+	t.plannerMu.Unlock()
 	return nil
+}
+
+// currentPlanner returns the planner installed by BuildStats, if any.
+func (t *Table) currentPlanner() *planner.Planner {
+	t.plannerMu.RLock()
+	defer t.plannerMu.RUnlock()
+	return t.planner
 }
 
 // Explain returns the costed physical plans for a PTQ, cheapest first,
 // in EXPLAIN-style text. BuildStats must have been called.
 func (t *Table) Explain(attr, value string, qt float64) (string, error) {
-	if t.planner == nil {
+	p := t.currentPlanner()
+	if p == nil {
 		return "", fmt.Errorf("upidb: call BuildStats before Explain")
 	}
-	plans, err := t.planner.PlanPTQ(attr, value, qt)
+	plans, err := p.PlanPTQ(attr, value, qt)
 	if err != nil {
 		return "", err
 	}
@@ -49,9 +59,10 @@ func (t *Table) Explain(attr, value string, qt float64) (string, error) {
 // finds and reports which plan was used. BuildStats must have been
 // called.
 func (t *Table) QueryPlanned(attr, value string, qt float64) ([]Result, string, error) {
-	if t.planner == nil {
+	p := t.currentPlanner()
+	if p == nil {
 		return nil, "", fmt.Errorf("upidb: call BuildStats before QueryPlanned")
 	}
-	rs, plan, err := t.planner.Execute(attr, value, qt)
+	rs, plan, err := p.Execute(attr, value, qt)
 	return rs, plan.Kind.String(), err
 }

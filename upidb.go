@@ -30,10 +30,38 @@
 // costs reported by Stats are reproducible modeled times rather than
 // wall-clock noise. See DESIGN.md and EXPERIMENTS.md for the full
 // reproduction of the paper's evaluation.
+//
+// # Concurrency
+//
+// A DB and its tables are safe for concurrent use: any number of
+// goroutines may run queries while others insert, delete, flush and
+// merge. Queries snapshot the partition set (main UPI + fractures +
+// RAM buffer) under a read lock and scan the immutable on-disk
+// partitions outside it, so readers never block each other; inserts
+// and deletes block them only momentarily, while a flush holds the
+// write lock for the duration of the fracture build (one sequential
+// write) and a merge builds its new generation without the lock.
+//
+// Each query additionally fans its per-partition scans out across a
+// bounded worker pool sized by TableOptions.Parallelism (default
+// GOMAXPROCS) — the partition-parallel read path that multi-petabyte
+// shared-nothing designs rely on. Modeled I/O stays deterministic at
+// every parallelism: each partition records its I/O on a private tape
+// that is replayed against the simulated disk in partition order, so
+// the reported cost is identical to a serial scan no matter how the
+// goroutines interleave.
+//
+// Merging can run in the background (Table.StartAutoMerge): when the
+// fracture count or size crosses a threshold, a goroutine folds the
+// fractures into a new main generation and swaps it in atomically.
+// In-flight queries finish on the generation they started on; replaced
+// partition files are reference-counted and removed only after the
+// last such query completes.
 package upidb
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"upidb/internal/cupi"
@@ -93,6 +121,11 @@ type TableOptions struct {
 	// BufferTuples is the RAM insert-buffer capacity before an
 	// automatic flush into a new fracture (0 = manual Flush only).
 	BufferTuples int
+	// Parallelism bounds the worker goroutines one query fans out
+	// across the main UPI and the fractures (0 = GOMAXPROCS,
+	// 1 = serial scan). Modeled query costs are identical at every
+	// setting; only wall-clock time changes.
+	Parallelism int
 }
 
 // DB owns a simulated disk and the tables created on it.
@@ -130,6 +163,7 @@ func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts Tabl
 	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
+		Parallelism:  opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -143,6 +177,7 @@ func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, opts Ta
 	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
+		Parallelism:  opts.Parallelism,
 	}, tuples)
 	if err != nil {
 		return nil, err
@@ -156,6 +191,7 @@ func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableO
 	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
+		Parallelism:  opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -167,9 +203,11 @@ func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableO
 // buffered in RAM and reach disk on Flush (or automatically when the
 // buffer fills); queries always see the freshest data.
 type Table struct {
-	db      *DB
-	store   *fracture.Store
-	planner *planner.Planner // set by BuildStats
+	db    *DB
+	store *fracture.Store
+
+	plannerMu sync.RWMutex
+	planner   *planner.Planner // set by BuildStats
 }
 
 // Insert adds or replaces a tuple (buffered).
@@ -218,6 +256,26 @@ func (t *Table) TopK(value string, k int) ([]Result, error) {
 	rs, _, err := t.store.TopK(value, k)
 	return rs, err
 }
+
+// SetParallelism changes the per-query partition fan-out width
+// (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not depend on
+// it; only wall-clock time changes.
+func (t *Table) SetParallelism(n int) { t.store.SetParallelism(n) }
+
+// AutoMergeOptions tune the background merger of a table.
+type AutoMergeOptions = fracture.AutoMergeOptions
+
+// StartAutoMerge launches a background goroutine that merges the
+// table whenever the fracture count or total fracture size crosses a
+// threshold. Queries keep running during a background merge; the swap
+// to the merged main is atomic and in-flight queries finish on the
+// generation they started on.
+func (t *Table) StartAutoMerge(opts AutoMergeOptions) error { return t.store.StartAutoMerge(opts) }
+
+// StopAutoMerge stops the background merger, waiting for an
+// in-progress merge to finish, and returns the first error a
+// background merge hit (nil if none).
+func (t *Table) StopAutoMerge() error { return t.store.StopAutoMerge() }
 
 // NumFractures returns the current fracture count (merge when this
 // grows large; see the cost model).
