@@ -12,9 +12,10 @@ package upidb
 //	go test -bench=. -benchmem
 //
 // Full-scale experiment output (the numbers recorded in
-// EXPERIMENTS.md) comes from cmd/upibench.
+// README.md) comes from cmd/upibench.
 
 import (
+	"context"
 	"testing"
 
 	"upidb/internal/bench"
@@ -117,7 +118,7 @@ func BenchmarkUPIQueryPTQ(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := tab.Query(dataset.MITInstitution, 0.1); err != nil {
+		if _, _, err := tab.Query(context.Background(), dataset.MITInstitution, 0.1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +134,7 @@ func BenchmarkUPIQuerySecondaryTailored(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := tab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true); err != nil {
+		if _, _, err := tab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, 0.3, true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func BenchmarkFacadeInsertFlushQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i%100 == 99 {
-			if _, err := tab.Query(dataset.MITInstitution, 0.3); err != nil {
+			if _, err := tab.Run(context.Background(), PTQ("", dataset.MITInstitution, 0.3)); err != nil {
 				b.Fatal(err)
 			}
 		}

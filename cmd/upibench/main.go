@@ -1,9 +1,9 @@
 // Command upibench regenerates the tables and figures of the UPI
-// paper's evaluation section (see DESIGN.md for the experiment index).
+// paper's evaluation section (see README.md for the experiment index).
 //
 // Usage:
 //
-//	upibench [-experiment all|fig3|...|table8] [-scale 1.0] [-seed 1]
+//	upibench [-experiment all|fig3|...|table8] [-scale 1.0] [-seed 1] [-json out.json]
 //
 // Runtimes are modeled seconds on the paper's simulated disk (10 ms
 // seek, 20 ms/MB read, 50 ms/MB write, 100 ms per file open), measured
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = 70k authors, 130k publications, 150k observations)")
 		seed       = flag.Int64("seed", 1, "dataset generation seed")
 		parallel   = flag.Int("parallel", 0, "per-query partition fan-out for fractured-UPI experiments (0 = GOMAXPROCS, 1 = serial; modeled results are identical)")
+		jsonOut    = flag.String("json", "", "also write the regenerated experiments as JSON to this file (CI perf trajectory)")
 	)
 	flag.Parse()
 
@@ -39,6 +41,11 @@ func main() {
 	}
 
 	fmt.Printf("upibench: scale=%.3g seed=%d experiments=%v\n\n", *scale, *seed, ids)
+	report := struct {
+		Scale       float64             `json:"scale"`
+		Seed        int64               `json:"seed"`
+		Experiments []*bench.Experiment `json:"experiments"`
+	}{Scale: *scale, Seed: *seed}
 	for _, id := range ids {
 		start := time.Now()
 		exp, err := bench.Run(env, id)
@@ -48,5 +55,19 @@ func main() {
 		}
 		fmt.Println(exp)
 		fmt.Printf("   (regenerated in %v wall-clock)\n\n", time.Since(start).Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, exp)
+	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "upibench: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "upibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,50 +73,53 @@ func main() {
 	}
 	must(authors.Flush())
 
+	ctx := context.Background()
 	fmt.Println("\nQuery 1: SELECT * FROM Author WHERE Institution=MIT")
 	for _, qt := range []float64{0.1, 0.5, 0.96} {
 		must(authors.DropCaches())
-		rs, info, err := authors.QueryStats("MIT", qt)
+		res, err := authors.Run(ctx, upidb.PTQ("", "MIT", qt).WithStats())
 		must(err)
-		fmt.Printf("  QT=%.2f -> %d rows  [%s]\n", qt, len(rs), info)
-		for _, r := range rs {
+		fmt.Printf("  QT=%.2f -> %d rows  [%s]\n", qt, res.Len(), res.Info())
+		for r, rerr := range res.All() {
+			must(rerr)
 			name, _ := r.Tuple.DetValue("Name")
 			fmt.Printf("    %-6s confidence=%.0f%%\n", name, r.Confidence*100)
 		}
 	}
 
 	fmt.Println("\nSecondary PTQ with tailored access: Country=US, QT=0.8")
-	rs, err := authors.QuerySecondary("Country", "US", 0.8)
+	res, err := authors.Run(ctx, upidb.PTQ("Country", "US", 0.8))
 	must(err)
-	for _, r := range rs {
+	for r, rerr := range res.All() {
+		must(rerr)
 		name, _ := r.Tuple.DetValue("Name")
 		fmt.Printf("  %-6s confidence=%.0f%%\n", name, r.Confidence*100)
 	}
 
 	fmt.Println("\nTop-2 most likely MIT authors:")
-	rs, err = authors.TopK("MIT", 2)
+	res, err = authors.Run(ctx, upidb.TopKQuery("MIT", 2))
 	must(err)
-	for i, r := range rs {
+	for i, r := range res.Collect() {
 		name, _ := r.Tuple.DetValue("Name")
 		fmt.Printf("  #%d %-6s confidence=%.0f%%\n", i+1, name, r.Confidence*100)
 	}
 
 	fmt.Println("\nCost-based planning (EXPLAIN):")
 	must(authors.BuildStats(rows))
-	plan, err := authors.Explain("Institution", "MIT", 0.05)
+	res, err = authors.Run(ctx, upidb.PTQ("Institution", "MIT", 0.05).WithExplain())
 	must(err)
-	fmt.Print(plan)
-	plan, err = authors.Explain("Country", "US", 0.8)
+	fmt.Print(res.Info().Explain)
+	res, err = authors.Run(ctx, upidb.PTQ("Country", "US", 0.8).WithExplain())
 	must(err)
-	fmt.Print(plan)
+	fmt.Print(res.Info().Explain)
 
 	fmt.Println("\nMaintenance: delete Bob, merge fractures.")
-	authors.Delete(2)
+	must(authors.Delete(2))
 	must(authors.Flush())
 	must(authors.Merge())
-	rs, err = authors.Query("MIT", 0.1)
+	res, err = authors.Run(ctx, upidb.PTQ("", "MIT", 0.1))
 	must(err)
-	fmt.Printf("  after delete+merge, Query 1 at QT=0.1 returns %d row(s)\n", len(rs))
+	fmt.Printf("  after delete+merge, Query 1 at QT=0.1 returns %d row(s)\n", res.Len())
 
 	st := db.DiskStats()
 	fmt.Printf("\nSimulated disk totals: %s\n", st)

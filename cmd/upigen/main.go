@@ -1,7 +1,7 @@
 // Command upigen writes the synthetic uncertain datasets to CSV for
 // inspection: the DBLP-like Author/Publication tables and the
 // Cartel-like CarObservation table (see internal/dataset and the
-// substitution notes in DESIGN.md).
+// substitution notes in README.md).
 //
 // Usage:
 //

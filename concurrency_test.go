@@ -7,6 +7,7 @@ package upidb
 // also runs (shortened) in -short mode.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -111,22 +112,23 @@ func TestSoakConcurrentEngine(t *testing.T) {
 				default:
 				}
 				v := soakValue(rng.Intn(soakValues))
-				var rs []Result
-				var err error
+				var q Query
 				switch rng.Intn(3) {
 				case 0:
-					rs, err = tab.Query(v, 0.1)
+					q = PTQ("", v, 0.1)
 				case 1:
-					rs, err = tab.QuerySecondary("Y", "y"+v, 0.1)
+					q = PTQ("Y", "y"+v, 0.1)
 				case 2:
-					rs, err = tab.TopK(v, 5)
-					if err == nil && len(rs) > 5 {
-						errs <- fmt.Errorf("TopK returned %d > k results", len(rs))
-						return
-					}
+					q = TopKQuery(v, 5)
 				}
+				res, err := tab.Run(context.Background(), q)
 				if err != nil {
 					errs <- err
+					return
+				}
+				rs := res.Collect()
+				if q.kind == KindTopK && len(rs) > 5 {
+					errs <- fmt.Errorf("TopK returned %d > k results", len(rs))
 					return
 				}
 				seen := make(map[uint64]bool, len(rs))
@@ -180,12 +182,12 @@ func TestSoakConcurrentEngine(t *testing.T) {
 		}
 	}
 	for v := 0; v < soakValues; v++ {
-		rs, err := tab.Query(soakValue(v), 0)
+		res, err := tab.Run(context.Background(), PTQ("", soakValue(v), 0))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rs) != want[soakValue(v)] {
-			t.Errorf("final state %s: %d live tuples, want %d", soakValue(v), len(rs), want[soakValue(v)])
+		if res.Len() != want[soakValue(v)] {
+			t.Errorf("final state %s: %d live tuples, want %d", soakValue(v), res.Len(), want[soakValue(v)])
 		}
 	}
 }

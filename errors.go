@@ -1,0 +1,32 @@
+package upidb
+
+import (
+	"upidb/internal/fracture"
+	"upidb/internal/planner"
+	"upidb/internal/upi"
+)
+
+// Typed sentinel errors returned by the query API. Every layer of the
+// engine returns (or wraps) these same values, so errors.Is works on
+// any error that crosses the facade regardless of where it originated.
+var (
+	// ErrUnknownAttr reports a query on an attribute the table has no
+	// index for — neither the primary clustered attribute nor any
+	// secondary-indexed one.
+	ErrUnknownAttr = upi.ErrUnknownAttr
+
+	// ErrNoStats reports a planned query (WithPlanner, Explain,
+	// QueryPlanned) without the statistics it needs: BuildStats was
+	// never called, or did not cover the queried attribute.
+	ErrNoStats = planner.ErrNoStats
+
+	// ErrCanceled reports a query stopped by its context. Returned
+	// errors wrap both ErrCanceled and the context's own error, so
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// also matches. A query that fails this way has stopped charging
+	// modeled I/O and released its partition pins.
+	ErrCanceled = upi.ErrCanceled
+
+	// ErrClosed reports an operation on a table after Close.
+	ErrClosed = fracture.ErrClosed
+)

@@ -1,6 +1,7 @@
 package upidb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -9,7 +10,8 @@ import (
 
 // Example reproduces the paper's Query 1 on the running example: the
 // confidence of an answer is existence × P(value) under possible-world
-// semantics.
+// semantics. Queries are descriptors executed by Run under a context;
+// results stream through a range-over-func iterator.
 func Example() {
 	db := upidb.New()
 	authors, err := db.CreateTable("authors", "Institution", nil,
@@ -35,11 +37,15 @@ func Example() {
 		Unc: []upidb.UncField{{Name: "Institution", Dist: bob}},
 	})
 
-	results, err := authors.Query("MIT", 0.10)
+	// PTQ on the primary attribute ("" is shorthand for it).
+	res, err := authors.Run(context.Background(), upidb.PTQ("", "MIT", 0.10))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
+	for r, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		name, _ := r.Tuple.DetValue("Name")
 		fmt.Printf("%s: %.0f%%\n", name, r.Confidence*100)
 	}
@@ -48,10 +54,10 @@ func Example() {
 	// Alice: 18%
 }
 
-// ExampleTable_TopK finds the k most likely tuples for one value of
+// ExampleTable_Run finds the k most likely tuples for one value of
 // the clustered attribute; the UPI's confidence-descending order makes
-// this a bounded scan.
-func ExampleTable_TopK() {
+// this a bounded scan. Per-query options chain onto the descriptor.
+func ExampleTable_Run() {
 	db := upidb.New()
 	authors, _ := db.CreateTable("authors", "Institution", nil, upidb.TableOptions{})
 	for i, p := range []float64{0.3, 0.9, 0.6} {
@@ -60,8 +66,9 @@ func ExampleTable_TopK() {
 			{Name: "Institution", Dist: d},
 		}})
 	}
-	top, _ := authors.TopK("MIT", 2)
-	for _, r := range top {
+	q := upidb.TopKQuery("MIT", 2).WithParallelism(1).WithStats()
+	res, _ := authors.Run(context.Background(), q)
+	for _, r := range res.Collect() {
 		fmt.Printf("tuple %d: %.1f\n", r.Tuple.ID, r.Confidence)
 	}
 	// Output:
@@ -86,8 +93,8 @@ func ExampleTable_Merge() {
 	fmt.Println("fractures before merge:", t.NumFractures())
 	t.Merge()
 	fmt.Println("fractures after merge:", t.NumFractures())
-	rs, _ := t.Query("a", 0.5)
-	fmt.Println("rows:", len(rs))
+	res, _ := t.Run(context.Background(), upidb.PTQ("", "a", 0.5))
+	fmt.Println("rows:", res.Len())
 	// Output:
 	// fractures before merge: 3
 	// fractures after merge: 0

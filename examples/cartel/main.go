@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ func main() {
 	fmt.Printf("generated %d car observations on %d road segments\n",
 		len(c.Observations), len(c.Segments))
 
+	ctx := context.Background()
 	db := upidb.New()
 	cars, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
 	if err != nil {
@@ -32,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	before := db.DiskStats()
-	rs, err := cars.QueryCircle(upidb.Point{X: 0, Y: 0}, 400, 0.5)
+	rs, err := cars.RunCircle(ctx, upidb.Point{X: 0, Y: 0}, 400, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	before = db.DiskStats()
-	rs, err = cars.QuerySegment(seg, 0.3)
+	rs, err = cars.RunSegment(ctx, seg, 0.3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs, err = cars.QueryCircle(upidb.Point{X: 0, Y: 0}, 200, 0.5)
+	rs, err = cars.RunCircle(ctx, upidb.Point{X: 0, Y: 0}, 200, 0.5)
 	if err != nil {
 		log.Fatal(err)
 	}

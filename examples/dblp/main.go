@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -36,14 +37,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	// Query 1: authors at MIT with confidence >= 0.3.
 	if err := authors.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	rs, info, err := authors.QueryStats(dataset.MITInstitution, 0.3)
+	res, err := authors.Run(ctx, upidb.PTQ("", dataset.MITInstitution, 0.3).WithStats())
 	if err != nil {
 		log.Fatal(err)
 	}
+	rs, info := res.Collect(), res.Info()
 	fmt.Printf("\nQuery 1 (Institution=MIT, QT=0.3): %d authors, cost %v\n", len(rs), info.ModeledTime)
 	for i, r := range rs[:min(3, len(rs))] {
 		name, _ := r.Tuple.DetValue(dataset.DetName)
@@ -54,10 +57,11 @@ func main() {
 	if err := pubs.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	rs, info, err = pubs.QueryStats(dataset.MITInstitution, 0.3)
+	res, err = pubs.Run(ctx, upidb.PTQ("", dataset.MITInstitution, 0.3).WithStats())
 	if err != nil {
 		log.Fatal(err)
 	}
+	rs, info = res.Collect(), res.Info()
 	byJournal := map[string]int{}
 	for _, r := range rs {
 		if j, ok := r.Tuple.DetValue(dataset.DetJournal); ok {
@@ -84,19 +88,19 @@ func main() {
 	if err := pubs.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	rs, err = pubs.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3)
+	res, err = pubs.Run(ctx, upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nQuery 3 (Country=Japan via secondary index, QT=0.3): %d pubs\n", len(rs))
+	fmt.Printf("\nQuery 3 (Country=Japan via secondary index, QT=0.3): %d pubs\n", res.Len())
 
 	// Top-k: the 5 most confident MIT authors.
-	top, err := authors.TopK(dataset.MITInstitution, 5)
+	topRes, err := authors.Run(ctx, upidb.TopKQuery(dataset.MITInstitution, 5))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nTop-5 MIT authors by confidence:\n")
-	for i, r := range top {
+	for i, r := range topRes.Collect() {
 		name, _ := r.Tuple.DetValue(dataset.DetName)
 		fmt.Printf("  #%d %s (%.0f%%)\n", i+1, name, r.Confidence*100)
 	}

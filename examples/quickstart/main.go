@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,12 +53,18 @@ func main() {
 	}
 
 	// Probabilistic threshold query: everyone at MIT with confidence
-	// >= 0.1. Alice qualifies with 0.9 × 0.2 = 0.18.
-	results, err := authors.Query("MIT", 0.1)
+	// >= 0.1. Alice qualifies with 0.9 × 0.2 = 0.18. A Query is a
+	// descriptor executed by Run under a context — pass one with a
+	// deadline to bound the query; here Background is fine. Results
+	// stream through a range-over-func iterator.
+	res, err := authors.Run(context.Background(), upidb.PTQ("", "MIT", 0.1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range results {
+	for r, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		name, _ := r.Tuple.DetValue("Name")
 		fmt.Printf("%s is at MIT with confidence %.0f%%\n", name, r.Confidence*100)
 	}

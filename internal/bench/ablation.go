@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"upidb/internal/dataset"
 	"upidb/internal/histogram"
 	"upidb/internal/upi"
@@ -34,7 +35,7 @@ func AblationMaxPointers(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		dur, err := coldRun(disk, tab.DropCaches, func() error {
-			_, _, qerr := tab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
+			_, _, qerr := tab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
 			return qerr
 		})
 		if err != nil {

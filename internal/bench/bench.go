@@ -2,8 +2,8 @@
 // evaluation (Section 7). Each experiment builds its tables on a
 // private simulated disk, runs the paper's queries cold-cache, and
 // reports modeled runtimes — deterministic, hardware-independent
-// reproductions of the published series (see DESIGN.md §3 for the
-// experiment index and EXPERIMENTS.md for paper-vs-measured results).
+// reproductions of the published series (see the repository README.md
+// for the experiment index).
 package bench
 
 import (
@@ -20,7 +20,7 @@ import (
 type Config struct {
 	// Scale multiplies the default dataset sizes (1.0 ≈ 70k authors,
 	// 130k publications, 150k observations — a 10× reduction of the
-	// paper's datasets; see DESIGN.md).
+	// paper's datasets).
 	Scale float64
 	// Seed drives all dataset generation.
 	Seed int64

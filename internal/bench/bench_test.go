@@ -183,7 +183,7 @@ func TestFig9Shape(t *testing.T) {
 	// after 10 batches). At test scale the per-fracture open cost
 	// dominates the tiny base query, so assert linear growth rather
 	// than an absolute ordering against the in-place UPI (the
-	// full-scale ordering is recorded in EXPERIMENTS.md).
+	// full-scale ordering is recorded by the README.md experiment notes).
 	perFracture := (fracCol[last] - fracCol[0]) / 10
 	for b := 1; b <= 10; b++ {
 		expected := fracCol[0] + float64(b)*perFracture

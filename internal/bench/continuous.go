@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"upidb/internal/cupi"
 	"upidb/internal/prob"
 	"upidb/internal/utree"
@@ -45,7 +46,7 @@ func Fig7Query4(e *Env) (*Experiment, error) {
 	for radius := 100.0; radius <= 1000.0; radius += 100 {
 		radius := radius
 		cuDur, err := coldRun(cuDisk, cu.DropCaches, func() error {
-			_, _, qerr := cu.QueryCircle(q, radius, 0.5)
+			_, _, qerr := cu.QueryCircle(context.Background(), q, radius, 0.5)
 			return qerr
 		})
 		if err != nil {
@@ -101,7 +102,7 @@ func Fig8Query5(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.81; qt += 0.1 {
 		qt := qt
 		cuDur, err := coldRun(cuDisk, cu.DropCaches, func() error {
-			_, qerr := cu.QuerySegment(seg, qt)
+			_, qerr := cu.QuerySegment(context.Background(), seg, qt)
 			return qerr
 		})
 		if err != nil {

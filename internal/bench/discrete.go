@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -108,7 +109,7 @@ func Fig3CutoffRuntime(e *Env) (*Experiment, error) {
 		for _, value := range []string{dataset.MITInstitution, selective} {
 			for _, qt := range cutoffSweepQTs {
 				dur, err := coldRun(disk, tab.DropCaches, func() error {
-					_, _, qerr := tab.Query(value, qt)
+					_, _, qerr := tab.Query(context.Background(), value, qt)
 					return qerr
 				})
 				if err != nil {
@@ -154,7 +155,7 @@ func Fig4Query1(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			_, _, qerr := upiTab.Query(dataset.MITInstitution, qt)
+			_, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, qt)
 			return qerr
 		})
 		if err != nil {
@@ -215,7 +216,7 @@ func Fig5Query2(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.Query(dataset.MITInstitution, qt)
+			rs, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, qt)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -266,7 +267,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		plainDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, qt, false)
+			rs, _, qerr := upiTab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, qt, false)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -274,7 +275,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		tailoredDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, qt, true)
+			rs, _, qerr := upiTab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, qt, true)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -315,7 +316,7 @@ func Fig11PointerEstimate(e *Env) (*Experiment, error) {
 			if qt >= c {
 				continue
 			}
-			_, stats, err := tab.Query(dataset.MITInstitution, qt)
+			_, stats, err := tab.Query(context.Background(), dataset.MITInstitution, qt)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -251,14 +252,14 @@ func Fig9Deterioration(e *Env) (*Experiment, error) {
 			return row, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			_, _, qerr := upiTab.Query(dataset.MITInstitution, fig9QT)
+			_, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
 			return row, err
 		}
 		fracDur, err := coldRun(fracDisk, store.DropCaches, func() error {
-			_, _, qerr := store.Query(dataset.MITInstitution, fig9QT)
+			_, _, qerr := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
@@ -341,7 +342,7 @@ func Fig10FracturedModel(e *Env) (*Experiment, error) {
 
 	measure := func(batch int) error {
 		real, err := coldRun(disk, store.DropCaches, func() error {
-			_, _, qerr := store.Query(dataset.MITInstitution, fig9QT)
+			_, _, qerr := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -89,7 +90,7 @@ func ParallelPTQ(e *Env) (*Experiment, error) {
 			}
 			sp := sim.StartSpan(disk)
 			start := time.Now()
-			rs, _, err := store.Query(dataset.MITInstitution, fig9QT)
+			rs, _, err := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkParallelPTQ(b *testing.B) {
 				if err := store.DropCaches(); err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := store.Query(dataset.MITInstitution, fig9QT); err != nil {
+				if _, _, err := store.Query(context.Background(), dataset.MITInstitution, fig9QT); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -16,6 +16,7 @@
 package cupi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -241,16 +242,25 @@ func (t *Table) DropCaches() error {
 // observations within radius of q with appearance probability >=
 // threshold. Traversal groups candidates by R-Tree leaf; because the
 // heap is clustered in leaf order, the fetch phase reads a compact,
-// mostly sequential run of heap pages.
-func (t *Table) QueryCircle(q prob.Point, radius, threshold float64) ([]Result, Stats, error) {
+// mostly sequential run of heap pages. The context is checked between
+// R-Tree leaves and between heap fetches; a cancelled query returns
+// upi.ErrCanceled.
+func (t *Table) QueryCircle(ctx context.Context, q prob.Point, radius, threshold float64) ([]Result, Stats, error) {
 	var stats Stats
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 	queryMBR := prob.Rect{MinX: q.X - radius, MinY: q.Y - radius, MaxX: q.X + radius, MaxY: q.Y + radius}
 	type cand struct {
 		rid      heapfile.RowID
 		accepted bool
 	}
 	var cands []cand
+	var ctxErr error
 	err := t.rt.SearchLeaves(queryMBR, func(_ storage.PageID, es []rtree.Entry) bool {
+		if ctxErr = upi.CtxErr(ctx); ctxErr != nil {
+			return false
+		}
 		for _, e := range es {
 			stats.Candidates++
 			decision := utree.CheckPCR(e.MBR.Center(), e.Aux, q, radius, threshold)
@@ -269,12 +279,20 @@ func (t *Table) QueryCircle(q prob.Point, radius, threshold float64) ([]Result, 
 		}
 		return true
 	})
+	if err == nil {
+		err = ctxErr
+	}
 	if err != nil {
 		return nil, stats, err
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].rid.Less(cands[j].rid) })
 	var results []Result
-	for _, c := range cands {
+	for i, c := range cands {
+		if i%64 == 0 {
+			if err := upi.CtxErr(ctx); err != nil {
+				return nil, stats, err
+			}
+		}
 		rec, ok, err := t.heap.Get(c.rid)
 		if err != nil {
 			return nil, stats, err
@@ -302,10 +320,17 @@ func (t *Table) QueryCircle(q prob.Point, radius, threshold float64) ([]Result, 
 
 // QuerySegment answers the paper's Query 5: observations whose
 // uncertain road segment equals seg with probability >= qt, via the
-// secondary index into the clustered heap.
-func (t *Table) QuerySegment(seg string, qt float64) ([]Result, error) {
+// secondary index into the clustered heap. The context is checked
+// before the index scan and before the heap fetch phase.
+func (t *Table) QuerySegment(ctx context.Context, seg string, qt float64) ([]Result, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	rids, confs, err := utree.ScanSegmentIndex(t.segIdx, seg, qt)
 	if err != nil {
+		return nil, err
+	}
+	if err := upi.CtxErr(ctx); err != nil {
 		return nil, err
 	}
 	return utree.FetchSegmentResults(t.heap, rids, confs)

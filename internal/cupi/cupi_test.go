@@ -1,6 +1,7 @@
 package cupi
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestQueryCircleMatchesBrute(t *testing.T) {
 		for _, radius := range []float64{150, 400} {
 			for _, th := range []float64{0.3, 0.6} {
 				want := bruteQuery(c.Observations, q, radius, th)
-				got, _, err := tab.QueryCircle(q, radius, th)
+				got, _, err := tab.QueryCircle(context.Background(), q, radius, th)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -77,7 +78,7 @@ func TestCUPIAgreesWithUTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := prob.Point{X: 100, Y: -100}
-	a, _, err := cu.QueryCircle(q, 350, 0.5)
+	a, _, err := cu.QueryCircle(context.Background(), q, 350, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestFig7Property(t *testing.T) {
 
 	cu.DropCaches()
 	sp := sim.StartSpan(cuDisk)
-	resC, _, err := cu.QueryCircle(q, radius, th)
+	resC, _, err := cu.QueryCircle(context.Background(), q, radius, th)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestFig8Property(t *testing.T) {
 
 	cu.DropCaches()
 	sp := sim.StartSpan(cuDisk)
-	resC, err := cu.QuerySegment(seg, 0.3)
+	resC, err := cu.QuerySegment(context.Background(), seg, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestInsertAfterBulkLoad(t *testing.T) {
 		t.Fatal("duplicate ID accepted")
 	}
 	want := bruteQuery(c.Observations, prob.Point{}, 400, 0.4)
-	got, _, err := tab.QueryCircle(prob.Point{}, 400, 0.4)
+	got, _, err := tab.QueryCircle(context.Background(), prob.Point{}, 400, 0.4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,6 @@
 // Package dataset generates the two synthetic uncertain datasets the
 // experiments run on, standing in for the paper's derived-DBLP and
-// Cartel data (see DESIGN.md, substitutions).
+// Cartel data (see README.md, substitutions).
 //
 // Both generators are fully deterministic given their Config seeds, so
 // every experiment is reproducible bit-for-bit.
@@ -37,7 +37,7 @@ type DBLPConfig struct {
 }
 
 // DefaultDBLPConfig returns the scaled-down default (≈10× smaller than
-// the paper's 700k authors / 1.3M publications; see DESIGN.md).
+// the paper's 700k authors / 1.3M publications; see README.md).
 func DefaultDBLPConfig() DBLPConfig {
 	return DBLPConfig{
 		Authors:      70000,

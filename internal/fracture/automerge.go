@@ -57,6 +57,10 @@ func (s *Store) StartAutoMerge(opts AutoMergeOptions) error {
 		kicks: make(chan struct{}, 1),
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	if s.am != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("fracture: auto-merge already running on %q", s.name)

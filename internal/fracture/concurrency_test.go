@@ -1,6 +1,7 @@
 package fracture
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -92,12 +93,12 @@ func TestParallelismInvariance(t *testing.T) {
 		name string
 		run  run
 	}{
-		{"ptq", func(s *Store) ([]upi.Result, Stats, error) { return s.Query(concValue(3), 0.1) }},
-		{"ptq-high", func(s *Store) ([]upi.Result, Stats, error) { return s.Query(concValue(5), 0.5) }},
+		{"ptq", func(s *Store) ([]upi.Result, Stats, error) { return s.Query(context.Background(), concValue(3), 0.1) }},
+		{"ptq-high", func(s *Store) ([]upi.Result, Stats, error) { return s.Query(context.Background(), concValue(5), 0.5) }},
 		{"secondary", func(s *Store) ([]upi.Result, Stats, error) {
-			return s.QuerySecondary("Y", "y"+concValue(3), 0.1, true)
+			return s.QuerySecondary(context.Background(), "Y", "y"+concValue(3), 0.1, true)
 		}},
-		{"topk", func(s *Store) ([]upi.Result, Stats, error) { return s.TopK(concValue(2), 5) }},
+		{"topk", func(s *Store) ([]upi.Result, Stats, error) { return s.TopK(context.Background(), concValue(2), 5) }},
 	}
 	for _, tc := range cases {
 		rs1, st1, err1 := tc.run(serial)
@@ -132,7 +133,10 @@ func TestInFlightQuerySurvivesMerge(t *testing.T) {
 		t.Fatalf("expected fracture file %s", fracFile)
 	}
 
-	snap := s.snapshotFor(func(*tuple.Tuple) (float64, bool) { return 0, false })
+	snap, err := s.snapshotFor(0, func(*tuple.Tuple) (float64, bool) { return 0, false })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Merge(); err != nil {
 		t.Fatal(err)
 	}
@@ -140,8 +144,8 @@ func TestInFlightQuerySurvivesMerge(t *testing.T) {
 		t.Fatal("merged fracture file removed while a query snapshot pins it")
 	}
 	// The snapshot must still answer from the old generation.
-	rs, _, err := s.collect(snap, func(tab *upi.Table) ([]upi.Result, upi.QueryStats, error) {
-		return tab.Query(concValue(3), 0.1)
+	rs, _, err := s.collect(context.Background(), snap, func(ctx context.Context, tab *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		return tab.Query(ctx, concValue(3), 0.1)
 	})
 	if err != nil {
 		t.Fatalf("query over pinned old generation: %v", err)
@@ -182,17 +186,17 @@ func TestConcurrentQueriesAndMerges(t *testing.T) {
 				}
 				switch rng.Intn(3) {
 				case 0:
-					if _, _, err := s.Query(concValue(rng.Intn(concValues)), 0.1); err != nil {
+					if _, _, err := s.Query(context.Background(), concValue(rng.Intn(concValues)), 0.1); err != nil {
 						errs <- err
 						return
 					}
 				case 1:
-					if _, _, err := s.QuerySecondary("Y", "y"+concValue(rng.Intn(concValues)), 0.1, true); err != nil {
+					if _, _, err := s.QuerySecondary(context.Background(), "Y", "y"+concValue(rng.Intn(concValues)), 0.1, true); err != nil {
 						errs <- err
 						return
 					}
 				case 2:
-					if _, _, err := s.TopK(concValue(rng.Intn(concValues)), 3); err != nil {
+					if _, _, err := s.TopK(context.Background(), concValue(rng.Intn(concValues)), 3); err != nil {
 						errs <- err
 						return
 					}
@@ -289,7 +293,7 @@ func TestAutoMerge(t *testing.T) {
 	}
 	total := 0
 	for v := 0; v < concValues; v++ {
-		rs, _, err := s.Query(concValue(v), 0)
+		rs, _, err := s.Query(context.Background(), concValue(v), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -34,6 +34,7 @@ package fracture
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -44,6 +45,10 @@ import (
 	"upidb/internal/tuple"
 	"upidb/internal/upi"
 )
+
+// ErrClosed reports an operation on a store after Close. The public
+// facade re-exports it, so errors.Is works across the API boundary.
+var ErrClosed = errors.New("upidb: table closed")
 
 // Options configure a fractured UPI.
 type Options struct {
@@ -74,8 +79,9 @@ type Store struct {
 
 	// mu guards every field below. Queries hold it only while
 	// snapshotting; partition scans run outside it.
-	mu   sync.RWMutex
-	opts Options
+	mu     sync.RWMutex
+	opts   Options
+	closed bool
 
 	main      *upi.Table
 	mainRef   *partRef // lifetime of the current main's files
@@ -282,6 +288,10 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 		return err
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	// Re-inserting an ID pending deletion revives it.
 	delete(s.bufDeletes, tup.ID)
 	if _, exists := s.bufTuples[tup.ID]; !exists {
@@ -304,9 +314,13 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 
 // Delete buffers a deletion by tuple ID. "Deletion is handled like
 // insertion by storing a delete set which holds IDs of deleted tuples."
-func (s *Store) Delete(id uint64) {
+// Like Insert, it fails with ErrClosed once the store is closed.
+func (s *Store) Delete(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if _, buffered := s.bufTuples[id]; buffered {
 		// Never reached disk; cancel the pending insert.
 		delete(s.bufTuples, id)
@@ -316,9 +330,10 @@ func (s *Store) Delete(id uint64) {
 				break
 			}
 		}
-		return
+		return nil
 	}
 	s.bufDeletes[id] = true
+	return nil
 }
 
 // Flush writes the buffered changes out as a new fracture: a bulk-built
@@ -326,6 +341,10 @@ func (s *Store) Delete(id uint64) {
 // file. A flush with empty buffers is a no-op.
 func (s *Store) Flush() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	err := s.flushLocked()
 	am := s.am
 	s.mu.Unlock()
@@ -333,6 +352,22 @@ func (s *Store) Flush() error {
 		am.kick()
 	}
 	return err
+}
+
+// Close marks the store closed: it stops the background merger (if
+// any) and makes every subsequent Insert, Delete, Flush, Merge and
+// query fail with ErrClosed. In-flight queries finish normally on the
+// snapshot they hold. Close returns the first background-merge error,
+// like StopAutoMerge; closing twice is safe.
+func (s *Store) Close() error {
+	// Set closed before stopping the merger: a concurrent
+	// StartAutoMerge either installed its merger first (and is stopped
+	// below) or sees closed and refuses — no merger can slip in after
+	// the stop.
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.StopAutoMerge()
 }
 
 func (s *Store) flushLocked() error {

@@ -1,6 +1,7 @@
 package fracture
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -63,7 +64,7 @@ func TestInsertBufferedThenFlushed(t *testing.T) {
 		t.Fatalf("buffer=%d fractures=%d", s.BufferedInserts(), s.NumFractures())
 	}
 	// Visible from the buffer before any flush.
-	res, st, err := s.Query("A", 0.5)
+	res, st, err := s.Query(context.Background(), "A", 0.5)
 	if err != nil || len(res) != 1 || st.BufferHits != 1 {
 		t.Fatalf("buffered query: %v %d %+v", err, len(res), st)
 	}
@@ -73,7 +74,7 @@ func TestInsertBufferedThenFlushed(t *testing.T) {
 	if s.BufferedInserts() != 0 || s.NumFractures() != 1 {
 		t.Fatalf("after flush: buffer=%d fractures=%d", s.BufferedInserts(), s.NumFractures())
 	}
-	res, st, err = s.Query("A", 0.5)
+	res, st, err = s.Query(context.Background(), "A", 0.5)
 	if err != nil || len(res) != 1 || st.BufferHits != 0 {
 		t.Fatalf("flushed query: %v %d %+v", err, len(res), st)
 	}
@@ -89,7 +90,7 @@ func TestAutoFlushAtCapacity(t *testing.T) {
 	if s.NumFractures() != 2 || s.BufferedInserts() != 1 {
 		t.Fatalf("fractures=%d buffered=%d", s.NumFractures(), s.BufferedInserts())
 	}
-	res, _, err := s.Query("A", 0.5)
+	res, _, err := s.Query(context.Background(), "A", 0.5)
 	if err != nil || len(res) != 7 {
 		t.Fatalf("%v %d", err, len(res))
 	}
@@ -102,12 +103,12 @@ func TestDeleteSemantics(t *testing.T) {
 	s.Flush()
 	// Delete it while buffered, then flush the delete set.
 	s.Delete(1)
-	res, _, _ := s.Query("A", 0.1)
+	res, _, _ := s.Query(context.Background(), "A", 0.1)
 	if len(res) != 0 {
 		t.Fatalf("pending delete not applied: %d", len(res))
 	}
 	s.Flush()
-	res, _, _ = s.Query("A", 0.1)
+	res, _, _ = s.Query(context.Background(), "A", 0.1)
 	if len(res) != 0 {
 		t.Fatalf("flushed delete not applied: %d", len(res))
 	}
@@ -120,11 +121,11 @@ func TestDeleteSemantics(t *testing.T) {
 	// Re-insert after delete revives the ID in newer data only.
 	s.Insert(mkTuple(t, 1, 1.0, prob.Alternative{Value: "C", Prob: 0.9}))
 	s.Flush()
-	res, _, _ = s.Query("C", 0.5)
+	res, _, _ = s.Query(context.Background(), "C", 0.5)
 	if len(res) != 1 || res[0].Tuple.ID != 1 {
 		t.Fatalf("revived tuple missing: %+v", res)
 	}
-	res, _, _ = s.Query("A", 0.1)
+	res, _, _ = s.Query(context.Background(), "A", 0.1)
 	if len(res) != 0 {
 		t.Fatal("old version of revived tuple leaked")
 	}
@@ -176,11 +177,11 @@ func TestMatchesPlainUPI(t *testing.T) {
 		for _, qt := range []float64{0.05, 0.3, 0.7} {
 			for v := 0; v < 14; v++ {
 				val := fmt.Sprintf("v%02d", v)
-				a, _, err := plain.Query(val, qt)
+				a, _, err := plain.Query(context.Background(), val, qt)
 				if err != nil {
 					t.Fatal(err)
 				}
-				b, _, err := s.Query(val, qt)
+				b, _, err := s.Query(context.Background(), val, qt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -193,11 +194,11 @@ func TestMatchesPlainUPI(t *testing.T) {
 					}
 				}
 				// Secondary query equivalence.
-				sa, _, err := plain.QuerySecondary("Y", "c"+val, qt, true)
+				sa, _, err := plain.QuerySecondary(context.Background(), "Y", "c"+val, qt, true)
 				if err != nil {
 					t.Fatal(err)
 				}
-				sb, _, err := s.QuerySecondary("Y", "c"+val, qt, true)
+				sb, _, err := s.QuerySecondary(context.Background(), "Y", "c"+val, qt, true)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -240,7 +241,7 @@ func TestMergeRemovesOldFiles(t *testing.T) {
 	// All tuples still present.
 	total := 0
 	for v := 0; v < 14; v++ {
-		res, _, err := s.Query(fmt.Sprintf("v%02d", v), 0.0)
+		res, _, err := s.Query(context.Background(), fmt.Sprintf("v%02d", v), 0.0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,14 +259,14 @@ func TestTopKAcrossFractures(t *testing.T) {
 	s.Insert(mkTuple(t, 2, 1.0, prob.Alternative{Value: "A", Prob: 0.95}))
 	s.Flush()
 	s.Insert(mkTuple(t, 3, 1.0, prob.Alternative{Value: "A", Prob: 0.8})) // buffered
-	res, _, err := s.TopK("A", 2)
+	res, _, err := s.TopK(context.Background(), "A", 2)
 	if err != nil || len(res) != 2 {
 		t.Fatalf("%v %d", err, len(res))
 	}
 	if res[0].Tuple.ID != 2 || res[1].Tuple.ID != 1 {
 		t.Fatalf("top2: %d %d", res[0].Tuple.ID, res[1].Tuple.ID)
 	}
-	if res, _, _ := s.TopK("A", 0); res != nil {
+	if res, _, _ := s.TopK(context.Background(), "A", 0); res != nil {
 		t.Fatal("k=0")
 	}
 }
@@ -338,7 +339,7 @@ func TestQueryCostGrowsWithFractures(t *testing.T) {
 		s.FlushPages()
 		s.DropCaches()
 		sp := sim.StartSpan(disk)
-		if _, _, err := s.Query("v01", 0.3); err != nil {
+		if _, _, err := s.Query(context.Background(), "v01", 0.3); err != nil {
 			t.Fatal(err)
 		}
 		return int64(sp.End().Elapsed)
@@ -368,7 +369,7 @@ func TestBulkLoadStore(t *testing.T) {
 	}
 	total := 0
 	for v := 0; v < 14; v++ {
-		res, _, err := s.Query(fmt.Sprintf("v%02d", v), 0.0)
+		res, _, err := s.Query(context.Background(), fmt.Sprintf("v%02d", v), 0.0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -46,6 +46,10 @@ func (s *Store) Merge() error {
 	defer s.mergeMu.Unlock()
 
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
 	// Buffered changes become one final fracture so the merge only
 	// deals with on-disk partitions.
 	if err := s.flushLocked(); err != nil {

@@ -1,6 +1,7 @@
 package fracture
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,11 +49,11 @@ func TestOpenRoundTrip(t *testing.T) {
 	for _, qt := range []float64{0.05, 0.3, 0.7} {
 		for v := 0; v < 14; v++ {
 			val := fmt.Sprintf("v%02d", v)
-			a, _, err := s.Query(val, qt)
+			a, _, err := s.Query(context.Background(), val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := re.Query(val, qt)
+			b, _, err := re.Query(context.Background(), val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,7 +108,7 @@ func TestOpenAfterMerge(t *testing.T) {
 	}
 	total := 0
 	for v := 0; v < 14; v++ {
-		rs, _, err := re.Query(fmt.Sprintf("v%02d", v), 0)
+		rs, _, err := re.Query(context.Background(), fmt.Sprintf("v%02d", v), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestOpenDropsUnflushedBuffer(t *testing.T) {
 	}
 	total := 0
 	for v := 0; v < 14; v++ {
-		rs, _, _ := re.Query(fmt.Sprintf("v%02d", v), 0)
+		rs, _, _ := re.Query(context.Background(), fmt.Sprintf("v%02d", v), 0)
 		total += len(rs)
 	}
 	if total < 50 || total >= 100 {

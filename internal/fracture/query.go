@@ -1,9 +1,12 @@
 package fracture
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"upidb/internal/sim"
 	"upidb/internal/tuple"
@@ -17,6 +20,39 @@ type Stats struct {
 	PartitionsRead int
 	// BufferHits counts results served from the RAM insert buffer.
 	BufferHits int
+	// ModeledTime is the modeled disk time this query's own I/O was
+	// charged (the sum of its replayed partition tapes) — exact per
+	// query even while other queries or merges run concurrently.
+	ModeledTime time.Duration
+}
+
+// Kind identifies the query class a Req describes.
+type Kind int
+
+// The query classes the fractured store executes.
+const (
+	// KindPTQ is a probabilistic threshold query on the primary
+	// attribute.
+	KindPTQ Kind = iota
+	// KindSecondary is a PTQ on a secondary attribute.
+	KindSecondary
+	// KindTopK is a top-k query on the primary attribute.
+	KindTopK
+)
+
+// Req is one query descriptor: the predicate plus per-query execution
+// options. It is the single entry point the facade's Table.Run maps to.
+type Req struct {
+	Kind  Kind
+	Attr  string // secondary attribute (KindSecondary only)
+	Value string
+	QT    float64 // threshold (PTQ kinds)
+	K     int     // result bound (KindTopK)
+	// Tailored enables tailored secondary-index access (Section 3.2).
+	Tailored bool
+	// Parallelism overrides the store's partition fan-out width for
+	// this query only (0 = store default).
+	Parallelism int
 }
 
 // snapshot is a consistent view of the store taken under the read
@@ -36,16 +72,23 @@ type snapshot struct {
 // buffer under the read lock. match returns the confidence of a
 // buffered tuple and whether it qualifies; buffer evaluation is pure
 // CPU, so doing it under the lock keeps the snapshot consistent at no
-// I/O cost.
-func (s *Store) snapshotFor(match func(*tuple.Tuple) (float64, bool)) *snapshot {
+// I/O cost. parallelism > 0 overrides the store default for this
+// query. Fails with ErrClosed once the store is closed.
+func (s *Store) snapshotFor(parallelism int, match func(*tuple.Tuple) (float64, bool)) (*snapshot, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
 	n := 1 + len(s.fractures)
 	snap := &snapshot{
 		parts:       make([]*upi.Table, n),
 		deletes:     make([]map[uint64]bool, n),
 		pins:        make([]*partRef, n),
 		parallelism: s.parallelismLocked(),
+	}
+	if parallelism > 0 {
+		snap.parallelism = parallelism
 	}
 	snap.parts[0] = s.main
 	snap.deletes[0] = s.deletesAfterLocked(-1)
@@ -64,7 +107,7 @@ func (s *Store) snapshotFor(match func(*tuple.Tuple) (float64, bool)) *snapshot 
 			snap.bufResults = append(snap.bufResults, upi.Result{Tuple: tup, Confidence: conf})
 		}
 	}
-	return snap
+	return snap, nil
 }
 
 func (snap *snapshot) release() {
@@ -74,7 +117,7 @@ func (snap *snapshot) release() {
 }
 
 // partQuery runs one query against a single partition.
-type partQuery func(t *upi.Table) ([]upi.Result, upi.QueryStats, error)
+type partQuery func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error)
 
 // collect fans q out over the snapshot's partitions with a bounded
 // worker pool, then merges results in partition order. Each partition
@@ -82,7 +125,13 @@ type partQuery func(t *upi.Table) ([]upi.Result, upi.QueryStats, error)
 // Section 6 cost model) plus its scan I/O, recorded on a per-partition
 // tape and replayed in partition order — so the modeled cost equals a
 // serial scan's at any parallelism.
-func (s *Store) collect(snap *snapshot, q partQuery) ([]upi.Result, Stats, error) {
+//
+// The context is checked before each partition scan starts and, inside
+// upi, between heap pages. When a partition fails — including by
+// cancellation — its tape and every later partition's tape are
+// discarded instead of replayed: an abandoned query stops charging
+// modeled I/O beyond the partitions it had already completed.
+func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery) ([]upi.Result, Stats, error) {
 	n := len(snap.parts)
 	type partOut struct {
 		rs   []upi.Result
@@ -93,11 +142,15 @@ func (s *Store) collect(snap *snapshot, q partQuery) ([]upi.Result, Stats, error
 	outs := make([]partOut, n)
 
 	scan := func(i int) {
+		if err := upi.CtxErr(ctx); err != nil {
+			outs[i] = partOut{err: err, tape: sim.NewTape()}
+			return
+		}
 		t := snap.parts[i]
 		tape := sim.NewTape()
 		release := s.fs.RouteTo(t.Files(), tape)
 		tape.Open(t.Name())
-		rs, qs, err := q(t)
+		rs, qs, err := q(ctx, t)
 		release()
 		outs[i] = partOut{rs: rs, qs: qs, err: err, tape: tape}
 	}
@@ -127,13 +180,23 @@ func (s *Store) collect(snap *snapshot, q partQuery) ([]upi.Result, Stats, error
 	}
 
 	// Deterministic accounting: charge partition I/O in partition
-	// order, exactly as a serial scan would have.
-	disk := s.fs.Disk()
+	// order, exactly as a serial scan would have — but only up to the
+	// first failed partition, so a cancelled query stops charging.
+	firstErr := n
 	for i := range outs {
-		disk.Replay(outs[i].tape)
+		if outs[i].err != nil {
+			firstErr = i
+			break
+		}
+	}
+	disk := s.fs.Disk()
+	var modeled time.Duration
+	for i := 0; i < firstErr; i++ {
+		modeled += disk.Replay(outs[i].tape)
 	}
 
 	var stats Stats
+	stats.ModeledTime = modeled
 	var results []upi.Result
 	for i := range outs {
 		stats.PartitionsRead++
@@ -150,19 +213,71 @@ func (s *Store) collect(snap *snapshot, q partQuery) ([]upi.Result, Stats, error
 	return results, stats, nil
 }
 
-// Query answers a PTQ over the fractured UPI: the union of the main
-// UPI, every fracture and the insert buffer, minus deleted tuples
-// (Section 4.2). Partitions are scanned in parallel up to
-// Options.Parallelism.
-func (s *Store) Query(value string, qt float64) ([]upi.Result, Stats, error) {
-	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
-		conf := tup.Confidence(s.attr, value)
-		return conf, conf >= qt
-	})
+// Run executes one query described by req against the fractured UPI:
+// the union of the main UPI, every fracture and the insert buffer,
+// minus deleted tuples (Section 4.2). Partitions are scanned in
+// parallel up to the effective parallelism. A done context fails fast
+// with ErrCanceled before any partition is pinned or charged.
+func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, Stats{}, err
+	}
+
+	var (
+		match func(*tuple.Tuple) (float64, bool)
+		q     partQuery
+	)
+	switch req.Kind {
+	case KindPTQ:
+		match = func(tup *tuple.Tuple) (float64, bool) {
+			conf := tup.Confidence(s.attr, req.Value)
+			return conf, conf >= req.QT
+		}
+		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+			return t.Query(ctx, req.Value, req.QT)
+		}
+	case KindSecondary:
+		match = func(tup *tuple.Tuple) (float64, bool) {
+			conf := tup.Confidence(req.Attr, req.Value)
+			return conf, conf >= req.QT
+		}
+		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+			return t.QuerySecondary(ctx, req.Attr, req.Value, req.QT, req.Tailored)
+		}
+	case KindTopK:
+		if req.K <= 0 {
+			return nil, Stats{}, nil
+		}
+		match = func(tup *tuple.Tuple) (float64, bool) {
+			conf := tup.Confidence(s.attr, req.Value)
+			return conf, conf > 0
+		}
+		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+			return t.TopK(ctx, req.Value, req.K)
+		}
+	default:
+		return nil, Stats{}, fmt.Errorf("fracture: unknown query kind %d", req.Kind)
+	}
+
+	snap, err := s.snapshotFor(req.Parallelism, match)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	defer snap.release()
-	return s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
-		return t.Query(value, qt)
-	})
+	results, stats, err := s.collect(ctx, snap, q)
+	if err != nil {
+		return nil, stats, err
+	}
+	if req.Kind == KindTopK && len(results) > req.K {
+		results = results[:req.K]
+	}
+	return results, stats, nil
+}
+
+// Query answers a PTQ on the primary attribute. It is shorthand for
+// Run with a KindPTQ request.
+func (s *Store) Query(ctx context.Context, value string, qt float64) ([]upi.Result, Stats, error) {
+	return s.Run(ctx, Req{Kind: KindPTQ, Value: value, QT: qt})
 }
 
 // QuerySecondary answers a PTQ on a secondary attribute across all
@@ -170,37 +285,13 @@ func (s *Store) Query(value string, qt float64) ([]upi.Result, Stats, error) {
 // fracture's own heap (Section 4.2), so tailored access runs
 // per-partition — which also makes the fan-out embarrassingly
 // parallel.
-func (s *Store) QuerySecondary(attr, value string, qt float64, tailored bool) ([]upi.Result, Stats, error) {
-	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
-		conf := tup.Confidence(attr, value)
-		return conf, conf >= qt
-	})
-	defer snap.release()
-	return s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
-		return t.QuerySecondary(attr, value, qt, tailored)
-	})
+func (s *Store) QuerySecondary(ctx context.Context, attr, value string, qt float64, tailored bool) ([]upi.Result, Stats, error) {
+	return s.Run(ctx, Req{Kind: KindSecondary, Attr: attr, Value: value, QT: qt, Tailored: tailored})
 }
 
 // TopK returns the k highest-confidence matches across all partitions.
-func (s *Store) TopK(value string, k int) ([]upi.Result, Stats, error) {
-	if k <= 0 {
-		return nil, Stats{}, nil
-	}
-	snap := s.snapshotFor(func(tup *tuple.Tuple) (float64, bool) {
-		conf := tup.Confidence(s.attr, value)
-		return conf, conf > 0
-	})
-	defer snap.release()
-	results, stats, err := s.collect(snap, func(t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
-		return t.TopK(value, k)
-	})
-	if err != nil {
-		return nil, stats, err
-	}
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results, stats, nil
+func (s *Store) TopK(ctx context.Context, value string, k int) ([]upi.Result, Stats, error) {
+	return s.Run(ctx, Req{Kind: KindTopK, Value: value, K: k})
 }
 
 func appendLive(dst []upi.Result, src []upi.Result, deleted map[uint64]bool) []upi.Result {

@@ -1,6 +1,7 @@
 package fracture
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -69,11 +70,11 @@ func TestPerFractureOptions(t *testing.T) {
 		for _, qt := range []float64{0.05, 0.3, 0.7} {
 			for v := 0; v < 14; v++ {
 				val := fmt.Sprintf("v%02d", v)
-				a, _, err := tuned.Query(val, qt)
+				a, _, err := tuned.Query(context.Background(), val, qt)
 				if err != nil {
 					t.Fatal(err)
 				}
-				b, _, err := uniform.Query(val, qt)
+				b, _, err := uniform.Query(context.Background(), val, qt)
 				if err != nil {
 					t.Fatal(err)
 				}

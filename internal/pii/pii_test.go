@@ -2,6 +2,7 @@ package pii
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -147,7 +148,7 @@ func TestPIIAgreesWithUPI(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := upiTab.Query(val, qt)
+			b, _, err := upiTab.Query(context.Background(), val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -208,7 +209,7 @@ func TestPIINeedsMoreSeeksThanUPI(t *testing.T) {
 
 	upiTab.DropCaches()
 	b2 := upiDisk.Stats()
-	resU, _, err := upiTab.Query("hot", 0.5)
+	resU, _, err := upiTab.Query(context.Background(), "hot", 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

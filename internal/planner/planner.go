@@ -19,6 +19,8 @@
 package planner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -28,6 +30,11 @@ import (
 	"upidb/internal/sim"
 	"upidb/internal/upi"
 )
+
+// ErrNoStats reports planning without the needed statistics: either no
+// histograms were built at all, or none covers the queried attribute.
+// The public facade re-exports it.
+var ErrNoStats = errors.New("upidb: no statistics (call BuildStats)")
 
 // PlanKind identifies a physical access path.
 type PlanKind int
@@ -108,7 +115,7 @@ func (p *Planner) PlanPTQ(attr, value string, qt float64) ([]Plan, error) {
 	var plans []Plan
 	hist := p.hists[attr]
 	if hist == nil {
-		return nil, fmt.Errorf("planner: no histogram for attribute %q", attr)
+		return nil, fmt.Errorf("%w: no histogram for attribute %q", ErrNoStats, attr)
 	}
 
 	// Full scan is always available: read everything once, filter.
@@ -194,38 +201,44 @@ func Explain(plans []Plan) string {
 	return out
 }
 
+// HasHistogram reports whether BuildStats covered attr, i.e. whether
+// PlanPTQ can cost plans for it.
+func (p *Planner) HasHistogram(attr string) bool { return p.hists[attr] != nil }
+
 // Execute runs the query with the cheapest plan and returns the
-// results along with the plan that was chosen.
-func (p *Planner) Execute(attr, value string, qt float64) ([]upi.Result, Plan, error) {
+// results along with the plan that was chosen and the execution
+// statistics. The context is honored by the underlying store scan;
+// parallelism overrides the store's partition fan-out for this query
+// (0 = store default).
+func (p *Planner) Execute(ctx context.Context, attr, value string, qt float64, parallelism int) ([]upi.Result, Plan, fracture.Stats, error) {
 	plans, err := p.PlanPTQ(attr, value, qt)
 	if err != nil {
-		return nil, Plan{}, err
+		return nil, Plan{}, fracture.Stats{}, err
 	}
 	best := plans[0]
+	req := fracture.Req{Value: value, QT: qt, Parallelism: parallelism}
 	switch best.Kind {
 	case PrimaryScan:
-		rs, _, err := p.store.Query(value, qt)
-		return rs, best, err
+		req.Kind = fracture.KindPTQ
 	case SecondaryTailored:
-		rs, _, err := p.store.QuerySecondary(attr, value, qt, true)
-		return rs, best, err
+		req.Kind = fracture.KindSecondary
+		req.Attr = attr
+		req.Tailored = true
 	case FullScan:
-		rs, err := p.fullScan(attr, value, qt)
-		return rs, best, err
+		// The fractured store exposes no direct scan, so the full-scan
+		// plan executes through the widest PTQ on the chosen attribute;
+		// the point of the plan is its *cost*, which the caller already
+		// accepted as a full read.
+		if attr == p.store.Main().Attr() {
+			req.Kind = fracture.KindPTQ
+		} else {
+			req.Kind = fracture.KindSecondary
+			req.Attr = attr
+			req.Tailored = true
+		}
+	default:
+		return nil, best, fracture.Stats{}, fmt.Errorf("planner: unknown plan %v", best.Kind)
 	}
-	return nil, best, fmt.Errorf("planner: unknown plan %v", best.Kind)
-}
-
-// fullScan reads every live tuple and filters. The fractured store
-// exposes no direct scan, so this goes through the widest PTQ on the
-// primary attribute when possible, else the secondary path; the
-// point of the plan is its *cost*, which the caller already accepted
-// as a full read.
-func (p *Planner) fullScan(attr, value string, qt float64) ([]upi.Result, error) {
-	if attr == p.store.Main().Attr() {
-		rs, _, err := p.store.Query(value, qt)
-		return rs, err
-	}
-	rs, _, err := p.store.QuerySecondary(attr, value, qt, true)
-	return rs, err
+	rs, st, err := p.store.Run(ctx, req)
+	return rs, best, st, err
 }

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -97,11 +98,11 @@ func TestUnknownAttribute(t *testing.T) {
 
 func TestExecuteMatchesDirectQuery(t *testing.T) {
 	p, store, _ := testPlanner(t)
-	rs, plan, err := p.Execute(dataset.AttrInstitution, dataset.MITInstitution, 0.3)
+	rs, plan, _, err := p.Execute(context.Background(), dataset.AttrInstitution, dataset.MITInstitution, 0.3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, _, err := store.Query(dataset.MITInstitution, 0.3)
+	direct, _, err := store.Query(context.Background(), dataset.MITInstitution, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +110,11 @@ func TestExecuteMatchesDirectQuery(t *testing.T) {
 		t.Fatalf("planner answer %d != direct %d (plan %v)", len(rs), len(direct), plan.Kind)
 	}
 	// Secondary attribute execution also agrees.
-	rs, _, err = p.Execute(dataset.AttrCountry, dataset.JapanCountry, 0.3)
+	rs, _, _, err = p.Execute(context.Background(), dataset.AttrCountry, dataset.JapanCountry, 0.3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	directSec, _, err := store.QuerySecondary(dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
+	directSec, _, err := store.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // opKind distinguishes the operations a Tape can record.
 type opKind uint8
@@ -66,26 +69,31 @@ func (t *Tape) Len() int {
 // Replay charges every operation recorded on the tape, in order, as one
 // atomic batch: no other disk activity can interleave with the tape, so
 // head movement within the batch is exactly what the recorded sequence
-// dictates. The tape is left empty.
-func (d *Disk) Replay(t *Tape) {
+// dictates. The tape is left empty. It returns the modeled time charged
+// for this batch, letting callers attribute cost to exactly one query
+// even when other disk activity runs concurrently.
+func (d *Disk) Replay(t *Tape) time.Duration {
 	t.mu.Lock()
 	ops := t.ops
 	t.ops = nil
 	t.mu.Unlock()
 	if len(ops) == 0 {
-		return
+		return 0
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var cost time.Duration
 	for _, op := range ops {
 		switch op.kind {
 		case opOpen:
 			d.stats.FileOpens++
 			d.stats.Elapsed += d.params.Init
+			cost += d.params.Init
 		case opRead:
-			d.accessLocked(op.file, op.off, op.n, false)
+			cost += d.accessLocked(op.file, op.off, op.n, false)
 		case opWrite:
-			d.accessLocked(op.file, op.off, op.n, true)
+			cost += d.accessLocked(op.file, op.off, op.n, true)
 		}
 	}
+	return cost
 }

@@ -1,0 +1,32 @@
+package upi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared by every query layer. The public facade
+// re-exports them, so errors.Is works across the API boundary no
+// matter which layer produced the error.
+var (
+	// ErrUnknownAttr reports a query on an attribute the table has no
+	// index for.
+	ErrUnknownAttr = errors.New("upidb: unknown attribute")
+	// ErrCanceled reports a query stopped by its context before
+	// completion. Errors returned for a cancelled query wrap both
+	// ErrCanceled and the specific context error (context.Canceled or
+	// context.DeadlineExceeded), so errors.Is matches either.
+	ErrCanceled = errors.New("upidb: query canceled")
+)
+
+// CtxErr returns nil while ctx is live, and an error wrapping both
+// ErrCanceled and ctx.Err() once it is done. Query paths call it at
+// entry and periodically between pages so a cancelled query stops
+// promptly without charging further modeled I/O.
+func CtxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package upi
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,20 +30,34 @@ type QueryStats struct {
 	ReusedPointers int
 }
 
+// ctxCheckEvery is how many scanned entries pass between context
+// checks — roughly one leaf page of heap entries, so a cancelled
+// query stops within a page's worth of work.
+const ctxCheckEvery = 64
+
 // Query answers the PTQ "SELECT * WHERE attr = value, confidence >= qt"
 // per Algorithm 2: one seek plus a sequential scan of the heap file,
 // followed — only when qt < C — by a cutoff-index scan whose pointers
-// are sorted in heap order before being chased.
-func (t *Table) Query(value string, qt float64) ([]Result, QueryStats, error) {
+// are sorted in heap order before being chased. The context is checked
+// between heap pages; a cancelled query returns ErrCanceled.
+func (t *Table) Query(ctx context.Context, value string, qt float64) ([]Result, QueryStats, error) {
 	var (
 		results []Result
 		stats   QueryStats
 	)
+	if err := CtxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 	// Heap scan: entries are ordered by confidence DESC within the
 	// value prefix, so stop at the first entry below qt.
 	start, end := ValuePrefix(value), ValuePrefixEnd(value)
 	var scanErr error
 	err := t.heap.Scan(start, end, func(k, v []byte) bool {
+		if stats.HeapEntries%ctxCheckEvery == 0 {
+			if scanErr = CtxErr(ctx); scanErr != nil {
+				return false
+			}
+		}
 		_, conf, _, err := DecodeHeapKey(k)
 		if err != nil {
 			scanErr = err
@@ -68,7 +83,7 @@ func (t *Table) Query(value string, qt float64) ([]Result, QueryStats, error) {
 	}
 
 	if qt < t.opts.Cutoff {
-		cutoffResults, n, err := t.queryCutoff(value, qt)
+		cutoffResults, n, err := t.queryCutoff(ctx, value, qt)
 		stats.CutoffPointers = n
 		if err != nil {
 			return nil, stats, err
@@ -82,7 +97,7 @@ func (t *Table) Query(value string, qt float64) ([]Result, QueryStats, error) {
 // queryCutoff performs the second half of Algorithm 2: collect
 // matching cutoff pointers, sort them in heap order (the bitmap-scan
 // discipline that produces saturation), then fetch each tuple.
-func (t *Table) queryCutoff(value string, qt float64) ([]Result, int, error) {
+func (t *Table) queryCutoff(ctx context.Context, value string, qt float64) ([]Result, int, error) {
 	type ref struct {
 		heapKey []byte
 		conf    float64 // confidence of the *queried* value, not the pointed-to one
@@ -91,6 +106,11 @@ func (t *Table) queryCutoff(value string, qt float64) ([]Result, int, error) {
 	start, end := ValuePrefix(value), ValuePrefixEnd(value)
 	var scanErr error
 	err := t.cutoff.Scan(start, end, func(k, v []byte) bool {
+		if len(refs)%ctxCheckEvery == 0 {
+			if scanErr = CtxErr(ctx); scanErr != nil {
+				return false
+			}
+		}
 		_, conf, id, err := DecodeHeapKey(k)
 		if err != nil {
 			scanErr = err
@@ -115,7 +135,12 @@ func (t *Table) queryCutoff(value string, qt float64) ([]Result, int, error) {
 	}
 	sort.Slice(refs, func(i, j int) bool { return bytes.Compare(refs[i].heapKey, refs[j].heapKey) < 0 })
 	results := make([]Result, 0, len(refs))
-	for _, r := range refs {
+	for i, r := range refs {
+		if i%ctxCheckEvery == 0 {
+			if err := CtxErr(ctx); err != nil {
+				return nil, len(refs), err
+			}
+		}
 		v, ok, err := t.heap.Get(r.heapKey)
 		if err != nil {
 			return nil, len(refs), err
@@ -138,12 +163,16 @@ func (t *Table) queryCutoff(value string, qt float64) ([]Result, int, error) {
 // first, then multi-pointer entries preferentially reuse regions
 // already being read. Without tailored access it always follows the
 // first (highest-confidence) pointer, like a conventional secondary
-// index.
-func (t *Table) QuerySecondary(attr, value string, qt float64, tailored bool) ([]Result, QueryStats, error) {
+// index. Querying an attribute with no secondary index returns
+// ErrUnknownAttr.
+func (t *Table) QuerySecondary(ctx context.Context, attr, value string, qt float64, tailored bool) ([]Result, QueryStats, error) {
 	var stats QueryStats
+	if err := CtxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 	sec, ok := t.secondaries[attr]
 	if !ok {
-		return nil, stats, fmt.Errorf("upi: no secondary index on %q", attr)
+		return nil, stats, fmt.Errorf("%w: no secondary index on %q", ErrUnknownAttr, attr)
 	}
 	type secEntry struct {
 		id   uint64
@@ -154,6 +183,11 @@ func (t *Table) QuerySecondary(attr, value string, qt float64, tailored bool) ([
 	start, end := ValuePrefix(value), ValuePrefixEnd(value)
 	var scanErr error
 	err := sec.Scan(start, end, func(k, v []byte) bool {
+		if len(entries)%ctxCheckEvery == 0 {
+			if scanErr = CtxErr(ctx); scanErr != nil {
+				return false
+			}
+		}
 		_, conf, id, err := DecodeHeapKey(k)
 		if err != nil {
 			scanErr = err
@@ -227,7 +261,12 @@ func (t *Table) QuerySecondary(attr, value string, qt float64, tailored bool) ([
 	}
 	sort.Slice(refs, func(i, j int) bool { return bytes.Compare(refs[i].key, refs[j].key) < 0 })
 	results := make([]Result, 0, len(refs))
-	for _, r := range refs {
+	for i, r := range refs {
+		if i%ctxCheckEvery == 0 {
+			if err := CtxErr(ctx); err != nil {
+				return nil, stats, err
+			}
+		}
 		v, ok, err := t.heap.Get(r.key)
 		if err != nil {
 			return nil, stats, err
@@ -250,10 +289,13 @@ func (t *Table) QuerySecondary(attr, value string, qt float64, tailored bool) ([
 // DESC, the scan stops after k heap entries unless the cutoff index
 // may still hold candidates (Section 3.1: "a top-k query can terminate
 // scanning the index when the top-k results are identified").
-func (t *Table) TopK(value string, k int) ([]Result, QueryStats, error) {
+func (t *Table) TopK(ctx context.Context, value string, k int) ([]Result, QueryStats, error) {
 	var stats QueryStats
 	if k <= 0 {
 		return nil, stats, nil
+	}
+	if err := CtxErr(ctx); err != nil {
+		return nil, stats, err
 	}
 	var results []Result
 	start, end := ValuePrefix(value), ValuePrefixEnd(value)
@@ -261,6 +303,11 @@ func (t *Table) TopK(value string, k int) ([]Result, QueryStats, error) {
 	err := t.heap.Scan(start, end, func(kk, v []byte) bool {
 		if len(results) >= k {
 			return false
+		}
+		if stats.HeapEntries%ctxCheckEvery == 0 {
+			if scanErr = CtxErr(ctx); scanErr != nil {
+				return false
+			}
 		}
 		_, conf, _, err := DecodeHeapKey(kk)
 		if err != nil {
@@ -291,7 +338,7 @@ func (t *Table) TopK(value string, k int) ([]Result, QueryStats, error) {
 			return results, stats, nil
 		}
 	}
-	cutoffResults, n, err := t.queryCutoff(value, 0)
+	cutoffResults, n, err := t.queryCutoff(ctx, value, 0)
 	stats.CutoffPointers = n
 	if err != nil {
 		return nil, stats, err

@@ -2,6 +2,7 @@ package upi
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -151,12 +152,12 @@ func TestFirstAlternativeStaysInHeap(t *testing.T) {
 		t.Fatalf("heap=%d cutoff=%d, want 1/2", tab.Heap().Count(), tab.CutoffIndex().Count())
 	}
 	// The tuple must still be findable under its first value at low QT.
-	res, _, err := tab.Query("x", 0.1)
+	res, _, err := tab.Query(context.Background(), "x", 0.1)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("query x: %v %d", err, len(res))
 	}
 	// And under a cutoff value when QT < C.
-	res, st, err := tab.Query("y", 0.1)
+	res, st, err := tab.Query(context.Background(), "y", 0.1)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("query y: %v %d", err, len(res))
 	}
@@ -169,7 +170,7 @@ func TestQuery1RunningExample(t *testing.T) {
 	for _, cutoff := range []float64{0, 0.1, 0.3} {
 		tab := createExample(t, cutoff)
 		// Query 1 at QT=0.1: {Alice 18%, Bob 95%}.
-		res, _, err := tab.Query("MIT", 0.1)
+		res, _, err := tab.Query(context.Background(), "MIT", 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,12 +184,12 @@ func TestQuery1RunningExample(t *testing.T) {
 			t.Fatalf("C=%v: second = %+v", cutoff, res[1])
 		}
 		// At QT=0.5 only Bob remains.
-		res, _, err = tab.Query("MIT", 0.5)
+		res, _, err = tab.Query(context.Background(), "MIT", 0.5)
 		if err != nil || len(res) != 1 {
 			t.Fatalf("C=%v at 0.5: %v %d", cutoff, err, len(res))
 		}
 		// No matches for unknown value.
-		res, _, err = tab.Query("Nowhere", 0.0)
+		res, _, err = tab.Query(context.Background(), "Nowhere", 0.0)
 		if err != nil || len(res) != 0 {
 			t.Fatalf("C=%v unknown: %v %d", cutoff, err, len(res))
 		}
@@ -233,7 +234,7 @@ func TestQueryMatchesPossibleWorlds(t *testing.T) {
 		for _, qt := range []float64{0.05, 0.2, 0.5} {
 			for _, v := range values {
 				want := prob.PTQAnswer(worlds, v, qt)
-				got, _, err := tab.Query(v, qt)
+				got, _, err := tab.Query(context.Background(), v, qt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -303,7 +304,7 @@ func TestQuerySecondaryPaperExample(t *testing.T) {
 	// tailored access fetches Alice from the MIT region because Bob
 	// committed us to MIT.
 	for _, tailored := range []bool{false, true} {
-		res, st, err := tab.QuerySecondary("Country", "US", 0.8, tailored)
+		res, st, err := tab.QuerySecondary(context.Background(), "Country", "US", 0.8, tailored)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -327,7 +328,7 @@ func TestQuerySecondaryPaperExample(t *testing.T) {
 func TestQuerySecondaryMatchesPrimarySemantics(t *testing.T) {
 	tab := createExample(t, 0.10)
 	// Country=Japan at QT=0.3: Carol only (0.8 × 0.4 = 0.32).
-	res, _, err := tab.QuerySecondary("Country", "Japan", 0.3, true)
+	res, _, err := tab.QuerySecondary(context.Background(), "Country", "Japan", 0.3, true)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("%v %d", err, len(res))
 	}
@@ -338,12 +339,12 @@ func TestQuerySecondaryMatchesPrimarySemantics(t *testing.T) {
 		t.Fatalf("conf = %v", res[0].Confidence)
 	}
 	// QT above: no results.
-	res, _, _ = tab.QuerySecondary("Country", "Japan", 0.5, true)
+	res, _, _ = tab.QuerySecondary(context.Background(), "Country", "Japan", 0.5, true)
 	if len(res) != 0 {
 		t.Fatalf("got %d", len(res))
 	}
 	// Unknown secondary attr errors.
-	if _, _, err := tab.QuerySecondary("Nope", "x", 0.1, true); err == nil {
+	if _, _, err := tab.QuerySecondary(context.Background(), "Nope", "x", 0.1, true); err == nil {
 		t.Fatal("missing index accepted")
 	}
 }
@@ -354,7 +355,7 @@ func TestDeleteRemovesEverywhere(t *testing.T) {
 	if err := tab.Delete(tuples[1]); err != nil { // Bob
 		t.Fatal(err)
 	}
-	res, _, err := tab.Query("MIT", 0.05)
+	res, _, err := tab.Query(context.Background(), "MIT", 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestDeleteRemovesEverywhere(t *testing.T) {
 	if tab.CutoffIndex().Count() != 0 {
 		t.Fatal("Bob's UCB cutoff entry not removed")
 	}
-	res, _, _ = tab.QuerySecondary("Country", "US", 0.5, true)
+	res, _, _ = tab.QuerySecondary(context.Background(), "Country", "US", 0.5, true)
 	for _, r := range res {
 		if name, _ := r.Tuple.DetValue("Name"); name == "Bob" {
 			t.Fatal("Bob still in secondary index")
@@ -387,7 +388,7 @@ func TestUpdate(t *testing.T) {
 	if err := tab.Update(tuples[0], &newAlice); err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := tab.Query("MIT", 0.89)
+	res, _, err := tab.Query(context.Background(), "MIT", 0.89)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,33 +404,33 @@ func TestUpdate(t *testing.T) {
 	if !found {
 		t.Fatal("updated Alice not found at MIT")
 	}
-	if res, _, _ := tab.Query("Brown", 0.0); len(res) != 1 {
+	if res, _, _ := tab.Query(context.Background(), "Brown", 0.0); len(res) != 1 {
 		t.Fatalf("Brown should only hold Carol now, got %d", len(res))
 	}
 }
 
 func TestTopK(t *testing.T) {
 	tab := createExample(t, 0.10)
-	res, _, err := tab.TopK("MIT", 1)
+	res, _, err := tab.TopK(context.Background(), "MIT", 1)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("%v %d", err, len(res))
 	}
 	if name, _ := res[0].Tuple.DetValue("Name"); name != "Bob" {
 		t.Fatalf("top1 = %s", name)
 	}
-	res, _, err = tab.TopK("MIT", 5)
+	res, _, err = tab.TopK(context.Background(), "MIT", 5)
 	if err != nil || len(res) != 2 {
 		t.Fatalf("top5: %v %d", err, len(res))
 	}
 	// Top-k must see cutoff entries too: UCB has only a cutoff entry.
-	res, _, err = tab.TopK("UCB", 3)
+	res, _, err = tab.TopK(context.Background(), "UCB", 3)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("UCB topk: %v %d", err, len(res))
 	}
 	if name, _ := res[0].Tuple.DetValue("Name"); name != "Bob" {
 		t.Fatalf("UCB top = %s", name)
 	}
-	if res, _, _ := tab.TopK("MIT", 0); res != nil {
+	if res, _, _ := tab.TopK(context.Background(), "MIT", 0); res != nil {
 		t.Fatal("k=0 should return nothing")
 	}
 }
@@ -457,7 +458,7 @@ func TestMaxPointersCap(t *testing.T) {
 		return true
 	})
 	// Query via secondary must still work with capped pointers.
-	res, _, err := tab.QuerySecondary("Y", "q", 0.5, true)
+	res, _, err := tab.QuerySecondary(context.Background(), "Y", "q", 0.5, true)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("%v %d", err, len(res))
 	}
@@ -477,11 +478,11 @@ func TestBulkBuildEquivalentToInserts(t *testing.T) {
 	}
 	for _, qt := range []float64{0.05, 0.2, 0.6} {
 		for _, v := range []string{"MIT", "Brown", "UCB", "U. Tokyo"} {
-			a, _, err := ins.Query(v, qt)
+			a, _, err := ins.Query(context.Background(), v, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := bulk.Query(v, qt)
+			b, _, err := bulk.Query(context.Background(), v, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -516,7 +517,7 @@ func TestOpenRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := re.Query("MIT", 0.1)
+	res, _, err := re.Query(context.Background(), "MIT", 0.1)
 	if err != nil || len(res) != 2 {
 		t.Fatalf("reopened query: %v %d", err, len(res))
 	}
@@ -585,7 +586,7 @@ func TestUPIScanIsSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := disk.Stats()
-	res, _, err := tab.Query("common", 0.5)
+	res, _, err := tab.Query(context.Background(), "common", 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,7 @@
 package upidb
 
 import (
-	"fmt"
+	"context"
 
 	"upidb/internal/histogram"
 	"upidb/internal/planner"
@@ -10,8 +10,9 @@ import (
 
 // BuildStats builds attribute-value + probability histograms (paper
 // Section 6.1) from a representative sample of the table's tuples and
-// attaches them to the table, enabling cost-based planning via Explain
-// and QueryPlanned. Call it again after significant data drift.
+// attaches them to the table, enabling cost-based planning via
+// Query.WithPlanner / WithExplain (and the legacy Explain and
+// QueryPlanned wrappers). Call it again after significant data drift.
 func (t *Table) BuildStats(sample []*Tuple, attrs ...string) error {
 	if len(attrs) == 0 {
 		attrs = append([]string{t.store.Main().Attr()}, t.store.Main().SecondaryAttrs()...)
@@ -42,27 +43,33 @@ func (t *Table) currentPlanner() *planner.Planner {
 }
 
 // Explain returns the costed physical plans for a PTQ, cheapest first,
-// in EXPLAIN-style text. BuildStats must have been called.
+// in EXPLAIN-style text. BuildStats must have been called (ErrNoStats
+// otherwise).
+//
+// Deprecated: use Run with WithExplain:
+//
+//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt).WithExplain())
+//	plans := res.Info().Explain
 func (t *Table) Explain(attr, value string, qt float64) (string, error) {
-	p := t.currentPlanner()
-	if p == nil {
-		return "", fmt.Errorf("upidb: call BuildStats before Explain")
-	}
-	plans, err := p.PlanPTQ(attr, value, qt)
+	res, err := t.Run(context.Background(), PTQ(attr, value, qt).WithExplain())
 	if err != nil {
 		return "", err
 	}
-	return planner.Explain(plans), nil
+	return res.Info().Explain, nil
 }
 
 // QueryPlanned runs the PTQ with the cheapest plan the cost model
 // finds and reports which plan was used. BuildStats must have been
-// called.
+// called (ErrNoStats otherwise).
+//
+// Deprecated: use Run with WithPlanner:
+//
+//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt).WithPlanner())
+//	plan := res.Info().Plan
 func (t *Table) QueryPlanned(attr, value string, qt float64) ([]Result, string, error) {
-	p := t.currentPlanner()
-	if p == nil {
-		return nil, "", fmt.Errorf("upidb: call BuildStats before QueryPlanned")
+	res, err := t.Run(context.Background(), PTQ(attr, value, qt).WithPlanner())
+	if err != nil {
+		return nil, "", err
 	}
-	rs, plan, err := p.Execute(attr, value, qt)
-	return rs, plan.Kind.String(), err
+	return res.results, res.Info().Plan, nil
 }

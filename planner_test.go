@@ -1,6 +1,10 @@
 package upidb
 
+//lint:file-ignore SA1019 the legacy-wrapper test intentionally exercises the deprecated Explain/QueryPlanned.
+
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -13,48 +17,93 @@ func TestFacadePlanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Without stats, planning fails loudly.
-	if _, err := authors.Explain("Institution", "MIT", 0.1); err == nil {
-		t.Fatal("Explain without stats accepted")
+	ctx := context.Background()
+	// Without stats, planning fails loudly with the typed sentinel.
+	if _, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithExplain()); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("Explain without stats: %v", err)
 	}
-	if _, _, err := authors.QueryPlanned("Institution", "MIT", 0.1); err == nil {
-		t.Fatal("QueryPlanned without stats accepted")
+	if _, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner()); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("planned Run without stats: %v", err)
+	}
+	if err := authors.BuildStats(tuples); err != nil {
+		t.Fatal(err)
+	}
+	res, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithExplain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Info().Explain
+	if !strings.Contains(out, "PrimaryScan") || !strings.Contains(out, "FullScan") {
+		t.Fatalf("explain output: %q", out)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("explain-only run returned results: %+v", res.Collect())
+	}
+	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 || res.Info().Plan == "" {
+		t.Fatalf("planned query: %d results via %q", res.Len(), res.Info().Plan)
+	}
+	// Secondary planning.
+	res, err = authors.Run(ctx, PTQ("Country", "Japan", 0.3).WithExplain())
+	if err != nil || !strings.Contains(res.Info().Explain, "SecondaryTailored") {
+		t.Fatalf("secondary explain: %v %q", err, res.Info().Explain)
+	}
+	res, err = authors.Run(ctx, PTQ("Country", "Japan", 0.3).WithPlanner())
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("planned secondary: %v %d", err, res.Len())
+	}
+	// Per-query parallelism rides through the planner path.
+	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner().WithParallelism(1))
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("planned serial query: %v %d", err, res.Len())
+	}
+	// Explain is PTQ-only: a top-k explain request errors instead of
+	// silently executing.
+	if _, err := authors.Run(ctx, TopKQuery("MIT", 2).WithExplain()); err == nil {
+		t.Fatal("top-k WithExplain accepted")
+	}
+	// Unknown attribute fails with the typed sentinel.
+	if _, err := authors.Run(ctx, PTQ("Nope", "x", 0.1).WithExplain()); !errors.Is(err, ErrUnknownAttr) {
+		t.Fatalf("unknown attribute: %v", err)
+	}
+	// BuildStats with explicit attrs subset: a valid attribute without
+	// a histogram is ErrNoStats, not ErrUnknownAttr.
+	if err := authors.BuildStats(tuples, "Institution"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := authors.Run(ctx, PTQ("Country", "Japan", 0.3).WithExplain()); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("country stats should be absent after subset rebuild: %v", err)
+	}
+}
+
+// TestFacadePlannerLegacyWrappers pins the deprecated Explain and
+// QueryPlanned wrappers to the Run path they delegate to.
+func TestFacadePlannerLegacyWrappers(t *testing.T) {
+	db := New()
+	tuples := exampleTuples(t)
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
+		TableOptions{Cutoff: 0.1}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := authors.Explain("Institution", "MIT", 0.1); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("Explain without stats: %v", err)
+	}
+	if _, _, err := authors.QueryPlanned("Institution", "MIT", 0.1); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("QueryPlanned without stats: %v", err)
 	}
 	if err := authors.BuildStats(tuples); err != nil {
 		t.Fatal(err)
 	}
 	out, err := authors.Explain("Institution", "MIT", 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(out, "PrimaryScan") || !strings.Contains(out, "FullScan") {
-		t.Fatalf("explain output: %q", out)
+	if err != nil || !strings.Contains(out, "PrimaryScan") {
+		t.Fatalf("legacy explain: %v %q", err, out)
 	}
 	rs, plan, err := authors.QueryPlanned("Institution", "MIT", 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rs) != 2 {
-		t.Fatalf("planned query: %d results via %s", len(rs), plan)
-	}
-	// Secondary planning.
-	out, err = authors.Explain("Country", "Japan", 0.3)
-	if err != nil || !strings.Contains(out, "SecondaryTailored") {
-		t.Fatalf("secondary explain: %v %q", err, out)
-	}
-	rs, _, err = authors.QueryPlanned("Country", "Japan", 0.3)
-	if err != nil || len(rs) != 1 {
-		t.Fatalf("planned secondary: %v %d", err, len(rs))
-	}
-	// Unknown attribute fails.
-	if _, err := authors.Explain("Nope", "x", 0.1); err == nil {
-		t.Fatal("unknown attribute accepted")
-	}
-	// BuildStats with explicit attrs subset.
-	if err := authors.BuildStats(tuples, "Institution"); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := authors.Explain("Country", "Japan", 0.3); err == nil {
-		t.Fatal("country stats should be absent after subset rebuild")
+	if err != nil || len(rs) != 2 || plan == "" {
+		t.Fatalf("legacy planned query: %v %d via %q", err, len(rs), plan)
 	}
 }

@@ -1,0 +1,229 @@
+package upidb
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"slices"
+
+	"upidb/internal/fracture"
+	"upidb/internal/planner"
+	"upidb/internal/upi"
+)
+
+// Kind identifies the class of query a Query descriptor requests.
+type Kind int
+
+// The query classes Run executes.
+const (
+	// KindPTQ is a probabilistic threshold query: all tuples whose
+	// confidence for attr = value is at least the threshold.
+	KindPTQ Kind = iota
+	// KindTopK is a top-k query: the k highest-confidence tuples for
+	// one value of the primary attribute.
+	KindTopK
+)
+
+// Query describes one query: the predicate plus per-query execution
+// options. Build it with PTQ or TopKQuery and chain With* options —
+// each option returns a modified copy, so descriptors are values that
+// can be stored, reused and shared between goroutines:
+//
+//	q := upidb.PTQ("", "MIT", 0.1).WithParallelism(4).WithStats()
+//	res, err := table.Run(ctx, q)
+type Query struct {
+	kind  Kind
+	attr  string // "" = the table's primary attribute
+	value string
+	qt    float64
+	k     int
+
+	parallelism int
+	usePlanner  bool
+	wantStats   bool
+	explainOnly bool
+}
+
+// PTQ describes a probabilistic threshold query "attr = value AND
+// confidence >= qt". attr may be the table's primary attribute, any
+// secondary-indexed attribute, or "" as shorthand for the primary
+// attribute; Run rejects anything else with ErrUnknownAttr.
+func PTQ(attr, value string, qt float64) Query {
+	return Query{kind: KindPTQ, attr: attr, value: value, qt: qt}
+}
+
+// TopKQuery describes a top-k query on the primary attribute: the k
+// highest-confidence tuples with the given value.
+func TopKQuery(value string, k int) Query {
+	return Query{kind: KindTopK, value: value, k: k}
+}
+
+// WithParallelism overrides the table's partition fan-out width for
+// this query only (0 = table default, 1 = serial scan). Modeled query
+// costs are identical at every setting; only wall-clock time changes.
+func (q Query) WithParallelism(n int) Query {
+	q.parallelism = n
+	return q
+}
+
+// WithPlanner routes the query through the cost-based planner, which
+// picks the cheapest access path (primary scan, tailored secondary, or
+// full scan) from the BuildStats histograms. Run fails with ErrNoStats
+// if BuildStats has not covered the queried attribute. Planner routing
+// applies to PTQs; a top-k query ignores it.
+func (q Query) WithPlanner() Query {
+	q.usePlanner = true
+	return q
+}
+
+// WithStats additionally reports the modeled disk time of the query
+// as Info().ModeledTime — the cost of exactly this query's I/O
+// (derived from its own partition tapes), unpolluted by concurrent
+// queries or merges. Structural statistics (entries scanned,
+// partitions read, plan chosen) are collected regardless.
+func (q Query) WithStats() Query {
+	q.wantStats = true
+	return q
+}
+
+// WithExplain turns the query into a plan-only request: Run costs the
+// candidate plans without executing anything, and Info().Explain holds
+// the EXPLAIN-style listing. Implies WithPlanner and therefore
+// requires BuildStats. Only PTQ queries can be explained; Run rejects
+// a top-k explain request instead of silently executing it.
+func (q Query) WithExplain() Query {
+	q.usePlanner = true
+	q.explainOnly = true
+	return q
+}
+
+// Results is the answer to one Run call: the materialized result set
+// plus everything the execution recorded about itself. Iterate it
+// with All (range-over-func), or grab the whole slice with Collect.
+type Results struct {
+	results []Result
+	info    QueryInfo
+}
+
+// All returns an iterator over the results in confidence-descending
+// order (ties broken by tuple ID):
+//
+//	for r, err := range res.All() { ... }
+//
+// Iteration yields exactly the tuples Collect returns, in the same
+// order. The error slot is reserved for incremental streaming of
+// partition scans; today results are fully validated before Run
+// returns, so it is always nil.
+func (r *Results) All() iter.Seq2[Result, error] {
+	return func(yield func(Result, error) bool) {
+		for _, res := range r.results {
+			if !yield(res, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Collect returns all results as a slice, in the same order All
+// yields them.
+func (r *Results) Collect() []Result {
+	return slices.Clone(r.results)
+}
+
+// Len returns the number of results.
+func (r *Results) Len() int { return len(r.results) }
+
+// Info reports what the query touched and cost. ModeledTime is only
+// measured when the query was built WithStats; Plan and Explain are
+// only set for WithPlanner / WithExplain runs.
+func (r *Results) Info() QueryInfo { return r.info }
+
+// Run executes one query described by q against the table, honoring
+// ctx: a context that is already done fails fast with ErrCanceled
+// before any partition is pinned or any modeled I/O charged, and a
+// cancellation mid-scan stops the partition workers between heap
+// pages, discards the unfinished partitions' I/O and releases every
+// partition pin before returning.
+//
+// Run is safe for concurrent use alongside inserts, deletes, flushes
+// and merges; it sees a consistent snapshot of the table (main UPI +
+// fractures + RAM buffer) taken at call time.
+func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	main := t.store.Main()
+	primary := main.Attr()
+	attr := q.attr
+	if attr == "" {
+		attr = primary
+	}
+	if attr != primary && !slices.Contains(main.SecondaryAttrs(), attr) {
+		return nil, fmt.Errorf("%w: %q (primary %q, secondary %v)",
+			ErrUnknownAttr, attr, primary, main.SecondaryAttrs())
+	}
+	if q.explainOnly && q.kind != KindPTQ {
+		// Explain is plan-only by contract; never fall through to a
+		// full execution for a query class the planner can't cost.
+		return nil, fmt.Errorf("upidb: WithExplain supports PTQ queries only")
+	}
+	if q.kind == KindPTQ && q.usePlanner {
+		return t.runPlanned(ctx, q, attr)
+	}
+
+	req := fracture.Req{Value: q.value, Parallelism: q.parallelism}
+	switch {
+	case q.kind == KindTopK:
+		req.Kind = fracture.KindTopK
+		req.K = q.k
+	case attr == primary:
+		req.Kind = fracture.KindPTQ
+		req.QT = q.qt
+	default:
+		req.Kind = fracture.KindSecondary
+		req.Attr = attr
+		req.QT = q.qt
+		req.Tailored = true
+	}
+	rs, st, err := t.store.Run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{results: rs, info: buildInfo(q.wantStats, st, "")}, nil
+}
+
+// runPlanned executes (or, for WithExplain, only costs) a PTQ through
+// the cost-based planner.
+func (t *Table) runPlanned(ctx context.Context, q Query, attr string) (*Results, error) {
+	p := t.currentPlanner()
+	if p == nil {
+		return nil, fmt.Errorf("%w: call BuildStats before planned queries", ErrNoStats)
+	}
+	if q.explainOnly {
+		plans, err := p.PlanPTQ(attr, q.value, q.qt)
+		if err != nil {
+			return nil, err
+		}
+		return &Results{info: QueryInfo{Explain: planner.Explain(plans)}}, nil
+	}
+	rs, plan, st, err := p.Execute(ctx, attr, q.value, q.qt, q.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{results: rs, info: buildInfo(q.wantStats, st, plan.Kind.String())}, nil
+}
+
+// buildInfo assembles a QueryInfo from the execution statistics.
+func buildInfo(wantStats bool, st fracture.Stats, plan string) QueryInfo {
+	info := QueryInfo{
+		HeapEntries:    st.HeapEntries,
+		CutoffPointers: st.CutoffPointers,
+		Partitions:     st.PartitionsRead,
+		BufferHits:     st.BufferHits,
+		Plan:           plan,
+	}
+	if wantStats {
+		info.ModeledTime = st.ModeledTime
+	}
+	return info
+}

@@ -8,6 +8,7 @@ package upidb
 // simulated disk).
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -94,16 +95,15 @@ func TestSoakAgainstReference(t *testing.T) {
 		}
 		qt := []float64{0.05, 0.2, 0.5, 0.8}[rng.Intn(4)]
 		want := ref.query(attr, value, qt)
-		var got []Result
-		var err error
+		q := PTQ(attr, value, qt)
 		if attr == "X" {
-			got, err = tab.Query(value, qt)
-		} else {
-			got, err = tab.QuerySecondary(attr, value, qt)
+			q = PTQ("", value, qt)
 		}
+		res, err := tab.Run(context.Background(), q)
 		if err != nil {
 			t.Fatalf("op %d: query %s=%s@%v: %v", op, attr, value, qt, err)
 		}
+		got := res.Collect()
 		if len(got) != len(want) {
 			t.Fatalf("op %d: query %s=%s@%v: got %d want %d", op, attr, value, qt, len(got), len(want))
 		}
@@ -131,7 +131,9 @@ func TestSoakAgainstReference(t *testing.T) {
 			ref.live[tup.ID] = tup
 		case r < 70: // delete a random live tuple
 			for id := range ref.live {
-				tab.Delete(id)
+				if err := tab.Delete(id); err != nil {
+					t.Fatal(err)
+				}
 				delete(ref.live, id)
 				break
 			}
@@ -157,12 +159,12 @@ func TestSoakAgainstReference(t *testing.T) {
 	for _, v := range values {
 		for _, qt := range []float64{0, 0.1, 0.3, 0.6, 0.9} {
 			want := ref.query("X", v, qt)
-			got, err := tab.Query(v, qt)
+			res, err := tab.Run(context.Background(), PTQ("", v, qt))
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(got) != len(want) {
-				t.Fatalf("final sweep %s@%v: got %d want %d", v, qt, len(got), len(want))
+			if res.Len() != len(want) {
+				t.Fatalf("final sweep %s@%v: got %d want %d", v, qt, res.Len(), len(want))
 			}
 		}
 	}

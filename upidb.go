@@ -23,13 +23,26 @@
 //			{Value: "Brown", Prob: 0.8}, {Value: "MIT", Prob: 0.2},
 //		}}, {Name: "Country", Dist: upidb.Discrete{{Value: "US", Prob: 1}}}},
 //	})
-//	results, _ := authors.Query("MIT", 0.1) // PTQ: confidence >= 0.1
+//	// PTQ on the primary attribute: confidence >= 0.1.
+//	res, _ := authors.Run(ctx, upidb.PTQ("", "MIT", 0.1))
+//	for r, _ := range res.All() { ... }
+//
+// Every query goes through one entry point, Table.Run: a Query
+// descriptor (PTQ or TopKQuery, with chainable per-query options)
+// executed under a context.Context, returning a Results handle that
+// both streams (All) and materializes (Collect) the answers.
+// Cancellation and deadlines propagate through every layer — a
+// cancelled query stops between heap pages, stops charging modeled
+// I/O and fails with ErrCanceled. Errors are typed sentinels
+// (ErrUnknownAttr, ErrNoStats, ErrCanceled, ErrClosed) shared by all
+// layers.
 //
 // All I/O is charged to a deterministic disk model using the paper's
 // cost constants (10 ms seek, 20 ms/MB read, 50 ms/MB write), so query
 // costs reported by Stats are reproducible modeled times rather than
-// wall-clock noise. See DESIGN.md and EXPERIMENTS.md for the full
-// reproduction of the paper's evaluation.
+// wall-clock noise. See README.md for the architecture overview and
+// the experiment harness (cmd/upibench) that regenerates the paper's
+// evaluation.
 //
 // # Concurrency
 //
@@ -60,6 +73,7 @@
 package upidb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -213,8 +227,9 @@ type Table struct {
 // Insert adds or replaces a tuple (buffered).
 func (t *Table) Insert(tup *Tuple) error { return t.store.Insert(tup) }
 
-// Delete removes the tuple with the given ID (buffered).
-func (t *Table) Delete(id uint64) { t.store.Delete(id) }
+// Delete removes the tuple with the given ID (buffered). Like Insert,
+// it fails with ErrClosed once the table is closed.
+func (t *Table) Delete(id uint64) error { return t.store.Delete(id) }
 
 // Flush writes buffered changes out as a new fracture.
 func (t *Table) Flush() error { return t.store.Flush() }
@@ -223,38 +238,67 @@ func (t *Table) Flush() error { return t.store.Flush() }
 // sequential pass, restoring query performance.
 func (t *Table) Merge() error { return t.store.Merge() }
 
+// Close stops the table's background merger (if any) and marks the
+// table closed: every subsequent query and mutation fails with
+// ErrClosed. In-flight queries finish normally on the snapshot they
+// hold. Close returns the first background-merge error, like
+// StopAutoMerge; closing twice is safe.
+func (t *Table) Close() error { return t.store.Close() }
+
 // Query answers the PTQ "primaryAttr = value AND confidence >= qt".
+//
+// Deprecated: use Run with a PTQ descriptor, which adds context
+// cancellation, per-query options and streaming:
+//
+//	res, err := t.Run(ctx, upidb.PTQ("", value, qt))
 func (t *Table) Query(value string, qt float64) ([]Result, error) {
-	rs, _, err := t.store.Query(value, qt)
-	return rs, err
+	res, err := t.Run(context.Background(), PTQ("", value, qt))
+	if err != nil {
+		return nil, err
+	}
+	return res.results, nil
 }
 
 // QueryStats answers the PTQ and also reports modeled cost and what
 // the query touched.
+//
+// Deprecated: use Run with WithStats:
+//
+//	res, err := t.Run(ctx, upidb.PTQ("", value, qt).WithStats())
 func (t *Table) QueryStats(value string, qt float64) ([]Result, QueryInfo, error) {
-	sp := sim.StartSpan(t.db.disk)
-	rs, st, err := t.store.Query(value, qt)
-	info := QueryInfo{
-		ModeledTime:    sp.End().Elapsed,
-		HeapEntries:    st.HeapEntries,
-		CutoffPointers: st.CutoffPointers,
-		Partitions:     st.PartitionsRead,
+	res, err := t.Run(context.Background(), PTQ("", value, qt).WithStats())
+	if err != nil {
+		return nil, QueryInfo{}, err
 	}
-	return rs, info, err
+	return res.results, res.Info(), nil
 }
 
 // QuerySecondary answers a PTQ on a secondary uncertain attribute,
 // using tailored secondary index access (Section 3.2).
+//
+// Deprecated: use Run with a PTQ descriptor naming the attribute:
+//
+//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt))
 func (t *Table) QuerySecondary(attr, value string, qt float64) ([]Result, error) {
-	rs, _, err := t.store.QuerySecondary(attr, value, qt, true)
-	return rs, err
+	res, err := t.Run(context.Background(), PTQ(attr, value, qt))
+	if err != nil {
+		return nil, err
+	}
+	return res.results, nil
 }
 
 // TopK returns the k highest-confidence tuples for the given value of
 // the primary attribute.
+//
+// Deprecated: use Run with a TopKQuery descriptor:
+//
+//	res, err := t.Run(ctx, upidb.TopKQuery(value, k))
 func (t *Table) TopK(value string, k int) ([]Result, error) {
-	rs, _, err := t.store.TopK(value, k)
-	return rs, err
+	res, err := t.Run(context.Background(), TopKQuery(value, k))
+	if err != nil {
+		return nil, err
+	}
+	return res.results, nil
 }
 
 // SetParallelism changes the per-query partition fan-out width
@@ -287,9 +331,13 @@ func (t *Table) SizeBytes() int64 { return t.store.SizeBytes() }
 // DropCaches empties all buffer pools; the next query runs cold.
 func (t *Table) DropCaches() error { return t.store.DropCaches() }
 
-// QueryInfo reports the modeled cost of one query.
+// QueryInfo reports the modeled cost of one query and what it
+// touched.
 type QueryInfo struct {
-	// ModeledTime is the simulated disk time the query took.
+	// ModeledTime is the modeled disk time charged for this query's
+	// own I/O (exact even under concurrency — it is the sum of the
+	// query's replayed partition tapes). Only reported for queries
+	// built WithStats.
 	ModeledTime time.Duration
 	// HeapEntries is the number of heap-file entries scanned.
 	HeapEntries int
@@ -297,11 +345,23 @@ type QueryInfo struct {
 	CutoffPointers int
 	// Partitions is 1 (main UPI) + the number of fractures consulted.
 	Partitions int
+	// BufferHits counts results served from the RAM insert buffer.
+	BufferHits int
+	// Plan names the access path the planner chose (WithPlanner runs
+	// only).
+	Plan string
+	// Explain is the EXPLAIN-style costed-plan listing (WithExplain
+	// runs only).
+	Explain string
 }
 
 func (q QueryInfo) String() string {
-	return fmt.Sprintf("modeled=%v heapEntries=%d cutoffPointers=%d partitions=%d",
+	s := fmt.Sprintf("modeled=%v heapEntries=%d cutoffPointers=%d partitions=%d",
 		q.ModeledTime, q.HeapEntries, q.CutoffPointers, q.Partitions)
+	if q.Plan != "" {
+		s += " plan=" + q.Plan
+	}
+	return s
 }
 
 // SpatialOptions tune a continuous-UPI table.
@@ -335,17 +395,36 @@ func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptio
 // Insert adds one observation after the initial load.
 func (s *SpatialTable) Insert(o *Observation) error { return s.tab.Insert(o) }
 
+// RunCircle answers "within radius of q with appearance probability
+// >= threshold" (the paper's Query 4) under ctx: cancellation stops
+// the R-Tree traversal between leaves and the fetch phase between
+// heap reads, failing with ErrCanceled. Full Query-descriptor parity
+// with Table.Run is a roadmap item.
+func (s *SpatialTable) RunCircle(ctx context.Context, q Point, radius, threshold float64) ([]SpatialResult, error) {
+	rs, _, err := s.tab.QueryCircle(ctx, q, radius, threshold)
+	return rs, err
+}
+
+// RunSegment answers a PTQ on the uncertain road-segment attribute
+// (the paper's Query 5) under ctx.
+func (s *SpatialTable) RunSegment(ctx context.Context, segment string, qt float64) ([]SpatialResult, error) {
+	return s.tab.QuerySegment(ctx, segment, qt)
+}
+
 // QueryCircle answers "within radius of q with appearance probability
 // >= threshold" (the paper's Query 4).
+//
+// Deprecated: use RunCircle, which honors a context.
 func (s *SpatialTable) QueryCircle(q Point, radius, threshold float64) ([]SpatialResult, error) {
-	rs, _, err := s.tab.QueryCircle(q, radius, threshold)
-	return rs, err
+	return s.RunCircle(context.Background(), q, radius, threshold)
 }
 
 // QuerySegment answers a PTQ on the uncertain road-segment attribute
 // (the paper's Query 5).
+//
+// Deprecated: use RunSegment, which honors a context.
 func (s *SpatialTable) QuerySegment(segment string, qt float64) ([]SpatialResult, error) {
-	return s.tab.QuerySegment(segment, qt)
+	return s.RunSegment(context.Background(), segment, qt)
 }
 
 // SizeBytes returns the spatial table's total on-disk size.

@@ -1,6 +1,7 @@
 package upidb
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -49,32 +50,50 @@ func TestFacadeEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	ctx := context.Background()
 	// Paper Query 1: {Alice 18%, Bob 95%}.
-	rs, err := authors.Query("MIT", 0.1)
+	res, err := authors.Run(ctx, PTQ("", "MIT", 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs := res.Collect()
 	if len(rs) != 2 || math.Abs(rs[0].Confidence-0.95) > 1e-9 || math.Abs(rs[1].Confidence-0.18) > 1e-9 {
 		t.Fatalf("Query 1: %+v", rs)
 	}
+	// Streaming iteration yields the same rows in the same order.
+	i := 0
+	for r, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Tuple.ID != rs[i].Tuple.ID {
+			t.Fatalf("stream diverged at %d: %+v vs %+v", i, r, rs[i])
+		}
+		i++
+	}
+	if i != res.Len() {
+		t.Fatalf("stream yielded %d of %d", i, res.Len())
+	}
 	// Secondary PTQ with tailored access.
-	rs, err = authors.QuerySecondary("Country", "Japan", 0.3)
-	if err != nil || len(rs) != 1 || rs[0].Tuple.ID != 3 {
-		t.Fatalf("secondary: %v %+v", err, rs)
+	res, err = authors.Run(ctx, PTQ("Country", "Japan", 0.3))
+	if err != nil || res.Len() != 1 || res.Collect()[0].Tuple.ID != 3 {
+		t.Fatalf("secondary: %v %+v", err, res)
 	}
 	// Top-k.
-	rs, err = authors.TopK("MIT", 1)
-	if err != nil || len(rs) != 1 || rs[0].Tuple.ID != 2 {
-		t.Fatalf("topk: %v %+v", err, rs)
+	res, err = authors.Run(ctx, TopKQuery("MIT", 1))
+	if err != nil || res.Len() != 1 || res.Collect()[0].Tuple.ID != 2 {
+		t.Fatalf("topk: %v %+v", err, res)
 	}
 	// Delete and flush + merge lifecycle.
-	authors.Delete(2)
+	if err := authors.Delete(2); err != nil {
+		t.Fatal(err)
+	}
 	if err := authors.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	rs, _ = authors.Query("MIT", 0.1)
-	if len(rs) != 1 || rs[0].Tuple.ID != 1 {
-		t.Fatalf("after delete: %+v", rs)
+	res, _ = authors.Run(ctx, PTQ("", "MIT", 0.1))
+	if res.Len() != 1 || res.Collect()[0].Tuple.ID != 1 {
+		t.Fatalf("after delete: %+v", res.Collect())
 	}
 	if err := authors.Merge(); err != nil {
 		t.Fatal(err)
@@ -82,9 +101,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if authors.NumFractures() != 0 {
 		t.Fatalf("fractures after merge: %d", authors.NumFractures())
 	}
-	rs, _ = authors.Query("MIT", 0.1)
-	if len(rs) != 1 {
-		t.Fatalf("after merge: %+v", rs)
+	res, _ = authors.Run(ctx, PTQ("", "MIT", 0.1))
+	if res.Len() != 1 {
+		t.Fatalf("after merge: %+v", res.Collect())
 	}
 	if authors.SizeBytes() == 0 || db.TotalSizeBytes() == 0 {
 		t.Fatal("sizes should be positive")
@@ -101,11 +120,13 @@ func TestFacadeQueryStats(t *testing.T) {
 	if err := authors.DropCaches(); err != nil {
 		t.Fatal(err)
 	}
-	rs, info, err := authors.QueryStats("MIT", 0.01)
-	if err != nil || len(rs) != 3 { // Alice, Bob + Bob's UCB? no: MIT matches Alice 0.18, Bob 0.95 => 2
-		if len(rs) != 2 {
-			t.Fatalf("%v %+v", err, rs)
-		}
+	res, err := authors.Run(context.Background(), PTQ("", "MIT", 0.01).WithStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, info := res.Collect(), res.Info()
+	if len(rs) != 2 { // MIT matches Alice 0.18, Bob 0.95
+		t.Fatalf("%v %+v", err, rs)
 	}
 	if info.ModeledTime <= 0 || info.Partitions != 1 {
 		t.Fatalf("info: %+v", info)
@@ -135,11 +156,12 @@ func TestFacadeSpatial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := cars.QueryCircle(Point{X: 0, Y: 0}, 100, 0.5)
+	ctx := context.Background()
+	rs, err := cars.RunCircle(ctx, Point{X: 0, Y: 0}, 100, 0.5)
 	if err != nil || len(rs) != 1 || rs[0].Obs.ID != 1 {
 		t.Fatalf("circle: %v %+v", err, rs)
 	}
-	rs, err = cars.QuerySegment("seg-1", 0.5)
+	rs, err = cars.RunSegment(ctx, "seg-1", 0.5)
 	if err != nil || len(rs) != 2 {
 		t.Fatalf("segment: %v %+v", err, rs)
 	}
@@ -148,7 +170,7 @@ func TestFacadeSpatial(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rs, _ = cars.QueryCircle(Point{X: 0, Y: 0}, 100, 0.5)
+	rs, _ = cars.RunCircle(ctx, Point{X: 0, Y: 0}, 100, 0.5)
 	if len(rs) != 2 {
 		t.Fatalf("after insert: %+v", rs)
 	}
@@ -174,9 +196,9 @@ func TestFacadeOpenTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs, err := re.Query("MIT", 0.1)
-	if err != nil || len(rs) != 2 {
-		t.Fatalf("reopened: %v %d", err, len(rs))
+	res, err := re.Run(context.Background(), PTQ("", "MIT", 0.1))
+	if err != nil || res.Len() != 2 {
+		t.Fatalf("reopened: %v %+v", err, res)
 	}
 	if _, err := db.OpenTable("missing", "X", nil, opts); err == nil {
 		t.Fatal("open of missing table accepted")
