@@ -1,4 +1,4 @@
-package upidb
+package upidb_test
 
 // Benchmark harness: one testing.B benchmark per table and figure of
 // the paper's evaluation (Section 7), plus micro-benchmarks of the
@@ -6,6 +6,10 @@ package upidb
 // internal/bench experiment at a reduced scale and reports the
 // headline modeled runtime as a custom metric (modeled_ms), alongside
 // the usual wall-clock ns/op of regenerating the experiment.
+//
+// This file is an external test package (upidb_test): internal/bench
+// itself imports the upidb facade for the planner-routing experiment,
+// so importing it from inside package upidb would be an import cycle.
 //
 // Run everything with:
 //
@@ -18,6 +22,7 @@ import (
 	"context"
 	"testing"
 
+	upidb "upidb"
 	"upidb/internal/bench"
 	"upidb/internal/dataset"
 	"upidb/internal/pii"
@@ -68,7 +73,7 @@ func BenchmarkTable8Merging(b *testing.B)     { runExperiment(b, "table8", "Time
 
 // Micro-benchmarks of the core operations, at fixed dataset size.
 
-func benchTuples(b *testing.B, n int) []*Tuple {
+func benchTuples(b *testing.B, n int) []*upidb.Tuple {
 	b.Helper()
 	cfg := dataset.DefaultDBLPConfig()
 	cfg.Authors = n
@@ -157,9 +162,9 @@ func BenchmarkPIIQueryPTQ(b *testing.B) {
 
 func BenchmarkFacadeInsertFlushQuery(b *testing.B) {
 	tuples := benchTuples(b, 2000)
-	db := New()
+	db := upidb.New()
 	tab, err := db.CreateTable("t", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, TableOptions{Cutoff: 0.1, BufferTuples: 500})
+		[]string{dataset.AttrCountry}, upidb.TableOptions{Cutoff: 0.1, BufferTuples: 500})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -171,7 +176,7 @@ func BenchmarkFacadeInsertFlushQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 		if i%100 == 99 {
-			if _, err := tab.Run(context.Background(), PTQ("", dataset.MITInstitution, 0.3)); err != nil {
+			if _, err := tab.Run(context.Background(), upidb.PTQ("", dataset.MITInstitution, 0.3)); err != nil {
 				b.Fatal(err)
 			}
 		}

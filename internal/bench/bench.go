@@ -212,6 +212,7 @@ func Registered() []struct {
 		{"table7", Table7Maintenance},
 		{"table8", Table8Merging},
 		{"parallel-ptq", ParallelPTQ},
+		{"planner-routing", PlannerRouting},
 		{"ablation-pointers", AblationMaxPointers},
 		{"ablation-size", AblationCutoffSize},
 	}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	upidb "upidb"
+	"upidb/internal/dataset"
+)
+
+// routingBatches is how many insert/delete batches (one fracture each)
+// the routing experiment applies before measuring, so the planner and
+// the heuristic both face a realistically fractured table.
+const routingBatches = 6
+
+// PlannerRouting compares the self-maintained planner routing (the
+// Table.Run default: a fresh statistics catalog picks the cheapest
+// costed plan) against the fixed heuristic routing (WithHeuristic:
+// primary → clustered UPI scan, secondary → tailored secondary
+// access) on the paper's query mix over a fractured authors table.
+// Modeled cold-cache runtimes, deterministic per scale/seed; this is
+// the perf-trajectory baseline for planner-by-default.
+func PlannerRouting(e *Env) (*Experiment, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	db := upidb.New()
+	tab, err := db.BulkLoadTable("authors", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry},
+		upidb.TableOptions{Cutoff: fig9QT, Parallelism: e.cfg.Parallelism}, d.Authors)
+	if err != nil {
+		return nil, err
+	}
+	w := newBatchWorkload(e.cfg.Seed+600, d.Authors)
+	for b := 0; b < routingBatches; b++ {
+		deletes, inserts := w.next()
+		for _, t := range deletes {
+			if err := tab.Delete(t.ID); err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range inserts {
+			if err := tab.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+		if err := tab.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	exp := &Experiment{
+		ID:      "planner-routing",
+		Title:   fmt.Sprintf("Planner-by-default vs heuristic routing (%d fractures)", tab.NumFractures()),
+		XLabel:  "query",
+		Columns: []string{"Planner [s]", "Heuristic [s]", "Results"},
+		Notes: fmt.Sprintf("default Run plans from the self-maintained catalog (staleness %.1f%%); WithHeuristic pins the fixed pre-catalog routing",
+			tab.StatsInfo().Staleness*100),
+	}
+	queries := []struct {
+		label string
+		q     upidb.Query
+	}{
+		{"Q1 Inst=MIT qt=0.3", upidb.PTQ("", dataset.MITInstitution, 0.3)},
+		{fmt.Sprintf("Q1 Inst=MIT qt=%.2f", fig9QT/2), upidb.PTQ("", dataset.MITInstitution, fig9QT/2)},
+		{"Q3 Country=Japan qt=0.3", upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3)},
+	}
+	ctx := context.Background()
+	for _, qc := range queries {
+		if err := tab.DropCaches(); err != nil {
+			return nil, err
+		}
+		planned, err := tab.Run(ctx, qc.q.WithStats())
+		if err != nil {
+			return nil, err
+		}
+		if src := planned.Info().PlanSource; src != upidb.PlanSourceStats {
+			return nil, fmt.Errorf("bench: %s not planner-routed (source %q)", qc.label, src)
+		}
+		if err := tab.DropCaches(); err != nil {
+			return nil, err
+		}
+		heur, err := tab.Run(ctx, qc.q.WithStats().WithHeuristic())
+		if err != nil {
+			return nil, err
+		}
+		if planned.Len() != heur.Len() {
+			return nil, fmt.Errorf("bench: %s: planner %d results vs heuristic %d",
+				qc.label, planned.Len(), heur.Len())
+		}
+		exp.Rows = append(exp.Rows, Row{
+			Label: fmt.Sprintf("%s [%s]", qc.label, planned.Info().Plan),
+			Values: []float64{
+				seconds(planned.Info().ModeledTime),
+				seconds(heur.Info().ModeledTime),
+				float64(planned.Len()),
+			},
+		})
+	}
+	return exp, nil
+}

@@ -3,12 +3,15 @@
 // A fractured UPI buffers inserts and deletes in RAM; when the buffer
 // fills, the changes are written out sequentially as a new *fracture*
 // — an independent UPI (heap file + cutoff index + secondary indexes)
-// plus a delete set holding the IDs of tuples deleted since the
-// previous flush. Queries consult the in-memory buffer, every fracture
-// and the main UPI, union the results and drop tuples present in any
-// applicable delete set. Merge folds all fractures back into the main
-// UPI with one sequential k-way merge pass, restoring query
-// performance (Figure 10).
+// plus a delete set holding the IDs of tuples deleted — or replaced by
+// an upsert — since the previous flush. A partition's delete set
+// applies only to *older* partitions, so inserting an existing ID
+// supersedes the old version without touching it: queries consult the
+// in-memory buffer, every fracture and the main UPI, union the results
+// and drop tuples present in any applicable delete set. Merge folds
+// all fractures back into the main UPI with one sequential k-way merge
+// pass, restoring query performance (Figure 10) and physically
+// dropping deleted and superseded versions.
 //
 // # Concurrency
 //
@@ -41,6 +44,7 @@ import (
 	"strings"
 	"sync"
 
+	"upidb/internal/stats"
 	"upidb/internal/storage"
 	"upidb/internal/tuple"
 	"upidb/internal/upi"
@@ -95,6 +99,11 @@ type Store struct {
 	bufOrder  []uint64
 	// Pending delete set: IDs deleted since the last flush.
 	bufDeletes map[uint64]bool
+
+	// cat, when set, receives statistics deltas: inserts and deletes
+	// feed it incrementally, and merges re-derive it from their
+	// whole-heap scan.
+	cat *stats.Catalog
 
 	// am is the background merger, if StartAutoMerge is active.
 	// amFailed holds a merger that died on a merge error until
@@ -265,6 +274,18 @@ func (s *Store) FractureOptions() upi.Options {
 	return s.opts.UPI
 }
 
+// SetStats attaches a statistics catalog: from now on every Insert
+// and Delete applies its delta to the catalog, and every Merge
+// re-derives it from the merge's own whole-heap scan. The caller is
+// responsible for seeding the catalog with the table's pre-existing
+// content (or leaving it unseeded so routing falls back to heuristics
+// until the first merge).
+func (s *Store) SetStats(c *stats.Catalog) {
+	s.mu.Lock()
+	s.cat = c
+	s.mu.Unlock()
+}
+
 // SetParallelism changes the per-query partition fan-out width
 // (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not depend on
 // it.
@@ -282,7 +303,13 @@ func (s *Store) parallelismLocked() int {
 	return s.opts.Parallelism
 }
 
-// Insert buffers a tuple; the write reaches disk at the next flush.
+// Insert buffers a tuple, adding it if the ID is new and replacing
+// any existing version otherwise (upsert): the ID joins the pending
+// delete set, which applies only to partitions older than the
+// fracture this buffer flushes into — so an older on-disk version is
+// superseded immediately at query time and dropped physically by the
+// next merge, while the new version is served from the buffer (and
+// later its own fracture) untouched.
 func (s *Store) Insert(tup *tuple.Tuple) error {
 	if err := tup.Validate(); err != nil {
 		return err
@@ -292,8 +319,18 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
-	// Re-inserting an ID pending deletion revives it.
-	delete(s.bufDeletes, tup.ID)
+	if s.cat != nil {
+		// Absorb the delta: the new version counts immediately; a
+		// replaced buffered version is subtracted exactly. (A replaced
+		// on-disk version stays counted — AddTuple detects the
+		// duplicate ID and tallies it as an unabsorbed delta until the
+		// next merge re-derivation.)
+		if old, exists := s.bufTuples[tup.ID]; exists {
+			s.cat.RemoveTuple(old)
+		}
+		s.cat.AddTuple(tup)
+	}
+	s.bufDeletes[tup.ID] = true
 	if _, exists := s.bufTuples[tup.ID]; !exists {
 		s.bufOrder = append(s.bufOrder, tup.ID)
 	}
@@ -321,8 +358,15 @@ func (s *Store) Delete(id uint64) error {
 	if s.closed {
 		return ErrClosed
 	}
-	if _, buffered := s.bufTuples[id]; buffered {
-		// Never reached disk; cancel the pending insert.
+	if old, buffered := s.bufTuples[id]; buffered {
+		// The buffered version never reached disk; cancel it and
+		// subtract its statistics delta exactly, since the content is
+		// known. The ID stays in the pending delete set (Insert put it
+		// there), which keeps any older on-disk version deleted.
+		if s.cat != nil {
+			s.cat.RemoveTuple(old)
+			s.cat.NoteDeleteID(id)
+		}
 		delete(s.bufTuples, id)
 		for i, bid := range s.bufOrder {
 			if bid == id {
@@ -331,6 +375,12 @@ func (s *Store) Delete(id uint64) error {
 			}
 		}
 		return nil
+	}
+	// An on-disk tuple is known only by ID; the catalog cannot subtract
+	// its histogram contribution, so the delete counts as staleness
+	// until a merge re-derives the statistics.
+	if s.cat != nil {
+		s.cat.NoteDeleteID(id)
 	}
 	s.bufDeletes[id] = true
 	return nil
@@ -417,7 +467,9 @@ func (s *Store) writeDelSet(id int, deleted map[uint64]bool) error {
 // deletesAfterLocked returns the union of the delete sets of fractures
 // with index > i, plus the in-RAM pending deletes. An entry stored in
 // fracture i (or, with i == -1, in the main UPI) is live iff its ID is
-// absent from this set. Callers must hold mu (either mode).
+// absent from this set. Callers must hold mu (either mode). Only the
+// (rare) merge path materializes these unions; the per-query snapshot
+// references the immutable per-fracture sets directly instead.
 func (s *Store) deletesAfterLocked(i int) map[uint64]bool {
 	out := make(map[uint64]bool)
 	for j := i + 1; j < len(s.fractures); j++ {

@@ -112,11 +112,17 @@ func TestDeleteSemantics(t *testing.T) {
 	if len(res) != 0 {
 		t.Fatalf("flushed delete not applied: %d", len(res))
 	}
-	// Deleting a buffered-only tuple cancels the insert without a tombstone.
+	// Deleting a buffered-only tuple cancels the insert; the ID stays
+	// tombstoned (upsert semantics — an older on-disk version of the
+	// same ID, if any, must not resurface).
 	s.Insert(mkTuple(t, 2, 1.0, prob.Alternative{Value: "B", Prob: 0.9}))
 	s.Delete(2)
-	if len(s.bufDeletes) != 0 || s.BufferedInserts() != 0 {
-		t.Fatalf("buffered delete should cancel: deletes=%d inserts=%d", len(s.bufDeletes), s.BufferedInserts())
+	if s.BufferedInserts() != 0 || !s.bufDeletes[2] {
+		t.Fatalf("buffered delete should cancel the insert and keep the tombstone: deletes=%v inserts=%d",
+			s.bufDeletes, s.BufferedInserts())
+	}
+	if res, _, _ := s.Query(context.Background(), "B", 0.1); len(res) != 0 {
+		t.Fatalf("cancelled insert still visible: %+v", res)
 	}
 	// Re-insert after delete revives the ID in newer data only.
 	s.Insert(mkTuple(t, 1, 1.0, prob.Alternative{Value: "C", Prob: 0.9}))
@@ -129,6 +135,51 @@ func TestDeleteSemantics(t *testing.T) {
 	if len(res) != 0 {
 		t.Fatal("old version of revived tuple leaked")
 	}
+}
+
+// TestUpsertSupersedesOnDisk: inserting an existing ID replaces the
+// on-disk version immediately — exactly one version answers queries at
+// every stage (buffered, flushed, merged), and the old version's
+// alternatives stop matching.
+func TestUpsertSupersedesOnDisk(t *testing.T) {
+	s, err := NewStore(newFS(), "t", "X", []string{"Y"}, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(mkTuple(t, 1, 1.0, prob.Alternative{Value: "A", Prob: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Update while the old version is on disk: A drops to 0.5, B appears.
+	if err := s.Insert(mkTuple(t, 1, 1.0,
+		prob.Alternative{Value: "A", Prob: 0.5}, prob.Alternative{Value: "B", Prob: 0.4})); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		res, _, err := s.Query(context.Background(), "A", 0.1)
+		if err != nil || len(res) != 1 || res[0].Confidence != 0.5 {
+			t.Fatalf("%s: want exactly the new version of A (conf 0.5): %v %+v", stage, err, res)
+		}
+		res, _, err = s.Query(context.Background(), "B", 0.1)
+		if err != nil || len(res) != 1 {
+			t.Fatalf("%s: new alternative B missing: %v %+v", stage, err, res)
+		}
+	}
+	check("buffered")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check("flushed")
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumFractures() != 0 {
+		t.Fatalf("fractures after merge: %d", s.NumFractures())
+	}
+	check("merged")
 }
 
 // TestMatchesPlainUPI: a fractured UPI must give exactly the answers a

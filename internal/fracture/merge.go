@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"upidb/internal/btree"
+	"upidb/internal/stats"
 	"upidb/internal/storage"
 	"upidb/internal/upi"
 )
@@ -39,6 +40,12 @@ type mergeSnapshot struct {
 // their caches, and I/O attribution between overlapping scans of one
 // file is approximate). Total disk accounting stays exactly-once;
 // queries that do not overlap a merge keep fully deterministic costs.
+//
+// When a statistics catalog is attached (SetStats), the merge also
+// re-derives it for free: the live entries the merge is already
+// reading are fed to a stats.Rebuild, which atomically replaces the
+// catalog's histograms once the new main is swapped in — so every
+// merge resets statistics staleness to zero without any extra I/O.
 func (s *Store) Merge() error {
 	// One merge at a time; a second caller (or the background merger)
 	// waits rather than building a competing generation.
@@ -71,6 +78,14 @@ func (s *Store) Merge() error {
 		snap.deletes = append(snap.deletes, s.deletesAfterLocked(i))
 	}
 	snap.homogene = s.partitionsHomogeneousLocked()
+	// The statistics rebuild must begin inside this critical section:
+	// everything in the snapshot is fed by the merge scan below, and
+	// everything arriving after the unlock reaches the rebuild through
+	// the live delta hooks — never both.
+	var rb *stats.Rebuild
+	if s.cat != nil {
+		rb = s.cat.BeginRebuild()
+	}
 	s.mu.Unlock()
 
 	// Build the new main generation without holding the store lock.
@@ -81,14 +96,16 @@ func (s *Store) Merge() error {
 		err     error
 	)
 	if snap.homogene {
-		newMain, err = s.mergeByCursor(snap)
+		newMain, err = s.mergeByCursor(snap, rb)
 	} else {
-		newMain, err = s.mergeByRebuild(snap)
+		newMain, err = s.mergeByRebuild(snap, rb)
 	}
 	if err != nil {
+		rb.Abort()
 		return err
 	}
 	s.swapMerged(newMain, snap.nMerged)
+	rb.Commit()
 	return nil
 }
 
@@ -113,9 +130,10 @@ func (s *Store) partitionsHomogeneousLocked() bool {
 // mergeByCursor performs the entry-level k-way merge. Entry-level
 // merging preserves each entry's heap-vs-cutoff placement, which is
 // only correct when every partition was built with the same parameters
-// as the merged result (snap.homogene).
-func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
-	mergeInto := func(file string, pick func(t *upi.Table) *btree.Tree) (*btree.Tree, error) {
+// as the merged result (snap.homogene). The heap pass — which sees
+// every live entry — additionally feeds the statistics rebuild.
+func (s *Store) mergeByCursor(snap mergeSnapshot, rb *stats.Rebuild) (*upi.Table, error) {
+	mergeInto := func(file string, pick func(t *upi.Table) *btree.Tree, feed func(id uint64, val []byte)) (*btree.Tree, error) {
 		p, err := storage.NewPager(s.fs.Create(file), snap.opts.PageSize)
 		if err != nil {
 			return nil, err
@@ -132,22 +150,25 @@ func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
 		// Sources oldest-to-newest: main then fractures. Priority grows
 		// with recency; on duplicate keys the newest version wins.
 		curs := make([]*mergeCursor, len(snap.parts))
+		releases := make([]func(), len(snap.parts))
 		for i, src := range snap.parts {
 			tree := pick(src)
 			// Sequential read-ahead: the merge reads every source file
 			// front to back, so one seek covers a whole run of pages
 			// ("the cost of merging is about the same as the cost of
-			// sequentially reading all files").
-			tree.Pager().SetPrefetch(mergeReadAhead)
+			// sequentially reading all files"). Reference-counted so an
+			// overlapping full scan of the same partition cannot strip
+			// the window mid-merge (or vice versa).
+			releases[i] = tree.Pager().PushPrefetch(mergeReadAhead)
 			curs[i] = &mergeCursor{
 				c:        tree.NewCursor().First(),
 				priority: i,
 				deleted:  snap.deletes[i],
 			}
 		}
-		err = kWayMerge(curs, b)
-		for _, src := range snap.parts {
-			pick(src).Pager().SetPrefetch(1)
+		err = kWayMerge(curs, b, feed)
+		for _, release := range releases {
+			release()
 		}
 		if err != nil {
 			return nil, err
@@ -159,10 +180,14 @@ func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
 		return t, p.Flush()
 	}
 
-	if _, err := mergeInto(upi.HeapFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.Heap() }); err != nil {
+	var feed func(id uint64, val []byte)
+	if rb != nil {
+		feed = rb.FeedEntry
+	}
+	if _, err := mergeInto(upi.HeapFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.Heap() }, feed); err != nil {
 		return nil, err
 	}
-	if _, err := mergeInto(upi.CutoffFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.CutoffIndex() }); err != nil {
+	if _, err := mergeInto(upi.CutoffFileName(snap.newName), func(t *upi.Table) *btree.Tree { return t.CutoffIndex() }, nil); err != nil {
 		return nil, err
 	}
 	for _, attr := range s.secAttrs {
@@ -170,7 +195,7 @@ func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
 		if _, err := mergeInto(upi.SecFileName(snap.newName, a), func(t *upi.Table) *btree.Tree {
 			sec, _ := t.Secondary(a)
 			return sec
-		}); err != nil {
+		}, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -179,17 +204,24 @@ func (s *Store) mergeByCursor(snap mergeSnapshot) (*upi.Table, error) {
 
 // mergeByRebuild collects every live tuple (sequential heap scans,
 // oldest partition first) and bulk-builds a fresh main UPI with the
-// current options.
-func (s *Store) mergeByRebuild(snap mergeSnapshot) (*upi.Table, error) {
-	for _, src := range snap.parts {
-		src.Heap().Pager().SetPrefetch(mergeReadAhead)
+// current options. The collected tuples double as the statistics
+// rebuild's feed.
+func (s *Store) mergeByRebuild(snap mergeSnapshot, rb *stats.Rebuild) (*upi.Table, error) {
+	releases := make([]func(), len(snap.parts))
+	for i, src := range snap.parts {
+		releases[i] = src.Heap().Pager().PushPrefetch(mergeReadAhead)
 	}
 	tuples, err := collectLiveTuples(snap.parts, snap.deletes)
-	for _, src := range snap.parts {
-		src.Heap().Pager().SetPrefetch(1)
+	for _, release := range releases {
+		release()
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rb != nil {
+		for _, t := range tuples {
+			rb.FeedTuple(t)
+		}
 	}
 	return upi.BulkBuild(s.fs, snap.newName, s.attr, s.secAttrs, snap.opts, tuples)
 }
@@ -229,8 +261,10 @@ type mergeCursor struct {
 
 // kWayMerge drains the cursors in global key order into the builder,
 // applying each source's delete filter and letting the
-// highest-priority (newest) source win duplicate keys.
-func kWayMerge(curs []*mergeCursor, b *btree.Builder) error {
+// highest-priority (newest) source win duplicate keys. feed, when
+// non-nil, receives every surviving entry (tuple ID plus value) — the
+// statistics piggyback on the scan the merge performs anyway.
+func kWayMerge(curs []*mergeCursor, b *btree.Builder, feed func(id uint64, val []byte)) error {
 	for {
 		// Find the smallest current key.
 		var minKey []byte
@@ -246,6 +280,10 @@ func kWayMerge(curs []*mergeCursor, b *btree.Builder) error {
 			break
 		}
 		minKey = append([]byte(nil), minKey...)
+		_, _, id, err := upi.DecodeHeapKey(minKey)
+		if err != nil {
+			return err
+		}
 		// Collect all cursors at that key; pick the newest live entry.
 		var (
 			bestPriority = -1
@@ -254,10 +292,6 @@ func kWayMerge(curs []*mergeCursor, b *btree.Builder) error {
 		for _, mc := range curs {
 			if !mc.c.Valid() || !bytes.Equal(mc.c.Key(), minKey) {
 				continue
-			}
-			_, _, id, err := upi.DecodeHeapKey(minKey)
-			if err != nil {
-				return err
 			}
 			if !mc.deleted[id] && mc.priority > bestPriority {
 				bestPriority = mc.priority
@@ -268,6 +302,9 @@ func kWayMerge(curs []*mergeCursor, b *btree.Builder) error {
 		if bestPriority >= 0 {
 			if err := b.Add(minKey, bestVal); err != nil {
 				return err
+			}
+			if feed != nil {
+				feed(id, bestVal)
 			}
 		}
 	}

@@ -38,6 +38,11 @@ const (
 	KindSecondary
 	// KindTopK is a top-k query on the primary attribute.
 	KindTopK
+	// KindScan is a PTQ executed as a sequential full scan of every
+	// partition's heap with an in-flight filter — the physical form of
+	// the planner's FullScan plan. Attr may name any attribute ("" =
+	// primary); no index is consulted.
+	KindScan
 )
 
 // Req is one query descriptor: the predicate plus per-query execution
@@ -61,11 +66,28 @@ type Req struct {
 // insert buffer, and pins on every partition's file lifetime so a
 // concurrent merge cannot remove files mid-scan.
 type snapshot struct {
-	parts       []*upi.Table
-	deletes     []map[uint64]bool
+	parts []*upi.Table
+	// killers[i] holds the delete sets that apply to partition i's
+	// results: every newer fracture's delete set (immutable once
+	// flushed, so shared by reference) plus the pending-buffer
+	// tombstones copied at snapshot time. Referencing the immutable
+	// maps instead of materializing their union keeps snapshotting
+	// O(buffer) — delete sets now carry every upserted ID, so unions
+	// would grow with all inserts since the last merge.
+	killers     [][]map[uint64]bool
 	pins        []*partRef
 	bufResults  []upi.Result
 	parallelism int
+}
+
+// killedBy reports whether any of the delete sets holds id.
+func killedBy(sets []map[uint64]bool, id uint64) bool {
+	for _, m := range sets {
+		if m[id] {
+			return true
+		}
+	}
+	return false
 }
 
 // snapshotFor captures the current partitions and evaluates the RAM
@@ -83,20 +105,34 @@ func (s *Store) snapshotFor(parallelism int, match func(*tuple.Tuple) (float64, 
 	n := 1 + len(s.fractures)
 	snap := &snapshot{
 		parts:       make([]*upi.Table, n),
-		deletes:     make([]map[uint64]bool, n),
+		killers:     make([][]map[uint64]bool, n),
 		pins:        make([]*partRef, n),
 		parallelism: s.parallelismLocked(),
 	}
 	if parallelism > 0 {
 		snap.parallelism = parallelism
 	}
+	// The buffer's tombstones keep changing after the snapshot is
+	// released, so copy them once; fracture delete sets are immutable
+	// after the flush that wrote them and are shared by reference.
+	bufDel := make(map[uint64]bool, len(s.bufDeletes))
+	for id := range s.bufDeletes {
+		bufDel[id] = true
+	}
 	snap.parts[0] = s.main
-	snap.deletes[0] = s.deletesAfterLocked(-1)
 	snap.pins[0] = s.mainRef
 	for i, f := range s.fractures {
 		snap.parts[i+1] = f.table
-		snap.deletes[i+1] = s.deletesAfterLocked(i)
 		snap.pins[i+1] = f.ref
+	}
+	for p := 0; p < n; p++ {
+		// Partition p (0 = main, p >= 1 = fracture p-1) is filtered by
+		// the delete sets of strictly newer fractures plus the buffer.
+		sets := make([]map[uint64]bool, 0, len(s.fractures)-p+1)
+		for j := p; j < len(s.fractures); j++ {
+			sets = append(sets, s.fractures[j].deleted)
+		}
+		snap.killers[p] = append(sets, bufDel)
 	}
 	for _, p := range snap.pins {
 		p.pin()
@@ -204,7 +240,7 @@ func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery) ([]upi
 			return nil, stats, outs[i].err
 		}
 		stats.QueryStats = addStats(stats.QueryStats, outs[i].qs)
-		results = appendLive(results, outs[i].rs, snap.deletes[i])
+		results = appendLive(results, outs[i].rs, snap.killers[i])
 	}
 	// Insert buffer: pure RAM, no I/O charge.
 	results = append(results, snap.bufResults...)
@@ -230,8 +266,11 @@ func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
 	switch req.Kind {
 	case KindPTQ:
 		match = func(tup *tuple.Tuple) (float64, bool) {
+			// conf > 0 mirrors the on-disk paths: a tuple without the
+			// value among its alternatives never matches, even at qt=0
+			// (it has no heap entry under the value either).
 			conf := tup.Confidence(s.attr, req.Value)
-			return conf, conf >= req.QT
+			return conf, conf > 0 && conf >= req.QT
 		}
 		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.Query(ctx, req.Value, req.QT)
@@ -239,7 +278,7 @@ func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
 	case KindSecondary:
 		match = func(tup *tuple.Tuple) (float64, bool) {
 			conf := tup.Confidence(req.Attr, req.Value)
-			return conf, conf >= req.QT
+			return conf, conf > 0 && conf >= req.QT
 		}
 		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.QuerySecondary(ctx, req.Attr, req.Value, req.QT, req.Tailored)
@@ -254,6 +293,18 @@ func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
 		}
 		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.TopK(ctx, req.Value, req.K)
+		}
+	case KindScan:
+		attr := req.Attr
+		if attr == "" {
+			attr = s.attr
+		}
+		match = func(tup *tuple.Tuple) (float64, bool) {
+			conf := tup.Confidence(attr, req.Value)
+			return conf, conf > 0 && conf >= req.QT
+		}
+		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+			return t.FullScan(ctx, attr, req.Value, req.QT)
 		}
 	default:
 		return nil, Stats{}, fmt.Errorf("fracture: unknown query kind %d", req.Kind)
@@ -294,9 +345,9 @@ func (s *Store) TopK(ctx context.Context, value string, k int) ([]upi.Result, St
 	return s.Run(ctx, Req{Kind: KindTopK, Value: value, K: k})
 }
 
-func appendLive(dst []upi.Result, src []upi.Result, deleted map[uint64]bool) []upi.Result {
+func appendLive(dst []upi.Result, src []upi.Result, killers []map[uint64]bool) []upi.Result {
 	for _, r := range src {
-		if !deleted[r.Tuple.ID] {
+		if !killedBy(killers, r.Tuple.ID) {
 			dst = append(dst, r)
 		}
 	}

@@ -8,10 +8,18 @@
 // in addition to an attribute-value-based histogram. For example, a
 // probability histogram might indicate that 5% of the possible values
 // of attribute X have a probability of 20% or more."
+//
+// Histograms are incremental: beyond the batch Build used at load
+// time, Add and Remove apply single-tuple deltas, which is what lets
+// the stats.Catalog keep estimates fresh on every insert and delete
+// instead of requiring a periodic full re-derivation. All methods are
+// safe for concurrent use, so the planner may read a histogram while
+// the maintenance path mutates it.
 package histogram
 
 import (
 	"fmt"
+	"sync"
 
 	"upidb/internal/tuple"
 )
@@ -26,14 +34,16 @@ const NumBuckets = 50
 // the UPI stores.
 type Histogram struct {
 	attr string
+
+	mu sync.RWMutex
 	// perValue maps each attribute value to its probability buckets.
 	perValue map[string]*valueStats
 	// totals across all values.
 	totalEntries int64
 	totalTuples  int64
-	// avgEntryBytes is the mean heap-entry payload size, for table
-	// size estimates.
-	avgEntryBytes float64
+	// totalBytes is the summed encoded payload size over all entries,
+	// for table size estimates.
+	totalBytes int64
 }
 
 // valueStats keeps separate probability buckets for first alternatives
@@ -46,13 +56,13 @@ type valueStats struct {
 	entries int64
 }
 
-func (vs *valueStats) add(conf float64, isFirst bool) {
+func (vs *valueStats) add(conf float64, isFirst bool, n int64) {
 	if isFirst {
-		vs.first[bucketOf(conf)]++
+		vs.first[bucketOf(conf)] += n
 	} else {
-		vs.rest[bucketOf(conf)]++
+		vs.rest[bucketOf(conf)] += n
 	}
-	vs.entries++
+	vs.entries += n
 }
 
 // bucketOf maps a confidence to its bucket index.
@@ -67,47 +77,113 @@ func bucketOf(conf float64) int {
 	return b
 }
 
+// New creates an empty histogram for one uncertain attribute.
+func New(attr string) *Histogram {
+	return &Histogram{attr: attr, perValue: make(map[string]*valueStats)}
+}
+
 // Build constructs the histogram for one uncertain attribute from a
 // batch of tuples (the statistics pass a DBA would run at load time).
 func Build(attr string, tuples []*tuple.Tuple) (*Histogram, error) {
-	h := &Histogram{attr: attr, perValue: make(map[string]*valueStats)}
-	var totalBytes int64
+	h := New(attr)
 	for _, t := range tuples {
-		dist, ok := t.Uncertain(attr)
-		if !ok {
+		if !h.Add(t) {
 			return nil, fmt.Errorf("histogram: tuple %d lacks attribute %q", t.ID, attr)
 		}
-		h.totalTuples++
-		enc := int64(len(tuple.Encode(t)))
-		for i, a := range dist {
-			conf := t.Existence * a.Prob
-			vs := h.perValue[a.Value]
-			if vs == nil {
-				vs = &valueStats{}
-				h.perValue[a.Value] = vs
-			}
-			vs.add(conf, i == 0)
-			h.totalEntries++
-			totalBytes += enc
-		}
-	}
-	if h.totalEntries > 0 {
-		h.avgEntryBytes = float64(totalBytes) / float64(h.totalEntries)
 	}
 	return h, nil
+}
+
+// Add applies one tuple's contribution. It reports false — and leaves
+// the histogram untouched — when the tuple lacks the attribute.
+func (h *Histogram) Add(t *tuple.Tuple) bool {
+	return h.AddSized(t, int64(len(tuple.Encode(t))), +1)
+}
+
+// Remove subtracts one tuple's contribution, the inverse of Add. The
+// caller must pass the same tuple content that was added; Remove
+// reports false when the tuple lacks the attribute.
+func (h *Histogram) Remove(t *tuple.Tuple) bool {
+	return h.AddSized(t, int64(len(tuple.Encode(t))), -1)
+}
+
+// AddSized applies one tuple's contribution scaled by sign (+1 add,
+// -1 subtract) with the tuple's encoded payload size supplied by the
+// caller — the hot-path variant for callers maintaining several
+// histograms of the same tuple (the stats catalog), which would
+// otherwise re-serialize the tuple once per attribute.
+func (h *Histogram) AddSized(t *tuple.Tuple, encBytes, sign int64) bool {
+	dist, ok := t.Uncertain(h.attr)
+	if !ok {
+		return false
+	}
+	enc := encBytes
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.totalTuples += sign
+	for i, a := range dist {
+		conf := t.Existence * a.Prob
+		vs := h.perValue[a.Value]
+		if vs == nil {
+			vs = &valueStats{}
+			h.perValue[a.Value] = vs
+		}
+		vs.add(conf, i == 0, sign)
+		if vs.entries <= 0 {
+			delete(h.perValue, a.Value)
+		}
+		h.totalEntries += sign
+		h.totalBytes += sign * enc
+	}
+	if h.totalEntries < 0 {
+		h.totalEntries = 0
+	}
+	if h.totalTuples < 0 {
+		h.totalTuples = 0
+	}
+	if h.totalBytes < 0 {
+		h.totalBytes = 0
+	}
+	return true
 }
 
 // Attr returns the attribute this histogram describes.
 func (h *Histogram) Attr() string { return h.attr }
 
 // TotalEntries returns the number of (tuple, alternative) entries.
-func (h *Histogram) TotalEntries() int64 { return h.totalEntries }
+func (h *Histogram) TotalEntries() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.totalEntries
+}
 
 // TotalTuples returns the number of tuples summarized.
-func (h *Histogram) TotalTuples() int64 { return h.totalTuples }
+func (h *Histogram) TotalTuples() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.totalTuples
+}
 
 // DistinctValues returns the number of distinct attribute values.
-func (h *Histogram) DistinctValues() int { return len(h.perValue) }
+func (h *Histogram) DistinctValues() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.perValue)
+}
+
+// AvgEntryBytes returns the mean encoded payload size per entry.
+func (h *Histogram) AvgEntryBytes() float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.avgEntryBytesLocked()
+}
+
+func (h *Histogram) avgEntryBytesLocked() float64 {
+	if h.totalEntries == 0 {
+		return 0
+	}
+	return float64(h.totalBytes) / float64(h.totalEntries)
+}
 
 // bucketsAbove estimates entries in buckets with confidence >= t, with
 // linear interpolation inside the boundary bucket.
@@ -145,6 +221,12 @@ func (vs *valueStats) entriesAbove(t float64) float64 {
 // EstimateEntries estimates how many index entries for value have
 // confidence >= qt (heap-file entries when qt >= C).
 func (h *Histogram) EstimateEntries(value string, qt float64) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.estimateEntriesLocked(value, qt)
+}
+
+func (h *Histogram) estimateEntriesLocked(value string, qt float64) float64 {
 	vs := h.perValue[value]
 	if vs == nil {
 		return 0
@@ -159,6 +241,8 @@ func (h *Histogram) EstimateCutoffPointers(value string, qt, cutoff float64) flo
 	if qt >= cutoff {
 		return 0
 	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	vs := h.perValue[value]
 	if vs == nil {
 		return 0
@@ -174,10 +258,12 @@ func (h *Histogram) EstimateCutoffPointers(value string, qt, cutoff float64) flo
 // on value with threshold qt touches — the Selectivity term of the
 // Section 6 cost models.
 func (h *Histogram) EstimateSelectivity(value string, qt float64) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if h.totalEntries == 0 {
 		return 0
 	}
-	return h.EstimateEntries(value, qt) / float64(h.totalEntries)
+	return h.estimateEntriesLocked(value, qt) / float64(h.totalEntries)
 }
 
 // EstimateHeapEntriesTotal estimates the number of entries kept in the
@@ -185,6 +271,12 @@ func (h *Histogram) EstimateSelectivity(value string, qt float64) float64 {
 // (Algorithm 1 keeps them unconditionally) plus every non-first
 // alternative with confidence >= C.
 func (h *Histogram) EstimateHeapEntriesTotal(cutoff float64) float64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.estimateHeapEntriesTotalLocked(cutoff)
+}
+
+func (h *Histogram) estimateHeapEntriesTotalLocked(cutoff float64) float64 {
 	total := float64(h.totalTuples) // exactly one first alternative per tuple
 	for _, vs := range h.perValue {
 		total += bucketsAbove(&vs.rest, cutoff)
@@ -196,5 +288,7 @@ func (h *Histogram) EstimateHeapEntriesTotal(cutoff float64) float64 {
 // threshold ("We also use the histogram to estimate the size of the
 // table for a given cutoff threshold").
 func (h *Histogram) EstimateTableBytes(cutoff float64) float64 {
-	return h.EstimateHeapEntriesTotal(cutoff) * h.avgEntryBytes
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.estimateHeapEntriesTotalLocked(cutoff) * h.avgEntryBytesLocked()
 }

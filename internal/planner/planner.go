@@ -61,8 +61,9 @@ func (k PlanKind) String() string {
 // Plan is one costed access path.
 type Plan struct {
 	Kind PlanKind
-	// Attr is the index attribute the plan uses (primary attribute
-	// for PrimaryScan/FullScan, the secondary attribute otherwise).
+	// Attr is the attribute the query's predicate filters on (for a
+	// FullScan it names the attribute the filter applies to, not an
+	// index).
 	Attr string
 	// EstimatedCost is the modeled runtime from the cost models.
 	EstimatedCost time.Duration
@@ -72,24 +73,36 @@ type Plan struct {
 	Detail string
 }
 
+// StatsSource supplies the planner's statistics. Histogram returns the
+// live histogram for an attribute, or nil when no usable statistics
+// exist for it (PlanPTQ then fails with ErrNoStats). stats.Catalog is
+// the production implementation; StaticStats adapts a fixed map.
+type StatsSource interface {
+	Histogram(attr string) *histogram.Histogram
+}
+
+// StaticStats adapts a fixed attribute→histogram map into a
+// StatsSource, for callers that build statistics once by hand.
+type StaticStats map[string]*histogram.Histogram
+
+// Histogram returns the mapped histogram (nil when absent).
+func (m StaticStats) Histogram(attr string) *histogram.Histogram { return m[attr] }
+
 // Planner holds the statistics and parameters needed to cost plans for
-// one table.
+// one table. It reads statistics live from its StatsSource on every
+// PlanPTQ call, so estimates track inserts, deletes and merges without
+// the planner being rebuilt.
 type Planner struct {
 	store *fracture.Store
-	// hists maps attribute name to its histogram; the primary
-	// attribute must be present, secondary attributes optionally.
-	hists map[string]*histogram.Histogram
+	src   StatsSource
 	disk  sim.Params
 }
 
-// New creates a planner for a fractured-UPI table. hists must contain
-// a histogram for the table's primary attribute; add histograms for
-// secondary attributes to enable costing secondary plans.
-func New(store *fracture.Store, hists map[string]*histogram.Histogram, disk sim.Params) (*Planner, error) {
-	if _, ok := hists[store.Main().Attr()]; !ok {
-		return nil, fmt.Errorf("planner: missing histogram for primary attribute %q", store.Main().Attr())
-	}
-	return &Planner{store: store, hists: hists, disk: disk}, nil
+// New creates a planner for a fractured-UPI table reading statistics
+// from src. Attribute coverage is checked per query: PlanPTQ fails
+// with ErrNoStats for attributes src has no histogram for.
+func New(store *fracture.Store, src StatsSource, disk sim.Params) *Planner {
+	return &Planner{store: store, src: src, disk: disk}
 }
 
 // params assembles cost-model parameters from the live table state.
@@ -113,7 +126,7 @@ func (p *Planner) PlanPTQ(attr, value string, qt float64) ([]Plan, error) {
 	cutoff := main.Options().Cutoff
 
 	var plans []Plan
-	hist := p.hists[attr]
+	hist := p.src.Histogram(attr)
 	if hist == nil {
 		return nil, fmt.Errorf("%w: no histogram for attribute %q", ErrNoStats, attr)
 	}
@@ -123,7 +136,7 @@ func (p *Planner) PlanPTQ(attr, value string, qt float64) ([]Plan, error) {
 		(p.disk.Init+time.Duration(cm.Height)*p.disk.Seek)
 	plans = append(plans, Plan{
 		Kind:          FullScan,
-		Attr:          main.Attr(),
+		Attr:          attr,
 		EstimatedCost: fullScan,
 		EstimatedRows: hist.EstimateEntries(value, qt),
 		Detail:        fmt.Sprintf("Costscan=%v over %d partitions", cm.CostScan(), 1+p.store.NumFractures()),
@@ -201,9 +214,9 @@ func Explain(plans []Plan) string {
 	return out
 }
 
-// HasHistogram reports whether BuildStats covered attr, i.e. whether
-// PlanPTQ can cost plans for it.
-func (p *Planner) HasHistogram(attr string) bool { return p.hists[attr] != nil }
+// HasHistogram reports whether the statistics source covers attr,
+// i.e. whether PlanPTQ can cost plans for it.
+func (p *Planner) HasHistogram(attr string) bool { return p.src.Histogram(attr) != nil }
 
 // Execute runs the query with the cheapest plan and returns the
 // results along with the plan that was chosen and the execution
@@ -215,30 +228,34 @@ func (p *Planner) Execute(ctx context.Context, attr, value string, qt float64, p
 	if err != nil {
 		return nil, Plan{}, fracture.Stats{}, err
 	}
-	best := plans[0]
+	rs, st, err := p.ExecutePlan(ctx, plans[0], value, qt, parallelism)
+	return rs, plans[0], st, err
+}
+
+// ExecutePlan runs a PTQ with one specific plan (normally plans[0]
+// from PlanPTQ). Splitting planning from execution lets callers make
+// admission decisions — e.g. comparing the plan's estimated cost
+// against a context deadline — before any partition is pinned.
+func (p *Planner) ExecutePlan(ctx context.Context, pl Plan, value string, qt float64, parallelism int) ([]upi.Result, fracture.Stats, error) {
 	req := fracture.Req{Value: value, QT: qt, Parallelism: parallelism}
-	switch best.Kind {
+	switch pl.Kind {
 	case PrimaryScan:
 		req.Kind = fracture.KindPTQ
 	case SecondaryTailored:
 		req.Kind = fracture.KindSecondary
-		req.Attr = attr
+		req.Attr = pl.Attr
 		req.Tailored = true
 	case FullScan:
-		// The fractured store exposes no direct scan, so the full-scan
-		// plan executes through the widest PTQ on the chosen attribute;
-		// the point of the plan is its *cost*, which the caller already
-		// accepted as a full read.
-		if attr == p.store.Main().Attr() {
-			req.Kind = fracture.KindPTQ
-		} else {
-			req.Kind = fracture.KindSecondary
-			req.Attr = attr
-			req.Tailored = true
-		}
+		// A genuine physical full scan: every partition's heap is read
+		// sequentially (wide read-ahead, one seek per run of pages) and
+		// filtered in flight, with no index involved — exactly what
+		// Costscan models. This is where the planner beats the fixed
+		// heuristic: once an index plan's pointer chasing saturates,
+		// the sequential scan is cheaper.
+		req.Kind = fracture.KindScan
+		req.Attr = pl.Attr
 	default:
-		return nil, best, fracture.Stats{}, fmt.Errorf("planner: unknown plan %v", best.Kind)
+		return nil, fracture.Stats{}, fmt.Errorf("planner: unknown plan %v", pl.Kind)
 	}
-	rs, st, err := p.store.Run(ctx, req)
-	return rs, best, st, err
+	return p.store.Run(ctx, req)
 }

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -34,23 +35,22 @@ func testPlanner(t *testing.T) (*Planner, *fracture.Store, *dataset.DBLP) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(store, map[string]*histogram.Histogram{
+	p := New(store, StaticStats{
 		dataset.AttrInstitution: instHist,
 		dataset.AttrCountry:     countryHist,
 	}, sim.DefaultParams())
-	if err != nil {
-		t.Fatal(err)
-	}
 	return p, store, d
 }
 
-func TestNewRequiresPrimaryHistogram(t *testing.T) {
+func TestMissingHistogramIsErrNoStats(t *testing.T) {
 	_, store, d := testPlanner(t)
 	countryHist, _ := histogram.Build(dataset.AttrCountry, d.Authors)
-	if _, err := New(store, map[string]*histogram.Histogram{
-		dataset.AttrCountry: countryHist,
-	}, sim.DefaultParams()); err == nil {
-		t.Fatal("missing primary histogram accepted")
+	p := New(store, StaticStats{dataset.AttrCountry: countryHist}, sim.DefaultParams())
+	if _, err := p.PlanPTQ(dataset.AttrInstitution, dataset.MITInstitution, 0.3); !errors.Is(err, ErrNoStats) {
+		t.Fatalf("uncovered primary attribute: %v", err)
+	}
+	if p.HasHistogram(dataset.AttrInstitution) || !p.HasHistogram(dataset.AttrCountry) {
+		t.Fatal("HasHistogram coverage wrong")
 	}
 }
 

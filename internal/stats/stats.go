@@ -1,0 +1,412 @@
+// Package stats implements the engine's self-maintaining statistics
+// subsystem: a concurrency-safe Catalog of per-attribute histograms
+// (paper Section 6.1) that stays fresh without caller intervention.
+//
+// Three maintenance channels feed a catalog:
+//
+//   - Incremental deltas. Every Insert applies the tuple's histogram
+//     contribution immediately (AddTuple); a Delete of a still-buffered
+//     insert subtracts it exactly (RemoveTuple).
+//   - Unabsorbed deltas. A Delete of an on-disk tuple cannot be
+//     subtracted — the engine only has the ID, not the distributions —
+//     and an Insert that supersedes an on-disk version leaves the old
+//     version counted. Both are tallied (NoteDeleteID, and AddTuple's
+//     own duplicate-ID detection) and surface as *staleness*: the
+//     ratio of unabsorbed deltas to tracked tuples.
+//   - Merge re-derivation. A merge already reads every live entry of
+//     every partition; the store feeds those entries to a Rebuild
+//     handle, which re-derives all histograms from scratch for free and
+//     atomically replaces the catalog's state on commit, resetting
+//     staleness to zero.
+//
+// Query routing trusts the catalog while Staleness() stays at or below
+// the configured threshold; beyond it — or before the catalog has ever
+// been seeded — the caller falls back to heuristic routing until the
+// next merge re-derivation.
+package stats
+
+import (
+	"fmt"
+	"sync"
+
+	"upidb/internal/histogram"
+	"upidb/internal/tuple"
+)
+
+// DefaultStaleness is the default staleness threshold: routing trusts
+// the catalog while unabsorbed deltas stay at or below 10% of tracked
+// tuples.
+const DefaultStaleness = 0.1
+
+// Catalog owns the per-attribute histograms of one table and tracks
+// how stale they are. All methods are safe for concurrent use.
+type Catalog struct {
+	primary   string
+	attrs     []string // primary first, then secondary attributes
+	threshold float64
+
+	mu sync.Mutex
+	// hists holds one histogram per attribute; the map value is never
+	// nil. Histograms are internally synchronized, so handing the
+	// pointer to a concurrent reader (the planner) is safe even while
+	// deltas keep applying.
+	hists map[string]*histogram.Histogram
+	// seeded marks attributes whose histogram describes the complete
+	// table content (via Seed, a merge re-derivation, or because the
+	// table was born empty) rather than only the deltas seen so far.
+	seeded map[string]bool
+	// ids tracks the tuple IDs currently absorbed, so an insert that
+	// supersedes an already-counted version is detected as an
+	// unabsorbable update rather than silently double-counted.
+	ids map[uint64]bool
+	// unabsorbed counts deltas the histograms could not absorb —
+	// deletes of on-disk tuples whose content is unknown, and old
+	// versions superseded by updates.
+	unabsorbed int64
+	// rebuilds counts committed merge re-derivations.
+	rebuilds int
+	// rb is the in-flight merge re-derivation, if any.
+	rb *Rebuild
+}
+
+// NewCatalog creates a catalog for a table clustered on primary with
+// the given secondary attributes. threshold is the staleness ratio up
+// to which Fresh reports true (0 means DefaultStaleness; negative
+// disables freshness entirely, so automatic planner routing never
+// engages). known marks the catalog as seeded from the start — correct
+// for a table created empty, where every future change flows through
+// the delta hooks; pass false when the table's current content is
+// unknown (reopened files), leaving the catalog stale until the first
+// merge re-derives it.
+func NewCatalog(primary string, secondary []string, threshold float64, known bool) *Catalog {
+	if threshold == 0 {
+		threshold = DefaultStaleness
+	}
+	c := &Catalog{
+		primary:   primary,
+		attrs:     append([]string{primary}, secondary...),
+		threshold: threshold,
+		hists:     make(map[string]*histogram.Histogram),
+		seeded:    make(map[string]bool),
+		ids:       make(map[uint64]bool),
+	}
+	for _, a := range c.attrs {
+		c.hists[a] = histogram.New(a)
+		c.seeded[a] = known
+	}
+	return c
+}
+
+// Attrs returns the attributes the catalog tracks, primary first.
+func (c *Catalog) Attrs() []string { return append([]string(nil), c.attrs...) }
+
+// Threshold returns the staleness threshold Fresh compares against.
+func (c *Catalog) Threshold() float64 { return c.threshold }
+
+// Seed replaces the catalog's content with histograms built from a
+// representative sample, the manual BuildStats path. With no explicit
+// attrs every tracked attribute is seeded; with a subset, the named
+// attributes are seeded and the rest are reset to unseeded (their old
+// content no longer matches the sample). Unknown attributes error.
+func (c *Catalog) Seed(sample []*tuple.Tuple, attrs ...string) error {
+	if len(attrs) == 0 {
+		attrs = c.attrs
+	}
+	want := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if _, ok := c.hists[a]; !ok {
+			return fmt.Errorf("stats: catalog does not track attribute %q", a)
+		}
+		want[a] = true
+	}
+	built := make(map[string]*histogram.Histogram, len(attrs))
+	for a := range want {
+		h, err := histogram.Build(a, sample)
+		if err != nil {
+			return err
+		}
+		built[a] = h
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range c.attrs {
+		if want[a] {
+			c.hists[a] = built[a]
+			c.seeded[a] = true
+		} else {
+			c.hists[a] = histogram.New(a)
+			c.seeded[a] = false
+		}
+	}
+	c.ids = make(map[uint64]bool, len(sample))
+	for _, t := range sample {
+		c.ids[t.ID] = true
+	}
+	c.unabsorbed = 0
+	return nil
+}
+
+// Histogram returns the live histogram for attr, or nil when the
+// catalog has no seeded statistics for it. The returned histogram is
+// internally synchronized and keeps absorbing deltas after the call.
+func (c *Catalog) Histogram(attr string) *histogram.Histogram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.seeded[attr] {
+		return nil
+	}
+	return c.hists[attr]
+}
+
+// encodedLen returns the tuple's encoded payload size, computed once
+// per delta and shared by every per-attribute histogram.
+func encodedLen(t *tuple.Tuple) int64 { return int64(len(tuple.Encode(t))) }
+
+// AddTuple absorbs one inserted tuple into every tracked histogram.
+// Inserting an ID the catalog already counts is an update whose old
+// version cannot be subtracted (its content is on disk, unknown here),
+// so it additionally counts as one unabsorbed delta — exactly like a
+// delete of an on-disk tuple — until a merge re-derivation clears it.
+func (c *Catalog) AddTuple(t *tuple.Tuple) {
+	enc := encodedLen(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ids[t.ID] {
+		c.unabsorbed++
+		if c.rb != nil {
+			// The superseded version is (almost certainly) in the merge
+			// snapshot being fed, so the rebuilt histograms carry the
+			// same phantom.
+			c.rb.unabsorbed++
+		}
+	}
+	c.ids[t.ID] = true
+	if c.rb != nil {
+		c.rb.ids[t.ID] = true
+	}
+	for _, a := range c.attrs {
+		c.hists[a].AddSized(t, enc, +1)
+		if c.rb != nil {
+			c.rb.hists[a].AddSized(t, enc, +1)
+		}
+	}
+}
+
+// RemoveTuple subtracts one tuple whose full content is known (a
+// delete that cancelled a still-buffered insert) — the exact inverse
+// of AddTuple. IDs the catalog does not track are ignored: after a
+// Seed whose sample omitted a still-buffered tuple, the histograms
+// never absorbed it, and subtracting it anyway would drive buckets
+// negative.
+func (c *Catalog) RemoveTuple(t *tuple.Tuple) {
+	enc := encodedLen(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ids[t.ID] {
+		return
+	}
+	delete(c.ids, t.ID)
+	for _, a := range c.attrs {
+		c.hists[a].AddSized(t, enc, -1)
+	}
+	if c.rb != nil {
+		if c.rb.ids[t.ID] {
+			delete(c.rb.ids, t.ID)
+			for _, a := range c.attrs {
+				c.rb.hists[a].AddSized(t, enc, -1)
+			}
+		}
+	}
+}
+
+// NoteDeleteID records the deletion of a tuple known only by ID. If
+// the catalog currently tracks the ID, its histogram contribution
+// becomes an unabsorbed delta (the content is on disk, unknown here)
+// until a merge re-derivation clears it; deleting an untracked ID —
+// nonexistent, already deleted, or already superseded by an update —
+// counts nothing.
+func (c *Catalog) NoteDeleteID(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.ids[id] {
+		return
+	}
+	delete(c.ids, id)
+	c.unabsorbed++
+	if c.rb != nil {
+		// The deleted version is in the merge snapshot being fed, so
+		// the rebuilt histograms carry the same phantom.
+		delete(c.rb.ids, id)
+		c.rb.unabsorbed++
+	}
+}
+
+// Staleness returns the unabsorbed-delta ratio: unabsorbed deltas over
+// tracked tuples. An empty, fully-absorbed catalog is 0 (fresh); a
+// catalog holding nothing but unabsorbed deltas tends to 1.
+func (c *Catalog) Staleness() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stalenessLocked()
+}
+
+func (c *Catalog) stalenessLocked() float64 {
+	if c.unabsorbed == 0 {
+		return 0
+	}
+	total := c.hists[c.primary].TotalTuples()
+	return float64(c.unabsorbed) / float64(total+c.unabsorbed)
+}
+
+// Fresh reports whether the catalog's statistics for attr are complete
+// (seeded) and within the staleness threshold — the gate for automatic
+// planner routing.
+func (c *Catalog) Fresh(attr string) bool {
+	if c.threshold < 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seeded[attr] && c.stalenessLocked() <= c.threshold
+}
+
+// Seeded reports whether attr has complete statistics, regardless of
+// staleness.
+func (c *Catalog) Seeded(attr string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seeded[attr]
+}
+
+// Unabsorbed returns the current unabsorbed-delta count.
+func (c *Catalog) Unabsorbed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.unabsorbed
+}
+
+// TotalTuples returns the number of tuples the primary histogram
+// currently tracks.
+func (c *Catalog) TotalTuples() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hists[c.primary].TotalTuples()
+}
+
+// Rebuilds returns the number of committed merge re-derivations.
+func (c *Catalog) Rebuilds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rebuilds
+}
+
+// Rebuild is one in-flight re-derivation, fed by a merge's whole-heap
+// scan. Between BeginRebuild and Commit, concurrent deltas apply to
+// both the live histograms and the rebuild's, so nothing inserted
+// while the merge builds is lost; the feed itself supplies exactly the
+// live tuples of the merge snapshot. A nil *Rebuild is a valid no-op
+// receiver, so callers without a catalog need no branching.
+type Rebuild struct {
+	c     *Catalog
+	hists map[string]*histogram.Histogram
+	// seen dedupes the merge feed (one heap entry per alternative);
+	// ids additionally collects IDs added by concurrent deltas, so the
+	// committed catalog's ID set is feed ∪ deltas.
+	seen       map[uint64]bool
+	ids        map[uint64]bool
+	unabsorbed int64
+}
+
+// BeginRebuild starts a re-derivation. It must be called under the
+// same critical section that snapshots the merge's source partitions,
+// so the feed and the concurrently-applied deltas partition cleanly:
+// every tuple is either in the snapshot (fed by the merge) or inserted
+// after it (applied by AddTuple) — never both.
+func (c *Catalog) BeginRebuild() *Rebuild {
+	rb := &Rebuild{
+		c:     c,
+		hists: make(map[string]*histogram.Histogram, len(c.attrs)),
+		seen:  make(map[uint64]bool),
+		ids:   make(map[uint64]bool),
+	}
+	for _, a := range c.attrs {
+		rb.hists[a] = histogram.New(a)
+	}
+	c.mu.Lock()
+	c.rb = rb
+	c.mu.Unlock()
+	return rb
+}
+
+// FeedTuple absorbs one live tuple of the merge snapshot, deduplicated
+// by ID (heap scans yield one entry per alternative).
+func (r *Rebuild) FeedTuple(t *tuple.Tuple) {
+	if r == nil || r.seen[t.ID] {
+		return
+	}
+	r.feed(t, encodedLen(t))
+}
+
+// FeedEntry absorbs one heap entry (encoded tuple) of the merge's
+// k-way merge stream, deduplicated by ID; decoding is skipped for IDs
+// already fed, and the entry's own length serves as the encoded size
+// (no re-serialization). Decode failures are ignored — the merge
+// itself validates entries, and statistics tolerate a dropped tuple.
+func (r *Rebuild) FeedEntry(id uint64, enc []byte) {
+	if r == nil || r.seen[id] {
+		return
+	}
+	t, err := tuple.Decode(enc)
+	if err != nil {
+		return
+	}
+	r.feed(t, int64(len(enc)))
+}
+
+func (r *Rebuild) feed(t *tuple.Tuple, enc int64) {
+	r.seen[t.ID] = true
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	for _, a := range r.c.attrs {
+		r.hists[a].AddSized(t, enc, +1)
+	}
+}
+
+// Commit atomically replaces the catalog's histograms with the rebuilt
+// ones, marks every attribute seeded and resets staleness to the
+// deltas that arrived since BeginRebuild. A superseded or nil handle
+// commits as a no-op.
+func (r *Rebuild) Commit() {
+	if r == nil {
+		return
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if r.c.rb != r {
+		return
+	}
+	r.c.rb = nil
+	r.c.hists = r.hists
+	for _, a := range r.c.attrs {
+		r.c.seeded[a] = true
+	}
+	for id := range r.ids {
+		r.seen[id] = true
+	}
+	r.c.ids = r.seen
+	r.c.unabsorbed = r.unabsorbed
+	r.c.rebuilds++
+}
+
+// Abort discards the rebuild (the merge failed); the live histograms
+// keep their pre-merge state and staleness. Nil-safe.
+func (r *Rebuild) Abort() {
+	if r == nil {
+		return
+	}
+	r.c.mu.Lock()
+	defer r.c.mu.Unlock()
+	if r.c.rb == r {
+		r.c.rb = nil
+	}
+}

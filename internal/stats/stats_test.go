@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"upidb/internal/histogram"
+	"upidb/internal/prob"
+	"upidb/internal/tuple"
+)
+
+func mkTuple(t *testing.T, id uint64, x, y string, p float64) *tuple.Tuple {
+	t.Helper()
+	xd, err := prob.NewDiscrete([]prob.Alternative{{Value: x, Prob: p}, {Value: x + "'", Prob: (1 - p) * 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yd, err := prob.NewDiscrete([]prob.Alternative{{Value: y, Prob: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tuple.Tuple{ID: id, Existence: 0.9, Unc: []tuple.UncField{
+		{Name: "X", Dist: xd}, {Name: "Y", Dist: yd},
+	}}
+}
+
+// agree fails unless the catalog's histogram for attr matches a
+// from-scratch Build over truth, on totals and probed estimates.
+func agree(t *testing.T, c *Catalog, attr string, truth []*tuple.Tuple, values []string) {
+	t.Helper()
+	want, err := histogram.Build(attr, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Histogram(attr)
+	if got == nil {
+		t.Fatalf("no seeded histogram for %q", attr)
+	}
+	if got.TotalTuples() != want.TotalTuples() || got.TotalEntries() != want.TotalEntries() ||
+		got.DistinctValues() != want.DistinctValues() {
+		t.Fatalf("%s totals: tuples %d/%d entries %d/%d distinct %d/%d", attr,
+			got.TotalTuples(), want.TotalTuples(), got.TotalEntries(), want.TotalEntries(),
+			got.DistinctValues(), want.DistinctValues())
+	}
+	for _, v := range values {
+		for _, qt := range []float64{0, 0.2, 0.5} {
+			if g, w := got.EstimateEntries(v, qt), want.EstimateEntries(v, qt); math.Abs(g-w) > 1e-9 {
+				t.Fatalf("%s EstimateEntries(%q, %v): %v vs %v", attr, v, qt, g, w)
+			}
+		}
+	}
+}
+
+func TestCatalogDeltasMatchBuild(t *testing.T) {
+	c := NewCatalog("X", []string{"Y"}, 0, true)
+	var truth []*tuple.Tuple
+	var values []string
+	for i := 0; i < 200; i++ {
+		tup := mkTuple(t, uint64(i+1), fmt.Sprintf("v%d", i%11), fmt.Sprintf("y%d", i%5), 0.3+float64(i%60)/100)
+		truth = append(truth, tup)
+		c.AddTuple(tup)
+	}
+	for i := 0; i < 11; i++ {
+		values = append(values, fmt.Sprintf("v%d", i))
+	}
+	// Cancel a few inserts exactly.
+	for i := 0; i < 20; i += 3 {
+		c.RemoveTuple(truth[i])
+	}
+	var left []*tuple.Tuple
+	for i, tup := range truth {
+		if i < 20 && i%3 == 0 {
+			continue
+		}
+		left = append(left, tup)
+	}
+	agree(t, c, "X", left, values)
+	agree(t, c, "Y", left, []string{"y0", "y3"})
+	if s := c.Staleness(); s != 0 {
+		t.Fatalf("fully absorbed catalog reports staleness %v", s)
+	}
+	if !c.Fresh("X") || !c.Fresh("Y") {
+		t.Fatal("fresh catalog not trusted")
+	}
+}
+
+func TestStalenessAndFreshness(t *testing.T) {
+	c := NewCatalog("X", nil, 0.1, true)
+	for i := 0; i < 100; i++ {
+		c.AddTuple(mkTuple(t, uint64(i+1), "a", "y", 0.5))
+	}
+	if !c.Fresh("X") {
+		t.Fatal("no deltas: should be fresh")
+	}
+	for id := uint64(1); id <= 5; id++ {
+		c.NoteDeleteID(id)
+	}
+	if s := c.Staleness(); math.Abs(s-5.0/105.0) > 1e-9 {
+		t.Fatalf("staleness: %v", s)
+	}
+	if !c.Fresh("X") {
+		t.Fatal("5% unabsorbed should still be fresh at threshold 10%")
+	}
+	for id := uint64(6); id <= 25; id++ {
+		c.NoteDeleteID(id)
+	}
+	if c.Fresh("X") {
+		t.Fatalf("25 unabsorbed of 100 should be stale: %v", c.Staleness())
+	}
+	// Deleting unknown or already-deleted IDs counts nothing.
+	c.NoteDeleteID(9999)
+	c.NoteDeleteID(1)
+	if got := c.Unabsorbed(); got != 25 {
+		t.Fatalf("untracked deletes should not count: %d", got)
+	}
+	// Only a re-derivation restores freshness.
+	rb := c.BeginRebuild()
+	for i := 25; i < 100; i++ {
+		rb.FeedTuple(mkTuple(t, uint64(i+1), "a", "y", 0.5))
+	}
+	rb.Commit()
+	if !c.Fresh("X") || c.Unabsorbed() != 0 {
+		t.Fatalf("rebuild should restore freshness: %v / %d", c.Staleness(), c.Unabsorbed())
+	}
+	// Unknown attribute is never fresh.
+	if c.Fresh("Nope") {
+		t.Fatal("untracked attribute reported fresh")
+	}
+	// Negative threshold disables freshness entirely.
+	d := NewCatalog("X", nil, -1, true)
+	if d.Fresh("X") {
+		t.Fatal("negative threshold should never be fresh")
+	}
+}
+
+// TestUpdateCountsAsStaleness: re-inserting an already-tracked ID is
+// an update whose superseded version cannot be subtracted, so it must
+// raise staleness exactly like an on-disk delete — an update-heavy
+// workload may not keep reporting fresh statistics forever.
+func TestUpdateCountsAsStaleness(t *testing.T) {
+	c := NewCatalog("X", nil, 0.1, true)
+	for i := 0; i < 100; i++ {
+		c.AddTuple(mkTuple(t, uint64(i+1), "a", "y", 0.5))
+	}
+	for i := 0; i < 30; i++ { // update the same 30 tuples
+		c.AddTuple(mkTuple(t, uint64(i+1), "b", "y", 0.6))
+	}
+	if got := c.Unabsorbed(); got != 30 {
+		t.Fatalf("30 updates should leave 30 unabsorbed phantoms: %d", got)
+	}
+	if c.Fresh("X") {
+		t.Fatalf("update-heavy catalog should be stale: staleness %v", c.Staleness())
+	}
+	// A rebuild (fed the true current content) clears the phantoms.
+	rb := c.BeginRebuild()
+	for i := 0; i < 100; i++ {
+		v, p := "a", 0.5
+		if i < 30 {
+			v, p = "b", 0.6
+		}
+		rb.FeedTuple(mkTuple(t, uint64(i+1), v, "y", p))
+	}
+	rb.Commit()
+	if c.Unabsorbed() != 0 || !c.Fresh("X") {
+		t.Fatalf("rebuild should clear update phantoms: %+v unabsorbed=%d", c.Staleness(), c.Unabsorbed())
+	}
+	// Exact buffered replacement (Remove then Add of the same ID) is
+	// not an update phantom.
+	old := mkTuple(t, 7, "b", "y", 0.6)
+	c.RemoveTuple(old)
+	c.AddTuple(mkTuple(t, 7, "c", "y", 0.7))
+	if got := c.Unabsorbed(); got != 0 {
+		t.Fatalf("buffered replacement counted as phantom: %d", got)
+	}
+}
+
+func TestUnseededUntilRebuild(t *testing.T) {
+	c := NewCatalog("X", []string{"Y"}, 0, false) // unknown content (reopened table)
+	if c.Fresh("X") || c.Histogram("X") != nil {
+		t.Fatal("unseeded catalog handed out statistics")
+	}
+	c.AddTuple(mkTuple(t, 1, "a", "y", 0.5)) // deltas absorb but do not seed
+	if c.Fresh("X") {
+		t.Fatal("deltas alone must not seed an unknown catalog")
+	}
+	rb := c.BeginRebuild()
+	rb.FeedTuple(mkTuple(t, 1, "a", "y", 0.5))
+	rb.FeedTuple(mkTuple(t, 2, "b", "y", 0.6))
+	rb.Commit()
+	if !c.Fresh("X") || !c.Fresh("Y") {
+		t.Fatal("committed rebuild should seed every attribute")
+	}
+	if c.Rebuilds() != 1 {
+		t.Fatalf("rebuilds: %d", c.Rebuilds())
+	}
+	if got := c.Histogram("X").TotalTuples(); got != 2 {
+		t.Fatalf("rebuilt tuples: %d", got)
+	}
+}
+
+func TestRebuildAbsorbsConcurrentDeltas(t *testing.T) {
+	c := NewCatalog("X", nil, 0, true)
+	base := []*tuple.Tuple{
+		mkTuple(t, 1, "a", "y", 0.5),
+		mkTuple(t, 2, "b", "y", 0.6),
+		mkTuple(t, 4, "d", "y", 0.4),
+	}
+	for _, tup := range base {
+		c.AddTuple(tup)
+	}
+	c.NoteDeleteID(2) // tuple 2 deleted on disk before the merge starts
+
+	rb := c.BeginRebuild()
+	// The merge snapshot holds tuples 1 and 4 (2 was deleted).
+	rb.FeedTuple(base[0])
+	rb.FeedTuple(base[0]) // duplicate feed (second heap alternative) is deduped
+	rb.FeedTuple(base[2])
+	// While the merge builds, an insert and an on-disk delete arrive.
+	during := mkTuple(t, 3, "c", "y", 0.7)
+	c.AddTuple(during)
+	c.NoteDeleteID(4)
+	rb.Commit()
+
+	// The rebuilt histograms hold the snapshot (1, 4) plus the insert
+	// during the build (3); tuple 4's deletion is the one phantom.
+	agree(t, c, "X", []*tuple.Tuple{base[0], base[2], during}, []string{"a", "b", "c", "d"})
+	if got := c.Unabsorbed(); got != 1 {
+		t.Fatalf("unabsorbed after commit: %d (only the delete during the rebuild should remain)", got)
+	}
+	if c.Staleness() == 0 {
+		t.Fatal("post-rebuild staleness should reflect the delete during the build")
+	}
+}
+
+func TestRebuildAbortKeepsLiveState(t *testing.T) {
+	c := NewCatalog("X", nil, 0, true)
+	c.AddTuple(mkTuple(t, 1, "a", "y", 0.5))
+	rb := c.BeginRebuild()
+	rb.FeedTuple(mkTuple(t, 99, "z", "y", 0.9))
+	rb.Abort()
+	if got := c.Histogram("X").TotalTuples(); got != 1 {
+		t.Fatalf("abort leaked rebuild state: %d tuples", got)
+	}
+	rb.Commit() // aborted handle must stay a no-op
+	if got := c.Histogram("X").TotalTuples(); got != 1 {
+		t.Fatalf("aborted handle committed: %d tuples", got)
+	}
+	// Nil handles are no-ops everywhere (stores without a catalog).
+	var nilRB *Rebuild
+	nilRB.FeedTuple(mkTuple(t, 5, "q", "y", 0.5))
+	nilRB.FeedEntry(6, nil)
+	nilRB.Commit()
+	nilRB.Abort()
+}
+
+func TestFeedEntryDecodes(t *testing.T) {
+	c := NewCatalog("X", []string{"Y"}, 0, false)
+	tup := mkTuple(t, 7, "a", "y", 0.5)
+	rb := c.BeginRebuild()
+	rb.FeedEntry(7, tuple.Encode(tup))
+	rb.FeedEntry(7, tuple.Encode(tup)) // deduped
+	rb.FeedEntry(8, []byte("garbage")) // ignored
+	rb.Commit()
+	if got := c.Histogram("X").TotalTuples(); got != 1 {
+		t.Fatalf("fed tuples: %d", got)
+	}
+}
+
+// TestConcurrentCatalog hammers deltas, reads and a rebuild at once;
+// run with -race.
+func TestConcurrentCatalog(t *testing.T) {
+	c := NewCatalog("X", []string{"Y"}, 0, true)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			c.AddTuple(mkTuple(t, uint64(1000+i), fmt.Sprintf("v%d", i%7), "y", 0.5))
+			if i%10 == 5 {
+				c.NoteDeleteID(uint64(1000 + i - 1))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if h := c.Histogram("X"); h != nil {
+				_ = h.EstimateEntries("v1", 0.2)
+			}
+			_ = c.Staleness()
+			_ = c.Fresh("X")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rb := c.BeginRebuild()
+		for i := 0; i < 100; i++ {
+			rb.FeedTuple(mkTuple(t, uint64(i+1), "a", "y", 0.5))
+		}
+		rb.Commit()
+	}()
+	wg.Wait()
+	if c.Rebuilds() != 1 {
+		t.Fatalf("rebuilds: %d", c.Rebuilds())
+	}
+}

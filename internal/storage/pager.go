@@ -42,10 +42,11 @@ type Pager struct {
 	maxPages int
 	prefetch int // pages fetched per read miss (>=1)
 
-	mu    sync.Mutex
-	cache map[PageID]*list.Element // -> *cachedPage
-	lru   *list.List               // front = most recently used
-	nPage PageID                   // number of pages in file
+	mu           sync.Mutex
+	prefetchRefs int                      // active PushPrefetch holds
+	cache        map[PageID]*list.Element // -> *cachedPage
+	lru          *list.List               // front = most recently used
+	nPage        PageID                   // number of pages in file
 }
 
 type cachedPage struct {
@@ -87,6 +88,33 @@ func (p *Pager) SetPrefetch(pages int) {
 		pages = 1
 	}
 	p.prefetch = pages
+}
+
+// PushPrefetch raises the read-ahead window to at least pages and
+// returns a release function. Holds are reference-counted: concurrent
+// sequential readers of the same file (a full scan overlapping a
+// merge, two overlapping scans) keep the widest requested window until
+// the *last* hold releases, which restores the default of 1 — so one
+// reader finishing cannot strip the read-ahead out from under another
+// mid-scan.
+func (p *Pager) PushPrefetch(pages int) (release func()) {
+	p.mu.Lock()
+	p.prefetchRefs++
+	if pages > p.prefetch {
+		p.prefetch = pages
+	}
+	p.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.prefetchRefs--
+			if p.prefetchRefs == 0 {
+				p.prefetch = 1
+			}
+			p.mu.Unlock()
+		})
+	}
 }
 
 // PageSize returns the page size in bytes.

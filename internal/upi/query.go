@@ -351,6 +351,67 @@ func (t *Table) TopK(ctx context.Context, value string, k int) ([]Result, QueryS
 	return results, stats, nil
 }
 
+// scanReadAhead is the sequential read-ahead window (pages) a full
+// scan runs the heap pager with, so the modeled cost matches the
+// Costscan assumption of one seek per run of pages rather than one
+// per page.
+const scanReadAhead = 64
+
+// FullScan answers the PTQ "attr = value AND confidence >= qt" by
+// reading the whole heap file sequentially and filtering — the
+// physical execution of the planner's FullScan plan. It touches no
+// secondary or cutoff index: every live tuple keeps at least its
+// first alternative in the heap, entries are deduplicated by tuple
+// ID, and the confidence is recomputed from the tuple itself, so
+// results are exact for any attribute and any threshold (including
+// below the cutoff). attr "" means the primary attribute.
+func (t *Table) FullScan(ctx context.Context, attr, value string, qt float64) ([]Result, QueryStats, error) {
+	var stats QueryStats
+	if err := CtxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	if attr == "" {
+		attr = t.attr
+	}
+	// Reference-counted hold: a concurrent scan or merge of the same
+	// heap keeps its read-ahead until the last sequential reader is
+	// done.
+	release := t.heap.Pager().PushPrefetch(scanReadAhead)
+	defer release()
+	seen := make(map[uint64]bool)
+	var results []Result
+	var scanErr error
+	err := t.ScanHeap(func(_ string, _ float64, id uint64, enc []byte) bool {
+		if stats.HeapEntries%ctxCheckEvery == 0 {
+			if scanErr = CtxErr(ctx); scanErr != nil {
+				return false
+			}
+		}
+		stats.HeapEntries++
+		if seen[id] {
+			return true // another alternative of an already-decided tuple
+		}
+		seen[id] = true
+		tup, err := tuple.Decode(enc)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if conf := tup.Confidence(attr, value); conf > 0 && conf >= qt {
+			results = append(results, Result{Tuple: tup, Confidence: conf})
+		}
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	sortByConfDesc(results)
+	return results, stats, nil
+}
+
 // sortByConfDesc orders results by confidence descending, tuple ID
 // ascending for determinism.
 func sortByConfDesc(rs []Result) {

@@ -2,48 +2,75 @@ package upidb
 
 import (
 	"context"
-
-	"upidb/internal/histogram"
-	"upidb/internal/planner"
-	"upidb/internal/sim"
 )
 
-// BuildStats builds attribute-value + probability histograms (paper
-// Section 6.1) from a representative sample of the table's tuples and
-// attaches them to the table, enabling cost-based planning via
-// Query.WithPlanner / WithExplain (and the legacy Explain and
-// QueryPlanned wrappers). Call it again after significant data drift.
+// How a query was routed, reported as QueryInfo.PlanSource and in the
+// first line of Explain output.
+const (
+	// PlanSourceStats marks automatic planner routing from a fresh
+	// statistics catalog.
+	PlanSourceStats = "stats"
+	// PlanSourceHeuristic marks the fixed heuristic routing (primary →
+	// UPI scan, secondary → tailored secondary access), used when
+	// statistics are absent or stale, or under WithHeuristic.
+	PlanSourceHeuristic = "heuristic"
+	// PlanSourceForced marks planner routing demanded by WithPlanner
+	// regardless of catalog freshness.
+	PlanSourceForced = "forced"
+)
+
+// BuildStats seeds the table's statistics catalog from a
+// representative sample of tuples (paper Section 6.1). It is now a
+// thin wrapper: every table maintains its catalog automatically —
+// bulk loads seed it, inserts and deletes apply incremental deltas,
+// and merges re-derive it from their own whole-heap scan — so calling
+// BuildStats is only needed to bootstrap statistics for a reopened
+// table before its first merge, or to replace them with a curated
+// sample. With explicit attrs only those attributes are seeded; the
+// rest are reset to unseeded.
 func (t *Table) BuildStats(sample []*Tuple, attrs ...string) error {
-	if len(attrs) == 0 {
-		attrs = append([]string{t.store.Main().Attr()}, t.store.Main().SecondaryAttrs()...)
-	}
-	hists := make(map[string]*histogram.Histogram, len(attrs))
-	for _, a := range attrs {
-		h, err := histogram.Build(a, sample)
-		if err != nil {
-			return err
-		}
-		hists[a] = h
-	}
-	p, err := planner.New(t.store, hists, sim.DefaultParams())
-	if err != nil {
-		return err
-	}
-	t.plannerMu.Lock()
-	t.planner = p
-	t.plannerMu.Unlock()
-	return nil
+	return t.catalog.Seed(sample, attrs...)
 }
 
-// currentPlanner returns the planner installed by BuildStats, if any.
-func (t *Table) currentPlanner() *planner.Planner {
-	t.plannerMu.RLock()
-	defer t.plannerMu.RUnlock()
-	return t.planner
+// StatsInfo is a snapshot of a table's statistics-catalog state — the
+// inputs to Run's automatic routing decision.
+type StatsInfo struct {
+	// Seeded reports whether the primary attribute has complete
+	// statistics (from a bulk load, BuildStats, a merge re-derivation,
+	// or because the table was created empty).
+	Seeded bool
+	// Staleness is the unabsorbed-delta ratio in [0, 1]: deletes of
+	// on-disk tuples (known only by ID) that the histograms could not
+	// subtract, over tracked tuples. Each merge resets it to zero.
+	Staleness float64
+	// Threshold is the staleness ratio up to which Run trusts the
+	// catalog and routes through the planner automatically; negative
+	// means automatic routing is disabled.
+	Threshold float64
+	// Rebuilds counts the merge re-derivations absorbed so far.
+	Rebuilds int
+	// TrackedTuples is the number of tuples the catalog currently
+	// summarizes; Unabsorbed is the raw unabsorbed-delta count.
+	TrackedTuples int64
+	Unabsorbed    int64
+}
+
+// StatsInfo reports the current state of the table's statistics
+// catalog.
+func (t *Table) StatsInfo() StatsInfo {
+	return StatsInfo{
+		Seeded:        t.catalog.Seeded(t.store.Main().Attr()),
+		Staleness:     t.catalog.Staleness(),
+		Threshold:     t.catalog.Threshold(),
+		Rebuilds:      t.catalog.Rebuilds(),
+		TrackedTuples: t.catalog.TotalTuples(),
+		Unabsorbed:    t.catalog.Unabsorbed(),
+	}
 }
 
 // Explain returns the costed physical plans for a PTQ, cheapest first,
-// in EXPLAIN-style text. BuildStats must have been called (ErrNoStats
+// in EXPLAIN-style text (including the routing line Run would use).
+// The queried attribute must have seeded statistics (ErrNoStats
 // otherwise).
 //
 // Deprecated: use Run with WithExplain:
@@ -59,8 +86,8 @@ func (t *Table) Explain(attr, value string, qt float64) (string, error) {
 }
 
 // QueryPlanned runs the PTQ with the cheapest plan the cost model
-// finds and reports which plan was used. BuildStats must have been
-// called (ErrNoStats otherwise).
+// finds and reports which plan was used. The queried attribute must
+// have seeded statistics (ErrNoStats otherwise).
 //
 // Deprecated: use Run with WithPlanner:
 //

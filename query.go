@@ -2,9 +2,11 @@ package upidb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"slices"
+	"time"
 
 	"upidb/internal/fracture"
 	"upidb/internal/planner"
@@ -40,6 +42,7 @@ type Query struct {
 
 	parallelism int
 	usePlanner  bool
+	heuristic   bool
 	wantStats   bool
 	explainOnly bool
 }
@@ -66,13 +69,26 @@ func (q Query) WithParallelism(n int) Query {
 	return q
 }
 
-// WithPlanner routes the query through the cost-based planner, which
+// WithPlanner forces the query through the cost-based planner — which
 // picks the cheapest access path (primary scan, tailored secondary, or
-// full scan) from the BuildStats histograms. Run fails with ErrNoStats
-// if BuildStats has not covered the queried attribute. Planner routing
-// applies to PTQs; a top-k query ignores it.
+// full scan) from the statistics catalog's histograms — even when the
+// catalog is stale. Run already consults the planner automatically
+// whenever the catalog is fresh, so this is a force-flag, not the
+// gate; it fails with ErrNoStats if the queried attribute has no
+// seeded statistics at all. Planner routing applies to PTQs; a top-k
+// query ignores it.
 func (q Query) WithPlanner() Query {
 	q.usePlanner = true
+	return q
+}
+
+// WithHeuristic pins the query to the fixed heuristic routing (primary
+// attribute → clustered UPI scan, secondary attribute → tailored
+// secondary access), bypassing the statistics catalog and the planner
+// entirely — the pre-catalog behavior. Mostly useful for measuring the
+// planner's benefit; WithPlanner wins if both are set.
+func (q Query) WithHeuristic() Query {
+	q.heuristic = true
 	return q
 }
 
@@ -88,11 +104,13 @@ func (q Query) WithStats() Query {
 
 // WithExplain turns the query into a plan-only request: Run costs the
 // candidate plans without executing anything, and Info().Explain holds
-// the EXPLAIN-style listing. Implies WithPlanner and therefore
-// requires BuildStats. Only PTQ queries can be explained; Run rejects
-// a top-k explain request instead of silently executing it.
+// the EXPLAIN-style listing, headed by the routing decision Run would
+// have made — planner from fresh stats, stale-fallback heuristic, or
+// forced WithPlanner. Costing requires seeded statistics for the
+// queried attribute (ErrNoStats otherwise). Only PTQ queries can be
+// explained; Run rejects a top-k explain request instead of silently
+// executing it.
 func (q Query) WithExplain() Query {
-	q.usePlanner = true
 	q.explainOnly = true
 	return q
 }
@@ -145,6 +163,16 @@ func (r *Results) Info() QueryInfo { return r.info }
 // pages, discards the unfinished partitions' I/O and releases every
 // partition pin before returning.
 //
+// A PTQ routes through the cost-based planner automatically whenever
+// the table's statistics catalog is fresh (staleness at or below the
+// TableOptions.StatsStaleness threshold); when statistics are absent
+// or stale — or under WithHeuristic — the fixed heuristic routing
+// runs instead. Info().PlanSource reports which happened. On the
+// planner path, a deadline on ctx is compared against the chosen
+// plan's modeled cost: a query that cannot finish in time is refused
+// immediately with ErrCanceled — zero modeled I/O, zero pinned
+// partitions — instead of being admitted and cancelled midway.
+//
 // Run is safe for concurrent use alongside inserts, deletes, flushes
 // and merges; it sees a consistent snapshot of the table (main UPI +
 // fractures + RAM buffer) taken at call time.
@@ -167,10 +195,44 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 		// full execution for a query class the planner can't cost.
 		return nil, fmt.Errorf("upidb: WithExplain supports PTQ queries only")
 	}
-	if q.kind == KindPTQ && q.usePlanner {
-		return t.runPlanned(ctx, q, attr)
+	if q.kind == KindPTQ {
+		source := t.routeSource(attr, q)
+		if q.explainOnly || source == PlanSourceForced {
+			return t.runPlanned(ctx, q, attr, source)
+		}
+		if source == PlanSourceStats {
+			res, err := t.runPlanned(ctx, q, attr, source)
+			if err == nil || !errors.Is(err, ErrNoStats) {
+				return res, err
+			}
+			// A concurrent subset re-seed dropped this attribute's
+			// statistics between the freshness check and planning;
+			// degrade to the heuristic route like any stale catalog.
+		}
 	}
+	return t.runHeuristic(ctx, q, attr, primary)
+}
 
+// routeSource decides how Run will route a PTQ, without executing
+// anything: forced planner, automatic planner from fresh statistics,
+// or the heuristic fallback.
+func (t *Table) routeSource(attr string, q Query) string {
+	switch {
+	case q.usePlanner:
+		return PlanSourceForced
+	case q.heuristic:
+		return PlanSourceHeuristic
+	case t.catalog.Fresh(attr):
+		return PlanSourceStats
+	default:
+		return PlanSourceHeuristic
+	}
+}
+
+// runHeuristic executes the fixed pre-planner routing: top-k and
+// primary PTQs scan the clustered UPI, secondary PTQs use tailored
+// secondary access.
+func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string) (*Results, error) {
 	req := fracture.Req{Value: q.value, Parallelism: q.parallelism}
 	switch {
 	case q.kind == KindTopK:
@@ -189,38 +251,73 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Results{results: rs, info: buildInfo(q.wantStats, st, "")}, nil
+	return &Results{results: rs, info: buildInfo(q.wantStats, st, "", PlanSourceHeuristic)}, nil
 }
 
-// runPlanned executes (or, for WithExplain, only costs) a PTQ through
-// the cost-based planner.
-func (t *Table) runPlanned(ctx context.Context, q Query, attr string) (*Results, error) {
-	p := t.currentPlanner()
-	if p == nil {
-		return nil, fmt.Errorf("%w: call BuildStats before planned queries", ErrNoStats)
-	}
-	if q.explainOnly {
-		plans, err := p.PlanPTQ(attr, q.value, q.qt)
-		if err != nil {
-			return nil, err
-		}
-		return &Results{info: QueryInfo{Explain: planner.Explain(plans)}}, nil
-	}
-	rs, plan, st, err := p.Execute(ctx, attr, q.value, q.qt, q.parallelism)
+// runPlanned costs a PTQ through the cost-based planner and — unless
+// the query is explain-only — admits and executes the cheapest plan.
+func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*Results, error) {
+	plans, err := t.planner.PlanPTQ(attr, q.value, q.qt)
 	if err != nil {
 		return nil, err
 	}
-	return &Results{results: rs, info: buildInfo(q.wantStats, st, plan.Kind.String())}, nil
+	best := plans[0]
+	if q.explainOnly {
+		info := QueryInfo{PlanSource: source, Plan: best.Kind.String()}
+		info.Explain = t.explainRouting(source, q.heuristic) + planner.Explain(plans)
+		return &Results{info: info}, nil
+	}
+	// Deadline-aware admission: if the remaining deadline cannot cover
+	// even the cheapest plan's modeled service time, refuse up front —
+	// before any partition is pinned or any modeled I/O charged —
+	// rather than admit work that is doomed to be cancelled midway.
+	// The deadline is interpreted as a budget in *modeled* time, the
+	// engine's service-time currency (wall-clock execution on the
+	// simulated disk is far faster); calibrating a modeled-to-wall
+	// ratio for real deployments is a ROADMAP follow-on.
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain < best.EstimatedCost {
+			return nil, fmt.Errorf(
+				"%w: admission refused: remaining deadline %v is below the cheapest plan's modeled cost %v (%v on %q)",
+				ErrCanceled, remain.Round(time.Millisecond),
+				best.EstimatedCost.Round(time.Millisecond), best.Kind, best.Attr)
+		}
+	}
+	rs, st, err := t.planner.ExecutePlan(ctx, best, q.value, q.qt, q.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &Results{results: rs, info: buildInfo(q.wantStats, st, best.Kind.String(), source)}, nil
+}
+
+// explainRouting renders the routing line heading Explain output.
+// heuristicForced distinguishes an explicit WithHeuristic from the
+// stale/absent-stats fallback.
+func (t *Table) explainRouting(source string, heuristicForced bool) string {
+	si := t.StatsInfo()
+	switch {
+	case source == PlanSourceStats:
+		return fmt.Sprintf("routing: planner, fresh stats (staleness %.1f%% <= %.0f%%, %d merge rebuilds)\n",
+			si.Staleness*100, si.Threshold*100, si.Rebuilds)
+	case source == PlanSourceForced:
+		return "routing: planner, forced by WithPlanner\n"
+	case heuristicForced:
+		return "routing: heuristic, forced by WithHeuristic\n"
+	default:
+		return fmt.Sprintf("routing: heuristic fallback (stats stale or absent: staleness %.1f%%, threshold %.0f%%)\n",
+			si.Staleness*100, si.Threshold*100)
+	}
 }
 
 // buildInfo assembles a QueryInfo from the execution statistics.
-func buildInfo(wantStats bool, st fracture.Stats, plan string) QueryInfo {
+func buildInfo(wantStats bool, st fracture.Stats, plan, source string) QueryInfo {
 	info := QueryInfo{
 		HeapEntries:    st.HeapEntries,
 		CutoffPointers: st.CutoffPointers,
 		Partitions:     st.PartitionsRead,
 		BufferHits:     st.BufferHits,
 		Plan:           plan,
+		PlanSource:     source,
 	}
 	if wantStats {
 		info.ModeledTime = st.ModeledTime

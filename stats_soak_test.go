@@ -1,0 +1,234 @@
+package upidb
+
+// Tests for the self-maintaining statistics subsystem: catalog
+// freshness across concurrent maintenance (the race-enabled soak),
+// and deadline-aware admission control.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"upidb/internal/histogram"
+)
+
+// TestSoakStatsFreshness: under interleaved inserts, deletes, flushes
+// and background auto-merges (at least 3), default Run keeps working
+// without ErrNoStats, and once the table quiesces the catalog's
+// histograms match a from-scratch histogram.Build over the true live
+// tuples exactly. Run with -race: a reader hammers planner-routed
+// queries while the writer and the background merger churn.
+func TestSoakStatsFreshness(t *testing.T) {
+	mk := func(id uint64, v1, v2 string, p float64) *Tuple {
+		x, err := NewDiscrete([]Alternative{{Value: v1, Prob: p}, {Value: v2, Prob: (1 - p) * 0.9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := NewDiscrete([]Alternative{{Value: "y" + v1, Prob: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Tuple{ID: id, Existence: 0.9, Unc: []UncField{{Name: "X", Dist: x}, {Name: "Y", Dist: y}}}
+	}
+	val := func(i int) string { return fmt.Sprintf("v%02d", i%9) }
+
+	var load []*Tuple
+	mirror := make(map[uint64]*Tuple) // ground truth, guarded by mu
+	var mu sync.Mutex
+	for i := 0; i < 200; i++ {
+		tup := mk(uint64(i+1), val(i), val(i+1), 0.3+float64(i%60)/100)
+		load = append(load, tup)
+		mirror[tup.ID] = tup
+	}
+	db := New()
+	defer db.Close()
+	tab, err := db.BulkLoadTable("statsoak", "X", []string{"Y"}, TableOptions{Cutoff: 0.15}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.StartAutoMerge(AutoMergeOptions{MaxFractures: 2, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader: default Runs must never fail (in particular never with
+	// ErrNoStats) while maintenance churns underneath.
+	stop := make(chan struct{})
+	readerErr := make(chan error, 1)
+	go func() {
+		defer close(readerErr)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			res, err := tab.Run(context.Background(), PTQ("", val(i), 0.2))
+			if err != nil {
+				readerErr <- fmt.Errorf("reader query %d: %w", i, err)
+				return
+			}
+			if src := res.Info().PlanSource; src != PlanSourceStats && src != PlanSourceHeuristic {
+				readerErr <- fmt.Errorf("reader query %d: unexpected plan source %q", i, src)
+				return
+			}
+		}
+	}()
+
+	// Writer: insert batches, delete on-disk tuples (unabsorbable
+	// deltas → staleness) and flush, until the background merger has
+	// re-derived the catalog at least 3 times.
+	nextID := uint64(1000)
+	delID := uint64(1) // bulk-loaded IDs are on disk from the start
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; tab.StatsInfo().Rebuilds < 3; round++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d rebuilds after %d rounds", tab.StatsInfo().Rebuilds, round)
+		}
+		mu.Lock()
+		for i := 0; i < 15; i++ {
+			tup := mk(nextID, val(int(nextID)), val(int(nextID)+3), 0.35+float64(int(nextID)%55)/100)
+			if err := tab.Insert(tup); err != nil {
+				mu.Unlock()
+				t.Fatal(err)
+			}
+			mirror[tup.ID] = tup
+			nextID++
+		}
+		for i := 0; i < 2 && delID < 200; i++ {
+			if err := tab.Delete(delID); err != nil {
+				mu.Unlock()
+				t.Fatal(err)
+			}
+			delete(mirror, delID)
+			delID += 3
+		}
+		mu.Unlock()
+		if err := tab.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	if err := <-readerErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.StopAutoMerge(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesce with a final merge: every delta is absorbed, so the
+	// catalog must now equal a from-scratch build over the live set.
+	if err := tab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	si := tab.StatsInfo()
+	if si.Rebuilds < 4 || si.Staleness != 0 || si.Unabsorbed != 0 {
+		t.Fatalf("post-quiesce catalog: %+v", si)
+	}
+	live := make([]*Tuple, 0, len(mirror))
+	for _, tup := range mirror {
+		live = append(live, tup)
+	}
+	if si.TrackedTuples != int64(len(live)) {
+		t.Fatalf("tracked %d tuples, truth has %d", si.TrackedTuples, len(live))
+	}
+	for _, attr := range []string{"X", "Y"} {
+		want, err := histogram.Build(attr, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tab.catalog.Histogram(attr)
+		if got == nil {
+			t.Fatalf("no seeded histogram for %q after merges", attr)
+		}
+		if got.TotalTuples() != want.TotalTuples() || got.TotalEntries() != want.TotalEntries() ||
+			got.DistinctValues() != want.DistinctValues() {
+			t.Fatalf("%s totals diverged: tuples %d/%d entries %d/%d distinct %d/%d", attr,
+				got.TotalTuples(), want.TotalTuples(), got.TotalEntries(), want.TotalEntries(),
+				got.DistinctValues(), want.DistinctValues())
+		}
+		for i := 0; i < 9; i++ {
+			v := val(i)
+			if attr == "Y" {
+				v = "y" + v
+			}
+			for _, qt := range []float64{0, 0.1, 0.3, 0.6} {
+				g, w := got.EstimateEntries(v, qt), want.EstimateEntries(v, qt)
+				if math.Abs(g-w) > 1e-6 {
+					t.Fatalf("%s EstimateEntries(%q, %v): %v vs %v", attr, v, qt, g, w)
+				}
+			}
+		}
+	}
+	// And the planner-by-default route answers exactly the truth.
+	for i := 0; i < 9; i++ {
+		res, err := tab.Run(context.Background(), PTQ("", val(i), 0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Info().PlanSource != PlanSourceStats {
+			t.Fatalf("post-quiesce routing: %q", res.Info().PlanSource)
+		}
+		want := 0
+		for _, tup := range mirror {
+			if tup.Confidence("X", val(i)) >= 0.2 {
+				want++
+			}
+		}
+		if res.Len() != want {
+			t.Fatalf("value %s: got %d results, truth %d", val(i), res.Len(), want)
+		}
+	}
+}
+
+// TestRunDeadlineAdmission: a Run whose remaining deadline is below
+// the cheapest plan's modeled cost is refused up front — ErrCanceled,
+// zero modeled I/O, zero pinned partitions — while a generous deadline
+// admits the same query.
+func TestRunDeadlineAdmission(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if si := tab.StatsInfo(); !si.Seeded || si.Staleness > si.Threshold {
+		t.Fatalf("table should have a fresh catalog: %+v", si)
+	}
+	// The table spans 5 partitions; every plan models at least 4 file
+	// opens (100 ms each), so 200 ms of wall deadline can never cover
+	// the modeled service time.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	before := db.DiskStats()
+	_, err := tab.Run(ctx, PTQ("", "v01", 0.05))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled from admission, got %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("admission should refuse before the deadline expires: %v", err)
+	}
+	if d := db.DiskStats().Sub(before); d.Elapsed != 0 || d.BytesRead != 0 || d.FileOpens != 0 {
+		t.Fatalf("refused query charged modeled I/O: %v", d)
+	}
+	// Zero pinned partitions: a merge right after the refusal must be
+	// able to remove the old generation's files immediately.
+	if err := tab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if db.fs.Exists("runtest0.main0.upi.heap") {
+		t.Fatal("old main generation survived the merge: the refused query leaked a pin")
+	}
+	// A deadline with headroom admits and completes the same query.
+	ctxOK, cancelOK := context.WithTimeout(context.Background(), time.Hour)
+	defer cancelOK()
+	res, err := tab.Run(ctxOK, PTQ("", "v01", 0.05))
+	if err != nil || res.Len() == 0 {
+		t.Fatalf("admitted query: %v, %d results", err, res.Len())
+	}
+	if res.Info().PlanSource != PlanSourceStats {
+		t.Fatalf("admitted query source: %q", res.Info().PlanSource)
+	}
+}

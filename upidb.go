@@ -37,6 +37,17 @@
 // (ErrUnknownAttr, ErrNoStats, ErrCanceled, ErrClosed) shared by all
 // layers.
 //
+// Statistics maintain themselves: every table owns a catalog of
+// per-attribute value/probability histograms (Section 6.1) that
+// absorbs insert and delete deltas as they happen and is re-derived
+// for free from each merge's whole-heap scan. Run therefore routes
+// PTQs through the cost-based planner automatically whenever the
+// catalog is fresh (see StatsInfo), falling back to heuristic routing
+// when statistics are absent or stale — and a Run whose context
+// deadline is shorter than the chosen plan's modeled cost is refused
+// up front with ErrCanceled, before pinning any partition or charging
+// any modeled I/O (deadline-aware admission control).
+//
 // All I/O is charged to a deterministic disk model using the paper's
 // cost constants (10 ms seek, 20 ms/MB read, 50 ms/MB write), so query
 // costs reported by Stats are reproducible modeled times rather than
@@ -83,6 +94,7 @@ import (
 	"upidb/internal/planner"
 	"upidb/internal/prob"
 	"upidb/internal/sim"
+	"upidb/internal/stats"
 	"upidb/internal/storage"
 	"upidb/internal/tuple"
 	"upidb/internal/upi"
@@ -140,12 +152,23 @@ type TableOptions struct {
 	// 1 = serial scan). Modeled query costs are identical at every
 	// setting; only wall-clock time changes.
 	Parallelism int
+	// StatsStaleness is the staleness ratio (unabsorbed statistics
+	// deltas over tracked tuples) up to which Run trusts the table's
+	// statistics catalog and routes PTQs through the cost-based
+	// planner automatically. 0 means the default (10%); a negative
+	// value disables automatic planner routing entirely, restoring the
+	// pre-catalog behavior of planning only under WithPlanner.
+	StatsStaleness float64
 }
 
 // DB owns a simulated disk and the tables created on it.
 type DB struct {
 	disk *sim.Disk
 	fs   *storage.FS
+
+	mu     sync.Mutex
+	closed bool
+	tables []*Table
 }
 
 // New creates a database over a fresh simulated disk with the paper's
@@ -171,9 +194,58 @@ func (db *DB) DiskStats() DiskStats { return db.disk.Stats() }
 // TotalSizeBytes returns the total on-disk size of all files.
 func (db *DB) TotalSizeBytes() int64 { return db.fs.TotalSize() }
 
+// checkOpen fails with ErrClosed once the DB is closed.
+func (db *DB) checkOpen() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// attachTable wires the statistics catalog and planner to a freshly
+// created store and registers the table with the DB. seed, when
+// non-nil, provides the table's complete initial content for the
+// catalog (a bulk load); known marks an empty catalog as complete (a
+// table born empty, where every future change flows through the delta
+// hooks). A table whose on-disk content is unknown (OpenTable) starts
+// unseeded: Run falls back to heuristic routing until the first merge
+// re-derives the statistics.
+func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, opts TableOptions) (*Table, error) {
+	cat := stats.NewCatalog(store.Main().Attr(), store.Main().SecondaryAttrs(), opts.StatsStaleness, known)
+	if seed != nil {
+		if err := cat.Seed(seed); err != nil {
+			return nil, err
+		}
+	}
+	store.SetStats(cat)
+	t := &Table{
+		db:      db,
+		store:   store,
+		catalog: cat,
+		planner: planner.New(store, cat, db.disk.Params()),
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		// Lost the race against Close: undo and refuse.
+		_ = store.Close()
+		return nil, ErrClosed
+	}
+	db.tables = append(db.tables, t)
+	return t, nil
+}
+
 // CreateTable creates an empty fractured-UPI table clustered on the
 // uncertain attribute primaryAttr, with secondary indexes on secAttrs.
+// The table's statistics catalog starts complete (an empty table has
+// nothing unknown) and absorbs every subsequent insert and delete, so
+// Run routes through the cost-based planner from the first query.
 func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
@@ -182,12 +254,17 @@ func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts Tabl
 	if err != nil {
 		return nil, err
 	}
-	return &Table{db: db, store: store}, nil
+	return db.attachTable(store, nil, true, opts)
 }
 
 // BulkLoadTable creates a fractured-UPI table whose main partition is
-// bulk-built from tuples with sequential I/O only.
+// bulk-built from tuples with sequential I/O only. The statistics
+// catalog is seeded from the same tuples, so the engine owns complete
+// cardinality knowledge without a separate BuildStats pass.
 func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, opts TableOptions, tuples []*Tuple) (*Table, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
@@ -196,12 +273,18 @@ func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, opts Ta
 	if err != nil {
 		return nil, err
 	}
-	return &Table{db: db, store: store}, nil
+	return db.attachTable(store, tuples, false, opts)
 }
 
 // OpenTable reloads a table previously created on this DB's file
 // system (after Flush; unflushed RAM-buffer contents do not survive).
+// The on-disk content is unknown to the statistics catalog, so Run
+// uses heuristic routing until BuildStats seeds it or the first merge
+// re-derives it.
 func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, fracture.Options{
 		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
 		BufferTuples: opts.BufferTuples,
@@ -210,21 +293,51 @@ func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableO
 	if err != nil {
 		return nil, err
 	}
-	return &Table{db: db, store: store}, nil
+	return db.attachTable(store, nil, false, opts)
+}
+
+// Close closes the database: every table is closed — stopping
+// background mergers, failing subsequent queries and mutations with
+// ErrClosed — and any later CreateTable, BulkLoadTable, OpenTable or
+// BulkLoadSpatial on this DB fails with ErrClosed too. In-flight
+// queries finish normally on the snapshots they hold. Close returns
+// the first table-close error (background-merge failures surface
+// here, like Table.Close); closing twice is safe.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	db.closed = true
+	tables := db.tables
+	db.mu.Unlock()
+	var first error
+	for _, t := range tables {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Table is an uncertain table clustered by a UPI. All mutations are
 // buffered in RAM and reach disk on Flush (or automatically when the
 // buffer fills); queries always see the freshest data.
+//
+// Every table owns a self-maintaining statistics catalog: inserts and
+// deletes apply histogram deltas as they happen, and each merge
+// re-derives the histograms from its own whole-heap scan. Run consults
+// the cost-based planner automatically whenever the catalog is fresh
+// enough (see TableOptions.StatsStaleness and StatsInfo), so callers
+// get planned routing without ever touching BuildStats.
 type Table struct {
-	db    *DB
-	store *fracture.Store
-
-	plannerMu sync.RWMutex
-	planner   *planner.Planner // set by BuildStats
+	db      *DB
+	store   *fracture.Store
+	catalog *stats.Catalog
+	planner *planner.Planner
 }
 
-// Insert adds or replaces a tuple (buffered).
+// Insert adds or replaces a tuple (buffered). Replacement is a true
+// upsert: an older version of the same ID — buffered or already on
+// disk — is superseded immediately at query time and dropped
+// physically by the next merge.
 func (t *Table) Insert(tup *Tuple) error { return t.store.Insert(tup) }
 
 // Delete removes the tuple with the given ID (buffered). Like Insert,
@@ -347,9 +460,14 @@ type QueryInfo struct {
 	Partitions int
 	// BufferHits counts results served from the RAM insert buffer.
 	BufferHits int
-	// Plan names the access path the planner chose (WithPlanner runs
-	// only).
+	// Plan names the access path the planner chose (planner-routed
+	// runs only — automatic or forced).
 	Plan string
+	// PlanSource reports how the query was routed: PlanSourceStats
+	// (fresh catalog, automatic planner), PlanSourceHeuristic (stats
+	// absent or stale — or WithHeuristic — so the fixed heuristic
+	// routing ran), or PlanSourceForced (WithPlanner).
+	PlanSource string
 	// Explain is the EXPLAIN-style costed-plan listing (WithExplain
 	// runs only).
 	Explain string
@@ -360,6 +478,9 @@ func (q QueryInfo) String() string {
 		q.ModeledTime, q.HeapEntries, q.CutoffPointers, q.Partitions)
 	if q.Plan != "" {
 		s += " plan=" + q.Plan
+	}
+	if q.PlanSource != "" {
+		s += " source=" + q.PlanSource
 	}
 	return s
 }
@@ -380,8 +501,12 @@ type SpatialTable struct {
 	tab *cupi.Table
 }
 
-// BulkLoadSpatial builds a continuous UPI from observations.
+// BulkLoadSpatial builds a continuous UPI from observations. Like
+// table creation, it fails with ErrClosed once the DB is closed.
 func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptions) (*SpatialTable, error) {
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	tab, err := cupi.BulkBuild(db.fs, name, obs, cupi.Options{
 		NodePageSize: opts.NodePageSize,
 		HeapPageSize: opts.HeapPageSize,

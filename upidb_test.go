@@ -2,6 +2,7 @@ package upidb
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -202,6 +203,55 @@ func TestFacadeOpenTable(t *testing.T) {
 	}
 	if _, err := db.OpenTable("missing", "X", nil, opts); err == nil {
 		t.Fatal("open of missing table accepted")
+	}
+}
+
+// TestDBClose: closing the DB closes every table and rejects further
+// table creation and opening with ErrClosed; closing twice is safe.
+func TestDBClose(t *testing.T) {
+	db := New()
+	tuples := exampleTuples(t)
+	a, err := db.CreateTable("a", "Institution", []string{"Country"}, TableOptions{Cutoff: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range tuples {
+		if err := a.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := db.BulkLoadTable("b", "Institution", []string{"Country"}, TableOptions{}, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.StartAutoMerge(AutoMergeOptions{MaxFractures: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every table is closed, mirroring Table.Close semantics.
+	if _, err := a.Run(context.Background(), PTQ("", "MIT", 0.1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run on table a after DB.Close: %v", err)
+	}
+	if err := b.Insert(tuples[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert on table b after DB.Close: %v", err)
+	}
+	// New tables and lookups are rejected.
+	if _, err := db.CreateTable("c", "X", nil, TableOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CreateTable after Close: %v", err)
+	}
+	if _, err := db.BulkLoadTable("d", "X", nil, TableOptions{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BulkLoadTable after Close: %v", err)
+	}
+	if _, err := db.OpenTable("b", "Institution", []string{"Country"}, TableOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("OpenTable after Close: %v", err)
+	}
+	if _, err := db.BulkLoadSpatial("s", nil, SpatialOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BulkLoadSpatial after Close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }
 
