@@ -80,6 +80,7 @@ func main() {
 		res, err := authors.Run(ctx, upidb.PTQ("", "MIT", qt).WithStats())
 		must(err)
 		fmt.Printf("  QT=%.2f -> %d rows  [%s]\n", qt, res.Len(), res.Info())
+		must(res.Err())
 		for r, rerr := range res.All() {
 			must(rerr)
 			name, _ := r.Tuple.DetValue("Name")
@@ -120,6 +121,7 @@ func main() {
 	res, err = authors.Run(ctx, upidb.PTQ("", "MIT", 0.1))
 	must(err)
 	fmt.Printf("  after delete+merge, Query 1 at QT=0.1 returns %d row(s)\n", res.Len())
+	must(res.Err())
 
 	st := db.DiskStats()
 	fmt.Printf("\nSimulated disk totals: %s\n", st)

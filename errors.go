@@ -1,6 +1,8 @@
 package upidb
 
 import (
+	"errors"
+
 	"upidb/internal/fracture"
 	"upidb/internal/planner"
 	"upidb/internal/upi"
@@ -36,4 +38,13 @@ var (
 	// ErrClosed reports an operation on a table after Table.Close or
 	// DB.Close, including creating or opening tables on a closed DB.
 	ErrClosed = fracture.ErrClosed
+
+	// ErrStreamConsumed reports a Results handle consumed twice after a
+	// partial drain: an All iterator was abandoned mid-stream (the
+	// consumer broke out before exhaustion), so the remaining results
+	// were discarded and their scans cancelled. A second All yields
+	// this error instead of silently resuming mid-stream; Collect and
+	// Len report an empty result set and Err returns it. Run the query
+	// again for a fresh stream.
+	ErrStreamConsumed = errors.New("upidb: result stream already partially consumed")
 )

@@ -47,6 +47,9 @@ func main() {
 		log.Fatal(err)
 	}
 	rs, info := res.Collect(), res.Info()
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nQuery 1 (Institution=MIT, QT=0.3): %d authors, cost %v\n", len(rs), info.ModeledTime)
 	for i, r := range rs[:min(3, len(rs))] {
 		name, _ := r.Tuple.DetValue(dataset.DetName)
@@ -62,6 +65,9 @@ func main() {
 		log.Fatal(err)
 	}
 	rs, info = res.Collect(), res.Info()
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
 	byJournal := map[string]int{}
 	for _, r := range rs {
 		if j, ok := r.Tuple.DetValue(dataset.DetJournal); ok {
@@ -90,6 +96,9 @@ func main() {
 	}
 	res, err = pubs.Run(ctx, upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3))
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nQuery 3 (Country=Japan via secondary index, QT=0.3): %d pubs\n", res.Len())

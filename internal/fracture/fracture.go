@@ -33,6 +33,13 @@
 // generation without holding any lock, and atomically swaps it in.
 // Old partition files are reference-counted and removed only after the
 // last in-flight query over the previous generation finishes.
+//
+// Queries execute either materialized (Store.Run / Prepared.Collect:
+// every partition scanned to completion, tapes replayed in partition
+// order) or incrementally (Prepared.Stream: per-partition pull-based
+// cursors under a k-way merge, each partition's tape replayed and its
+// pin released the moment its cursor is exhausted). Both see the same
+// snapshot and produce identical results in identical order.
 package fracture
 
 import (

@@ -2,6 +2,7 @@ package fracture
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -78,6 +79,13 @@ type snapshot struct {
 	pins        []*partRef
 	bufResults  []upi.Result
 	parallelism int
+
+	// mu guards pinned. Pins are normally released by the single
+	// consumer (collect, or the merged stream partition by partition),
+	// but an abandoned Prepared may be released by a GC cleanup on
+	// another goroutine, so the bookkeeping is locked and idempotent.
+	mu     sync.Mutex
+	pinned []bool
 }
 
 // killedBy reports whether any of the delete sets holds id.
@@ -134,8 +142,10 @@ func (s *Store) snapshotFor(parallelism int, match func(*tuple.Tuple) (float64, 
 		}
 		snap.killers[p] = append(sets, bufDel)
 	}
-	for _, p := range snap.pins {
+	snap.pinned = make([]bool, n)
+	for i, p := range snap.pins {
 		p.pin()
+		snap.pinned[i] = true
 	}
 	for _, id := range s.bufOrder {
 		tup := s.bufTuples[id]
@@ -146,9 +156,24 @@ func (s *Store) snapshotFor(parallelism int, match func(*tuple.Tuple) (float64, 
 	return snap, nil
 }
 
+// unpinPart releases the pin on one partition, exactly once; the
+// merged stream calls it the moment that partition's result stream is
+// exhausted, so a long-lived stream does not keep already-drained
+// partitions' files alive.
+func (snap *snapshot) unpinPart(i int) {
+	snap.mu.Lock()
+	wasPinned := snap.pinned[i]
+	snap.pinned[i] = false
+	snap.mu.Unlock()
+	if wasPinned {
+		snap.pins[i].unpin()
+	}
+}
+
+// release unpins every partition still pinned. Idempotent.
 func (snap *snapshot) release() {
-	for _, p := range snap.pins {
-		p.unpin()
+	for i := range snap.pins {
+		snap.unpinPart(i)
 	}
 }
 
@@ -249,81 +274,169 @@ func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery) ([]upi
 	return results, stats, nil
 }
 
-// Run executes one query described by req against the fractured UPI:
-// the union of the main UPI, every fracture and the insert buffer,
-// minus deleted tuples (Section 4.2). Partitions are scanned in
-// parallel up to the effective parallelism. A done context fails fast
-// with ErrCanceled before any partition is pinned or charged.
-func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
-	if err := upi.CtxErr(ctx); err != nil {
-		return nil, Stats{}, err
-	}
+// execPlan is everything a Req compiles to: the RAM-buffer match
+// predicate, the materialized per-partition executor, the streaming
+// per-partition cursor factory, and the top-k bound (0 = unbounded).
+type execPlan struct {
+	match  func(*tuple.Tuple) (float64, bool)
+	q      partQuery
+	cursor func(ctx context.Context, t *upi.Table) *upi.Cursor
+	k      int
+	empty  bool // trivially empty query (top-k with k <= 0)
+}
 
-	var (
-		match func(*tuple.Tuple) (float64, bool)
-		q     partQuery
-	)
+// compileReq maps a Req onto its execution plan.
+func (s *Store) compileReq(req Req) (execPlan, error) {
+	var p execPlan
 	switch req.Kind {
 	case KindPTQ:
-		match = func(tup *tuple.Tuple) (float64, bool) {
+		p.match = func(tup *tuple.Tuple) (float64, bool) {
 			// conf > 0 mirrors the on-disk paths: a tuple without the
 			// value among its alternatives never matches, even at qt=0
 			// (it has no heap entry under the value either).
 			conf := tup.Confidence(s.attr, req.Value)
 			return conf, conf > 0 && conf >= req.QT
 		}
-		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		p.q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.Query(ctx, req.Value, req.QT)
 		}
+		p.cursor = func(ctx context.Context, t *upi.Table) *upi.Cursor {
+			return t.QueryCursor(ctx, req.Value, req.QT)
+		}
 	case KindSecondary:
-		match = func(tup *tuple.Tuple) (float64, bool) {
+		p.match = func(tup *tuple.Tuple) (float64, bool) {
 			conf := tup.Confidence(req.Attr, req.Value)
 			return conf, conf > 0 && conf >= req.QT
 		}
-		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		p.q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.QuerySecondary(ctx, req.Attr, req.Value, req.QT, req.Tailored)
+		}
+		p.cursor = func(ctx context.Context, t *upi.Table) *upi.Cursor {
+			return t.SecondaryCursor(ctx, req.Attr, req.Value, req.QT, req.Tailored)
 		}
 	case KindTopK:
 		if req.K <= 0 {
-			return nil, Stats{}, nil
+			return execPlan{empty: true}, nil
 		}
-		match = func(tup *tuple.Tuple) (float64, bool) {
+		p.k = req.K
+		p.match = func(tup *tuple.Tuple) (float64, bool) {
 			conf := tup.Confidence(s.attr, req.Value)
 			return conf, conf > 0
 		}
-		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		p.q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.TopK(ctx, req.Value, req.K)
+		}
+		p.cursor = func(ctx context.Context, t *upi.Table) *upi.Cursor {
+			return t.TopKCursor(ctx, req.Value, req.K)
 		}
 	case KindScan:
 		attr := req.Attr
 		if attr == "" {
 			attr = s.attr
 		}
-		match = func(tup *tuple.Tuple) (float64, bool) {
+		p.match = func(tup *tuple.Tuple) (float64, bool) {
 			conf := tup.Confidence(attr, req.Value)
 			return conf, conf > 0 && conf >= req.QT
 		}
-		q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
+		p.q = func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 			return t.FullScan(ctx, attr, req.Value, req.QT)
 		}
+		p.cursor = func(ctx context.Context, t *upi.Table) *upi.Cursor {
+			return t.ScanCursor(ctx, attr, req.Value, req.QT)
+		}
 	default:
-		return nil, Stats{}, fmt.Errorf("fracture: unknown query kind %d", req.Kind)
+		return execPlan{}, fmt.Errorf("fracture: unknown query kind %d", req.Kind)
 	}
+	return p, nil
+}
 
-	snap, err := s.snapshotFor(req.Parallelism, match)
+// Run executes one query described by req against the fractured UPI:
+// the union of the main UPI, every fracture and the insert buffer,
+// minus deleted tuples (Section 4.2). Partitions are scanned in
+// parallel up to the effective parallelism. A done context fails fast
+// with ErrCanceled before any partition is pinned or charged.
+func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
+	p, err := s.Prepare(ctx, req)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	defer snap.release()
-	results, stats, err := s.collect(ctx, snap, q)
+	return p.Collect(ctx)
+}
+
+// Prepared is a query that has been compiled and snapshotted but not
+// yet executed: the partition set is pinned as of the Prepare call, so
+// the result set is fixed no matter when — or how — it is consumed.
+// Exactly one of Collect (materialized, partition-parallel) or Stream
+// (incremental k-way merged) may consume it; Release discards an
+// unconsumed Prepared.
+type Prepared struct {
+	s    *Store
+	plan execPlan
+	snap *snapshot // nil for trivially empty queries
+	used bool
+}
+
+// Prepare compiles req, evaluates the RAM buffer and pins the current
+// partition set. A done context fails fast with ErrCanceled before
+// any partition is pinned or any modeled I/O charged.
+func (s *Store) Prepare(ctx context.Context, req Req) (*Prepared, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	plan, err := s.compileReq(req)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{s: s, plan: plan}
+	if plan.empty {
+		return p, nil
+	}
+	snap, err := s.snapshotFor(req.Parallelism, plan.match)
+	if err != nil {
+		return nil, err
+	}
+	p.snap = snap
+	return p, nil
+}
+
+// Collect executes the prepared query the materialized way: every
+// partition is scanned to completion (fanned out across the worker
+// pool), per-partition tapes are replayed in partition order, and the
+// sorted result set is returned — the exact semantics, statistics and
+// modeled cost of the pre-streaming engine.
+func (p *Prepared) Collect(ctx context.Context) ([]upi.Result, Stats, error) {
+	if p.used {
+		return nil, Stats{}, errConsumed
+	}
+	p.used = true
+	if p.snap == nil {
+		return nil, Stats{}, nil
+	}
+	defer p.snap.release()
+	results, stats, err := p.s.collect(ctx, p.snap, p.plan.q)
 	if err != nil {
 		return nil, stats, err
 	}
-	if req.Kind == KindTopK && len(results) > req.K {
-		results = results[:req.K]
+	if p.plan.k > 0 && len(results) > p.plan.k {
+		results = results[:p.plan.k]
 	}
 	return results, stats, nil
 }
+
+// Release discards a Prepared without consuming it, dropping every
+// partition pin and spending the handle — a later Collect or Stream
+// fails instead of scanning partitions whose files may already be
+// reclaimed. Safe to call at any time and idempotent; consuming paths
+// release on their own.
+func (p *Prepared) Release() {
+	p.used = true
+	if p.snap != nil {
+		p.snap.release()
+	}
+}
+
+// errConsumed reports a second consumption of a Prepared.
+var errConsumed = errors.New("fracture: prepared query already consumed")
 
 // Query answers a PTQ on the primary attribute. It is shorthand for
 // Run with a KindPTQ request.

@@ -1,0 +1,394 @@
+package fracture
+
+// Tests for the incremental k-way merged stream: golden equivalence
+// with the materialized Collect at every parallelism, exact modeled
+// cost on full drains, per-partition pin release, top-k early
+// termination, and mid-stream cancellation.
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"upidb/internal/prob"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+	"upidb/internal/upi"
+)
+
+// drainStream pulls a stream to exhaustion.
+func drainStream(t *testing.T, st *Stream) []upi.Result {
+	t.Helper()
+	var out []upi.Result
+	for {
+		r, ok, err := st.Next()
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func resultKeys(rs []upi.Result) [][2]float64 {
+	out := make([][2]float64, len(rs))
+	for i, r := range rs {
+		out[i] = [2]float64{float64(r.Tuple.ID), r.Confidence}
+	}
+	return out
+}
+
+// TestStreamMatchesCollect: for every query kind and at serial, narrow
+// and wide parallelism, the merged stream yields exactly the results
+// the materialized Collect returns, in identical order.
+func TestStreamMatchesCollect(t *testing.T) {
+	reqs := []Req{
+		{Kind: KindPTQ, Value: concValue(3), QT: 0.05},
+		{Kind: KindPTQ, Value: concValue(3), QT: 0.4},
+		{Kind: KindSecondary, Attr: "Y", Value: "y" + concValue(2), QT: 0.05, Tailored: true},
+		{Kind: KindTopK, Value: concValue(4), K: 9},
+		{Kind: KindScan, Value: concValue(5), QT: 0.1},
+	}
+	for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		s, _ := buildConcStore(t, 5, 30)
+		// Leave work in the RAM buffer so the merge crosses every
+		// partition type, and a pending delete so supersedence applies
+		// at yield time.
+		if err := s.Insert(concTuple(90001, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(concTuple(90002, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Delete(7); err != nil {
+			t.Fatal(err)
+		}
+		for qi, req := range reqs {
+			req.Parallelism = par
+			want, _, err := s.Run(context.Background(), req)
+			if err != nil {
+				t.Fatalf("par=%d q=%d collect: %v", par, qi, err)
+			}
+			prep, err := s.Prepare(context.Background(), req)
+			if err != nil {
+				t.Fatalf("par=%d q=%d prepare: %v", par, qi, err)
+			}
+			got := drainStream(t, prep.Stream(context.Background()))
+			if !reflect.DeepEqual(resultKeys(got), resultKeys(want)) {
+				t.Fatalf("par=%d q=%d: stream %d rows diverged from collect %d rows",
+					par, qi, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestStreamModeledCostMatchesCollect: a fully drained PTQ stream
+// charges exactly the modeled I/O of the materialized execution — the
+// per-partition tapes hold the same operations and replay in
+// self-contained batches — at any parallelism.
+func TestStreamModeledCostMatchesCollect(t *testing.T) {
+	req := Req{Kind: KindPTQ, Value: concValue(3), QT: 0.05}
+	s, disk := buildConcStore(t, 5, 30)
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.ModeledTime
+	if want <= 0 {
+		t.Fatal("materialized run charged nothing")
+	}
+	for _, par := range []int{1, 4} {
+		req.Parallelism = par
+		if err := s.DropCaches(); err != nil {
+			t.Fatal(err)
+		}
+		before := disk.Stats()
+		prep, err := s.Prepare(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := prep.Stream(context.Background())
+		drainStream(t, stream)
+		if got := stream.Stats().ModeledTime; got != want {
+			t.Fatalf("par=%d: stream modeled %v != collect %v", par, got, want)
+		}
+		if d := disk.Stats().Sub(before); d.Elapsed != stream.Stats().ModeledTime {
+			t.Fatalf("par=%d: disk charged %v, stream reported %v", par, d.Elapsed, stream.Stats().ModeledTime)
+		}
+	}
+}
+
+// TestStreamTopKEarlyTermination: a top-k stream over many partitions
+// yields its first result — and its full k results — for strictly
+// less modeled I/O than the materialized execution, which scans every
+// partition (including every fracture's cutoff chase) before returning
+// anything. The store is engineered so the main partition holds plenty
+// of high-confidence matches while every fracture has fewer than k
+// heap matches plus many below-cutoff alternatives: the materialized
+// per-partition TopK must chase every fracture's cutoff pointers,
+// while the merged stream fills its k results from the main partition
+// and never pulls any fracture past its first head.
+func TestStreamTopKEarlyTermination(t *testing.T) {
+	hot := func(id uint64, conf float64) *tuple.Tuple {
+		x, err := prob.NewDiscrete([]prob.Alternative{{Value: "hot", Prob: conf}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &tuple.Tuple{ID: id, Existence: 1, Unc: []tuple.UncField{{Name: "X", Dist: x}}}
+	}
+	coldHot := func(id uint64) *tuple.Tuple {
+		x, err := prob.NewDiscrete([]prob.Alternative{
+			{Value: "cold", Prob: 0.8}, {Value: "hot", Prob: 0.1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &tuple.Tuple{ID: id, Existence: 1, Unc: []tuple.UncField{{Name: "X", Dist: x}}}
+	}
+	disk := sim.NewDisk(sim.DefaultParams())
+	fs := storage.NewFS(disk)
+	id := uint64(1)
+	var base []*tuple.Tuple
+	for i := 0; i < 60; i++ {
+		base = append(base, hot(id, 0.5+float64(i)*0.008))
+		id++
+	}
+	s, err := BulkLoad(fs, "topk", "X", nil, Options{UPI: upi.Options{Cutoff: 0.15}}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 6; f++ {
+		for j := 0; j < 4; j++ {
+			if err := s.Insert(hot(id, 0.2+float64(f*4+j)*0.01)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		for j := 0; j < 20; j++ {
+			// "hot" at confidence 0.1 — below the cutoff, so it lives
+			// in the fracture's cutoff index.
+			if err := s.Insert(coldHot(id)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	req := Req{Kind: KindTopK, Value: "hot", K: 20, Parallelism: 1}
+
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before := disk.Stats()
+	want, _, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCost := disk.Stats().Sub(before).Elapsed
+	if len(want) != req.K || fullCost <= 0 {
+		t.Fatalf("materialized top-k: %d rows, cost %v", len(want), fullCost)
+	}
+
+	// First result: the stream needs one head per partition, not any
+	// partition's completed scan.
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before = disk.Stats()
+	prep, err := s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := prep.Stream(context.Background())
+	first, ok, err := stream.Next()
+	if err != nil || !ok {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	if first.Tuple.ID != want[0].Tuple.ID || first.Confidence != want[0].Confidence {
+		t.Fatalf("first streamed result %d/%v, want %d/%v",
+			first.Tuple.ID, first.Confidence, want[0].Tuple.ID, want[0].Confidence)
+	}
+	stream.Close()
+	firstCost := disk.Stats().Sub(before).Elapsed
+	if firstCost >= fullCost {
+		t.Fatalf("first-result cost %v not below materialized cost %v", firstCost, fullCost)
+	}
+
+	// Full streamed top-k: same k results, strictly less modeled I/O.
+	if err := s.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before = disk.Stats()
+	prep, err = s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = prep.Stream(context.Background())
+	got := drainStream(t, stream)
+	streamCost := disk.Stats().Sub(before).Elapsed
+	if !reflect.DeepEqual(resultKeys(got), resultKeys(want)) {
+		t.Fatalf("streamed top-k diverged from materialized")
+	}
+	if streamCost >= fullCost {
+		t.Fatalf("streamed top-k cost %v not below materialized %v", streamCost, fullCost)
+	}
+}
+
+// TestStreamReleasesPinsIncrementally: once the stream is exhausted —
+// and on Close after a partial drain — every partition pin is back,
+// so a merge can reclaim the old generation immediately. Cancelling
+// mid-stream behaves the same and stops charging.
+func TestStreamReleasesPinsIncrementally(t *testing.T) {
+	s, disk := buildConcStore(t, 5, 30)
+	req := Req{Kind: KindPTQ, Value: concValue(3), QT: 0.05, Parallelism: 1}
+
+	// Partial drain + Close.
+	prep, err := s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := prep.Stream(context.Background())
+	if _, ok, err := stream.Next(); !ok || err != nil {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	stream.Close()
+	after := disk.Stats()
+	if _, ok, err := stream.Next(); ok || err != nil {
+		t.Fatalf("closed stream yielded: ok=%v err=%v", ok, err)
+	}
+	if d := disk.Stats().Sub(after); d.Elapsed != 0 {
+		t.Fatalf("closed stream kept charging: %v", d)
+	}
+
+	// Cancellation mid-stream: terminates with ErrCanceled, stops
+	// charging, releases pins.
+	ctx := newCountdownCtx(20)
+	prep, err = s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = prep.Stream(ctx)
+	var streamErr error
+	for {
+		_, ok, err := stream.Next()
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !errors.Is(streamErr, upi.ErrCanceled) {
+		t.Fatalf("cancelled stream: want ErrCanceled, got %v", streamErr)
+	}
+	after = disk.Stats()
+	if _, ok, err := stream.Next(); ok || !errors.Is(err, upi.ErrCanceled) {
+		t.Fatalf("cancelled stream resumed: ok=%v err=%v", ok, err)
+	}
+	if d := disk.Stats().Sub(after); d.Elapsed != 0 {
+		t.Fatalf("cancelled stream kept charging: %v", d)
+	}
+
+	// All pins must be back: after a merge no old-generation file may
+	// survive.
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.fs.List() {
+		if strings.Contains(name, ".frac") {
+			t.Fatalf("leaked stream pin kept %s alive after merge", name)
+		}
+	}
+	rs, _, err := s.Run(context.Background(), Req{Kind: KindPTQ, Value: concValue(3), QT: 0.05})
+	if err != nil || len(rs) == 0 {
+		t.Fatalf("store broken after streamed queries + merge: %v (%d rows)", err, len(rs))
+	}
+}
+
+// TestStreamSurvivesConcurrentMerge: a stream opened before a merge
+// finishes on the generation it pinned, even though the merge swapped
+// and doomed those partitions midway.
+func TestStreamSurvivesConcurrentMerge(t *testing.T) {
+	s, _ := buildConcStore(t, 5, 30)
+	req := Req{Kind: KindPTQ, Value: concValue(3), QT: 0.05, Parallelism: 1}
+	want, _, err := s.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := prep.Stream(context.Background())
+	// Pull one result, then merge underneath the open stream.
+	if _, ok, err := stream.Next(); !ok || err != nil {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	rest := drainStream(t, stream)
+	if len(rest)+1 != len(want) {
+		t.Fatalf("stream across merge: got %d rows, want %d", len(rest)+1, len(want))
+	}
+	for i, r := range rest {
+		w := want[i+1]
+		if r.Tuple.ID != w.Tuple.ID || r.Confidence != w.Confidence {
+			t.Fatalf("row %d across merge: got %d/%v want %d/%v",
+				i+1, r.Tuple.ID, r.Confidence, w.Tuple.ID, w.Confidence)
+		}
+	}
+}
+
+// TestPreparedSingleConsumption: a Prepared may be consumed once;
+// Release is safe before, after and instead of consumption.
+func TestPreparedSingleConsumption(t *testing.T) {
+	s, _ := buildConcStore(t, 2, 10)
+	req := Req{Kind: KindPTQ, Value: concValue(1), QT: 0.1}
+	prep, err := s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prep.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prep.Collect(context.Background()); !errors.Is(err, errConsumed) {
+		t.Fatalf("second Collect: %v", err)
+	}
+	if _, ok, err := prep.Stream(context.Background()).Next(); ok || !errors.Is(err, errConsumed) {
+		t.Fatalf("stream after Collect: ok=%v err=%v", ok, err)
+	}
+	prep.Release() // idempotent after consumption
+
+	// Release without consumption leaves no pins behind — and spends
+	// the handle, so a later Collect cannot scan unpinned partitions.
+	prep, err = s.Prepare(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep.Release()
+	if _, _, err := prep.Collect(context.Background()); !errors.Is(err, errConsumed) {
+		t.Fatalf("Collect after Release: %v", err)
+	}
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.fs.List() {
+		if strings.Contains(name, ".frac") {
+			t.Fatalf("released Prepared leaked pin on %s", name)
+		}
+	}
+}

@@ -232,11 +232,11 @@ func (p *Planner) Execute(ctx context.Context, attr, value string, qt float64, p
 	return rs, plans[0], st, err
 }
 
-// ExecutePlan runs a PTQ with one specific plan (normally plans[0]
-// from PlanPTQ). Splitting planning from execution lets callers make
-// admission decisions — e.g. comparing the plan's estimated cost
-// against a context deadline — before any partition is pinned.
-func (p *Planner) ExecutePlan(ctx context.Context, pl Plan, value string, qt float64, parallelism int) ([]upi.Result, fracture.Stats, error) {
+// PlanReq translates a costed plan into the fractured store's query
+// descriptor, without executing anything. Callers that need lazy or
+// streaming execution build the Req here and hand it to Store.Prepare
+// themselves; ExecutePlan is the materialized shorthand.
+func PlanReq(pl Plan, value string, qt float64, parallelism int) (fracture.Req, error) {
 	req := fracture.Req{Value: value, QT: qt, Parallelism: parallelism}
 	switch pl.Kind {
 	case PrimaryScan:
@@ -255,7 +255,19 @@ func (p *Planner) ExecutePlan(ctx context.Context, pl Plan, value string, qt flo
 		req.Kind = fracture.KindScan
 		req.Attr = pl.Attr
 	default:
-		return nil, fracture.Stats{}, fmt.Errorf("planner: unknown plan %v", pl.Kind)
+		return fracture.Req{}, fmt.Errorf("planner: unknown plan %v", pl.Kind)
+	}
+	return req, nil
+}
+
+// ExecutePlan runs a PTQ with one specific plan (normally plans[0]
+// from PlanPTQ). Splitting planning from execution lets callers make
+// admission decisions — e.g. comparing the plan's estimated cost
+// against a context deadline — before any partition is pinned.
+func (p *Planner) ExecutePlan(ctx context.Context, pl Plan, value string, qt float64, parallelism int) ([]upi.Result, fracture.Stats, error) {
+	req, err := PlanReq(pl, value, qt, parallelism)
+	if err != nil {
+		return nil, fracture.Stats{}, err
 	}
 	return p.store.Run(ctx, req)
 }

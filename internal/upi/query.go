@@ -40,58 +40,12 @@ const ctxCheckEvery = 64
 // followed — only when qt < C — by a cutoff-index scan whose pointers
 // are sorted in heap order before being chased. The context is checked
 // between heap pages; a cancelled query returns ErrCanceled.
+//
+// Query is the materialized form of QueryCursor: it drains the cursor
+// to exhaustion, so results, statistics and the I/O sequence are the
+// cursor's.
 func (t *Table) Query(ctx context.Context, value string, qt float64) ([]Result, QueryStats, error) {
-	var (
-		results []Result
-		stats   QueryStats
-	)
-	if err := CtxErr(ctx); err != nil {
-		return nil, stats, err
-	}
-	// Heap scan: entries are ordered by confidence DESC within the
-	// value prefix, so stop at the first entry below qt.
-	start, end := ValuePrefix(value), ValuePrefixEnd(value)
-	var scanErr error
-	err := t.heap.Scan(start, end, func(k, v []byte) bool {
-		if stats.HeapEntries%ctxCheckEvery == 0 {
-			if scanErr = CtxErr(ctx); scanErr != nil {
-				return false
-			}
-		}
-		_, conf, _, err := DecodeHeapKey(k)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		if conf < qt {
-			return false
-		}
-		stats.HeapEntries++
-		tup, err := tuple.Decode(v)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		results = append(results, Result{Tuple: tup, Confidence: conf})
-		return true
-	})
-	if err == nil {
-		err = scanErr
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-
-	if qt < t.opts.Cutoff {
-		cutoffResults, n, err := t.queryCutoff(ctx, value, qt)
-		stats.CutoffPointers = n
-		if err != nil {
-			return nil, stats, err
-		}
-		results = append(results, cutoffResults...)
-	}
-	sortByConfDesc(results)
-	return results, stats, nil
+	return drainCursor(t.QueryCursor(ctx, value, qt))
 }
 
 // queryCutoff performs the second half of Algorithm 2: collect
@@ -289,66 +243,11 @@ func (t *Table) QuerySecondary(ctx context.Context, attr, value string, qt float
 // DESC, the scan stops after k heap entries unless the cutoff index
 // may still hold candidates (Section 3.1: "a top-k query can terminate
 // scanning the index when the top-k results are identified").
+//
+// TopK is the materialized form of TopKCursor: it drains the cursor to
+// exhaustion.
 func (t *Table) TopK(ctx context.Context, value string, k int) ([]Result, QueryStats, error) {
-	var stats QueryStats
-	if k <= 0 {
-		return nil, stats, nil
-	}
-	if err := CtxErr(ctx); err != nil {
-		return nil, stats, err
-	}
-	var results []Result
-	start, end := ValuePrefix(value), ValuePrefixEnd(value)
-	var scanErr error
-	err := t.heap.Scan(start, end, func(kk, v []byte) bool {
-		if len(results) >= k {
-			return false
-		}
-		if stats.HeapEntries%ctxCheckEvery == 0 {
-			if scanErr = CtxErr(ctx); scanErr != nil {
-				return false
-			}
-		}
-		_, conf, _, err := DecodeHeapKey(kk)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		stats.HeapEntries++
-		tup, err := tuple.Decode(v)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		results = append(results, Result{Tuple: tup, Confidence: conf})
-		return true
-	})
-	if err == nil {
-		err = scanErr
-	}
-	if err != nil {
-		return nil, stats, err
-	}
-	// The heap may have fewer than k entries above the cutoff; any
-	// remaining candidates (all with confidence < C) live in the
-	// cutoff index. Only consult it when needed.
-	if len(results) >= k {
-		minConf := results[len(results)-1].Confidence
-		if minConf >= t.opts.Cutoff {
-			return results, stats, nil
-		}
-	}
-	cutoffResults, n, err := t.queryCutoff(ctx, value, 0)
-	stats.CutoffPointers = n
-	if err != nil {
-		return nil, stats, err
-	}
-	results = append(results, cutoffResults...)
-	sortByConfDesc(results)
-	if len(results) > k {
-		results = results[:k]
-	}
-	return results, stats, nil
+	return drainCursor(t.TopKCursor(ctx, value, k))
 }
 
 // scanReadAhead is the sequential read-ahead window (pages) a full

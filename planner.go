@@ -98,5 +98,9 @@ func (t *Table) QueryPlanned(attr, value string, qt float64) ([]Result, string, 
 	if err != nil {
 		return nil, "", err
 	}
-	return res.results, res.Info().Plan, nil
+	rs, err := res.collectErr()
+	if err != nil {
+		return nil, "", err
+	}
+	return rs, res.Info().Plan, nil
 }

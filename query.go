@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"runtime"
 	"slices"
 	"time"
 
@@ -115,12 +116,102 @@ func (q Query) WithExplain() Query {
 	return q
 }
 
-// Results is the answer to one Run call: the materialized result set
-// plus everything the execution recorded about itself. Iterate it
-// with All (range-over-func), or grab the whole slice with Collect.
+// resState tracks how far a Results handle has been consumed.
+type resState int
+
+const (
+	// statePending: prepared (partitions pinned) but not yet executed.
+	statePending resState = iota
+	// stateStreaming: an All iterator is mid-drain; accessors that
+	// would force a second execution are inert until it finishes.
+	stateStreaming
+	// stateDrained: fully consumed; results holds the complete set.
+	stateDrained
+	// statePartial: a streaming All was abandoned mid-drain; the
+	// remaining scans were cancelled and the handle is spent.
+	statePartial
+	// stateFailed: execution failed; err holds the cause.
+	stateFailed
+)
+
+// Results is the answer to one Run call. The query's partition set is
+// pinned when Run returns, but no scan has happened yet: the first
+// consumption executes it, one of two ways.
+//
+//   - All streams: a k-way merge of the per-partition
+//     confidence-sorted cursors yields the globally next-best result
+//     while slower partitions are still scanning, and a top-k query
+//     stops scanning — and stops charging modeled I/O — as soon as the
+//     k-th result is out.
+//   - Collect and Len force the full materialized drain: every
+//     partition scanned to completion in parallel, exactly the
+//     pre-streaming execution.
+//
+// Both produce the same results in the same order. After a complete
+// drain (either way) the handle is reusable: All replays the
+// materialized results and Collect returns them. After a *partial*
+// streaming drain the handle is spent — a second All yields
+// ErrStreamConsumed, and Collect/Len report an empty set — so a
+// half-consumed stream can never silently resume mid-query.
+//
+// Execution errors (a context cancelled mid-stream, a corrupt page)
+// surface in All's error slot and through Err; Collect returns nil in
+// that case. A Results handle is not safe for concurrent use. A
+// handle that is never consumed releases its partition pins when
+// garbage-collected (or on Close).
 type Results struct {
+	ctx       context.Context
+	prep      *fracture.Prepared
+	wantStats bool
+
+	state   resState
 	results []Result
 	info    QueryInfo
+	err     error
+}
+
+// newLazyResults wraps a prepared query into an unconsumed handle and
+// arranges for its partition pins to be dropped if the handle is
+// garbage-collected without ever being consumed.
+func newLazyResults(ctx context.Context, prep *fracture.Prepared, q Query, plan, source string) *Results {
+	r := &Results{
+		ctx:       ctx,
+		prep:      prep,
+		wantStats: q.wantStats,
+		info:      QueryInfo{Plan: plan, PlanSource: source},
+	}
+	// The cleanup must not capture r, and Release is idempotent, so a
+	// normally-consumed handle's cleanup is a no-op.
+	runtime.AddCleanup(r, func(p *fracture.Prepared) { p.Release() }, prep)
+	return r
+}
+
+// materialize executes a still-pending query the materialized way.
+func (r *Results) materialize() {
+	if r.state != statePending {
+		return
+	}
+	rs, st, err := r.prep.Collect(r.ctx)
+	r.fillInfo(st)
+	if err != nil {
+		r.state = stateFailed
+		r.err = err
+		return
+	}
+	r.results = rs
+	r.state = stateDrained
+}
+
+// fillInfo folds the execution statistics into the query info,
+// keeping the routing fields chosen at Run time.
+func (r *Results) fillInfo(st fracture.Stats) {
+	r.info.HeapEntries = st.HeapEntries
+	r.info.CutoffPointers = st.CutoffPointers
+	r.info.Partitions = st.PartitionsRead
+	r.info.BufferHits = st.BufferHits
+	if r.wantStats {
+		r.info.ModeledTime = st.ModeledTime
+	}
 }
 
 // All returns an iterator over the results in confidence-descending
@@ -128,40 +219,150 @@ type Results struct {
 //
 //	for r, err := range res.All() { ... }
 //
-// Iteration yields exactly the tuples Collect returns, in the same
-// order. The error slot is reserved for incremental streaming of
-// partition scans; today results are fully validated before Run
-// returns, so it is always nil.
+// On an unconsumed handle, All executes the query incrementally: the
+// first result is yielded as soon as every partition cursor has
+// produced its head — one heap page per partition for an index scan —
+// not when the slowest partition finishes, and each partition's pin is
+// released the moment its stream is exhausted. Breaking out of the
+// loop cancels the remaining partition scans; pages they never read
+// are never charged. The error slot delivers mid-stream failures
+// (ErrCanceled when the context is cancelled between pulls) and
+// terminates the iteration.
+//
+// After a full drain, All replays the same results; after a partial
+// drain it yields ErrStreamConsumed (see Results).
 func (r *Results) All() iter.Seq2[Result, error] {
 	return func(yield func(Result, error) bool) {
-		for _, res := range r.results {
-			if !yield(res, nil) {
-				return
+		switch r.state {
+		case stateDrained:
+			for _, res := range r.results {
+				if !yield(res, nil) {
+					return
+				}
 			}
+		case statePending:
+			st := r.prep.Stream(r.ctx)
+			r.state = stateStreaming
+			for {
+				res, ok, err := st.Next()
+				if err != nil {
+					r.state = stateFailed
+					r.err = err
+					r.results = nil
+					r.fillInfo(st.Stats())
+					yield(Result{}, err)
+					return
+				}
+				if !ok {
+					r.state = stateDrained
+					r.fillInfo(st.Stats())
+					return
+				}
+				r.results = append(r.results, res)
+				if !yield(res, nil) {
+					st.Close()
+					r.state = statePartial
+					r.err = ErrStreamConsumed
+					r.results = nil
+					r.fillInfo(st.Stats())
+					return
+				}
+			}
+		case stateStreaming, statePartial:
+			// Either a re-entrant All while another iterator is still
+			// mid-drain, or a handle spent by a partial drain: never
+			// resume (or double-consume) the underlying stream.
+			yield(Result{}, ErrStreamConsumed)
+		case stateFailed:
+			yield(Result{}, r.err)
 		}
 	}
 }
 
-// Collect returns all results as a slice, in the same order All
-// yields them.
+// Collect returns all results as a slice, in the same order All yields
+// them. On an unconsumed handle it forces the full materialized drain
+// (every partition scanned to completion — for a top-k query, All is
+// the cheaper consumption). It returns nil when execution failed, the
+// handle was partially drained, or an All iterator is still mid-drain;
+// Err reports why.
 func (r *Results) Collect() []Result {
+	r.materialize()
+	if r.state != stateDrained {
+		return nil
+	}
 	return slices.Clone(r.results)
 }
 
-// Len returns the number of results.
-func (r *Results) Len() int { return len(r.results) }
+// Len returns the number of results Collect would return, forcing the
+// full drain on an unconsumed handle (0 after a failure or a partial
+// drain).
+func (r *Results) Len() int {
+	r.materialize()
+	if r.state != stateDrained {
+		return 0
+	}
+	return len(r.results)
+}
+
+// Err returns the terminal error of the handle's execution: nil after
+// a successful full drain, the failure cause (e.g. ErrCanceled) after
+// an error, ErrStreamConsumed after a partial drain. On an unconsumed
+// handle it forces the materialized drain first, so the legacy
+// Run-then-check pattern still observes execution errors.
+func (r *Results) Err() error {
+	r.materialize()
+	return r.err
+}
+
+// Close releases an unconsumed handle's partition pins without
+// executing the query. Consuming the handle (fully or partially)
+// releases them too; Close is only needed for a Run whose results
+// turned out not to matter. Idempotent.
+func (r *Results) Close() {
+	if r.state == statePending {
+		r.state = statePartial
+		r.err = ErrStreamConsumed
+		r.prep.Release()
+	}
+}
+
+// collectErr forces the materialized drain and returns the results
+// alongside the execution error — the eager contract the deprecated
+// wrappers keep.
+func (r *Results) collectErr() ([]Result, error) {
+	r.materialize()
+	if r.state != stateDrained {
+		return nil, r.err
+	}
+	return r.results, nil
+}
 
 // Info reports what the query touched and cost. ModeledTime is only
 // measured when the query was built WithStats; Plan and Explain are
-// only set for WithPlanner / WithExplain runs.
-func (r *Results) Info() QueryInfo { return r.info }
+// only set for planner-routed / WithExplain runs. On an unconsumed
+// handle Info forces the full materialized drain so the counters are
+// complete (the routing fields Plan and PlanSource are available
+// either way); after a streaming consumption it reports what the
+// stream actually touched — for an early-terminated top-k, that is
+// less I/O than the materialized execution would have charged.
+func (r *Results) Info() QueryInfo {
+	r.materialize()
+	return r.info
+}
 
-// Run executes one query described by q against the table, honoring
-// ctx: a context that is already done fails fast with ErrCanceled
-// before any partition is pinned or any modeled I/O charged, and a
-// cancellation mid-scan stops the partition workers between heap
-// pages, discards the unfinished partitions' I/O and releases every
-// partition pin before returning.
+// Run admits and prepares one query described by q against the table,
+// honoring ctx: a context that is already done fails fast with
+// ErrCanceled before any partition is pinned or any modeled I/O
+// charged. Run itself performs no scan — it validates, routes, applies
+// admission control and pins the partition snapshot; the returned
+// handle executes on first consumption. All streams results
+// incrementally (first results flow before the slowest partition
+// finishes; a top-k stops scanning at the k-th result), while
+// Collect/Len/Info force the materialized parallel drain with exactly
+// the pre-streaming semantics. A cancellation mid-execution stops the
+// scans between heap pages, stops charging modeled I/O and releases
+// every partition pin: the materialized path reports it as an error
+// from Collect (via Err), the streaming path through All's error slot.
 //
 // A PTQ routes through the cost-based planner automatically whenever
 // the table's statistics catalog is fresh (staleness at or below the
@@ -229,9 +430,11 @@ func (t *Table) routeSource(attr string, q Query) string {
 	}
 }
 
-// runHeuristic executes the fixed pre-planner routing: top-k and
+// runHeuristic prepares the fixed pre-planner routing: top-k and
 // primary PTQs scan the clustered UPI, secondary PTQs use tailored
-// secondary access.
+// secondary access. The returned handle is unconsumed — the partition
+// set is pinned, but no scan happens until All streams it or
+// Collect/Len materialize it.
 func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string) (*Results, error) {
 	req := fracture.Req{Value: q.value, Parallelism: q.parallelism}
 	switch {
@@ -247,11 +450,11 @@ func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string)
 		req.QT = q.qt
 		req.Tailored = true
 	}
-	rs, st, err := t.store.Run(ctx, req)
+	prep, err := t.store.Prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return &Results{results: rs, info: buildInfo(q.wantStats, st, "", PlanSourceHeuristic)}, nil
+	return newLazyResults(ctx, prep, q, "", PlanSourceHeuristic), nil
 }
 
 // runPlanned costs a PTQ through the cost-based planner and — unless
@@ -265,7 +468,7 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 	if q.explainOnly {
 		info := QueryInfo{PlanSource: source, Plan: best.Kind.String()}
 		info.Explain = t.explainRouting(source, q.heuristic) + planner.Explain(plans)
-		return &Results{info: info}, nil
+		return &Results{state: stateDrained, info: info}, nil
 	}
 	// Deadline-aware admission: if the remaining deadline cannot cover
 	// even the cheapest plan's modeled service time, refuse up front —
@@ -283,11 +486,15 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 				best.EstimatedCost.Round(time.Millisecond), best.Kind, best.Attr)
 		}
 	}
-	rs, st, err := t.planner.ExecutePlan(ctx, best, q.value, q.qt, q.parallelism)
+	req, err := planner.PlanReq(best, q.value, q.qt, q.parallelism)
 	if err != nil {
 		return nil, err
 	}
-	return &Results{results: rs, info: buildInfo(q.wantStats, st, best.Kind.String(), source)}, nil
+	prep, err := t.store.Prepare(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return newLazyResults(ctx, prep, q, best.Kind.String(), source), nil
 }
 
 // explainRouting renders the routing line heading Explain output.
@@ -307,20 +514,4 @@ func (t *Table) explainRouting(source string, heuristicForced bool) string {
 		return fmt.Sprintf("routing: heuristic fallback (stats stale or absent: staleness %.1f%%, threshold %.0f%%)\n",
 			si.Staleness*100, si.Threshold*100)
 	}
-}
-
-// buildInfo assembles a QueryInfo from the execution statistics.
-func buildInfo(wantStats bool, st fracture.Stats, plan, source string) QueryInfo {
-	info := QueryInfo{
-		HeapEntries:    st.HeapEntries,
-		CutoffPointers: st.CutoffPointers,
-		Partitions:     st.PartitionsRead,
-		BufferHits:     st.BufferHits,
-		Plan:           plan,
-		PlanSource:     source,
-	}
-	if wantStats {
-		info.ModeledTime = st.ModeledTime
-	}
-	return info
 }

@@ -1,0 +1,441 @@
+package upidb
+
+// Tests for true incremental streaming through the facade: golden
+// equivalence of the streamed and materialized consumptions at every
+// parallelism, top-k early termination savings, partial-drain
+// semantics, and mid-stream cancellation.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// hotTable builds a table engineered for top-k early termination: the
+// main partition holds 60 high-confidence "hot" tuples, and each of 6
+// fractures holds 4 mid-confidence "hot" tuples plus 20 tuples whose
+// "hot" alternative sits below the cutoff (so it lives in the
+// fracture's cutoff index). A materialized top-k must chase every
+// fracture's cutoff pointers; the merged stream fills k from the main
+// partition and never pulls any fracture past its first head.
+func hotTable(t *testing.T, db *DB) *Table {
+	t.Helper()
+	hot := func(id uint64, conf float64) *Tuple {
+		x, err := NewDiscrete([]Alternative{{Value: "hot", Prob: conf}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Tuple{ID: id, Existence: 1, Unc: []UncField{{Name: "X", Dist: x}}}
+	}
+	coldHot := func(id uint64) *Tuple {
+		x, err := NewDiscrete([]Alternative{{Value: "cold", Prob: 0.8}, {Value: "hot", Prob: 0.1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Tuple{ID: id, Existence: 1, Unc: []UncField{{Name: "X", Dist: x}}}
+	}
+	id := uint64(1)
+	var base []*Tuple
+	for i := 0; i < 60; i++ {
+		base = append(base, hot(id, 0.5+float64(i)*0.008))
+		id++
+	}
+	tab, err := db.BulkLoadTable("hottab", "X", nil, TableOptions{Cutoff: 0.15, Parallelism: 1}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 6; f++ {
+		for j := 0; j < 4; j++ {
+			if err := tab.Insert(hot(id, 0.2+float64(f*4+j)*0.01)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		for j := 0; j < 20; j++ {
+			if err := tab.Insert(coldHot(id)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+		if err := tab.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// streamAll drains a fresh handle through All only, returning the
+// yielded results.
+func streamAll(t *testing.T, res *Results) []Result {
+	t.Helper()
+	var out []Result
+	for r, err := range res.All() {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestRunStreamsGoldenVsCollect: consuming a Run through All alone
+// (true streaming) yields exactly what an identical Run's Collect
+// materializes — same rows, same order — at serial, narrow and wide
+// parallelism, across every query class including planner-routed ones.
+func TestRunStreamsGoldenVsCollect(t *testing.T) {
+	queries := []Query{
+		PTQ("", "v01", 0.05),
+		PTQ("", "v03", 0.4),
+		PTQ("Y", "yv02", 0.1),
+		PTQ("", "v02", 0.1).WithPlanner(),
+		PTQ("", "v02", 0.1).WithHeuristic(),
+		TopKQuery("v04", 7),
+	}
+	ctx := context.Background()
+	for _, par := range []int{1, 2, 0} {
+		db := New()
+		tab := fracturedTable(t, db, par)
+		for qi, q := range queries {
+			matRes, err := tab.Run(ctx, q)
+			if err != nil {
+				t.Fatalf("par=%d q=%d materialized run: %v", par, qi, err)
+			}
+			want := matRes.Collect()
+			strRes, err := tab.Run(ctx, q)
+			if err != nil {
+				t.Fatalf("par=%d q=%d streaming run: %v", par, qi, err)
+			}
+			got := streamAll(t, strRes)
+			if len(got) != len(want) {
+				t.Fatalf("par=%d q=%d: streamed %d rows vs collected %d", par, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Tuple.ID != want[i].Tuple.ID || got[i].Confidence != want[i].Confidence {
+					t.Fatalf("par=%d q=%d row %d: streamed %d/%v vs collected %d/%v",
+						par, qi, i, got[i].Tuple.ID, got[i].Confidence, want[i].Tuple.ID, want[i].Confidence)
+				}
+			}
+			// After a full streamed drain the handle is reusable:
+			// Collect returns the same rows.
+			if again := strRes.Collect(); len(again) != len(got) {
+				t.Fatalf("par=%d q=%d: Collect after full stream drain: %d rows", par, qi, len(again))
+			}
+		}
+	}
+}
+
+// TestRunStreamStatsMatchMaterialized: a fully drained streamed PTQ
+// reports the same execution statistics — entries scanned, partitions,
+// buffer hits and exact modeled time — as the materialized execution.
+func TestRunStreamStatsMatchMaterialized(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	ctx := context.Background()
+	q := PTQ("", "v01", 0.05).WithStats()
+
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	matRes, err := tab.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matRes.Info() // forces the materialized drain
+
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	strRes, err := tab.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamAll(t, strRes)
+	got := strRes.Info()
+	if got.HeapEntries != want.HeapEntries || got.CutoffPointers != want.CutoffPointers ||
+		got.Partitions != want.Partitions || got.BufferHits != want.BufferHits {
+		t.Fatalf("streamed info %+v diverged from materialized %+v", got, want)
+	}
+	if want.ModeledTime <= 0 || got.ModeledTime != want.ModeledTime {
+		t.Fatalf("streamed modeled time %v != materialized %v", got.ModeledTime, want.ModeledTime)
+	}
+}
+
+// TestRunTopKStreamEarlyTermination: over 7 partitions, the streamed
+// top-k yields its first result — and completes — for strictly less
+// modeled I/O than the materialized execution, with identical results.
+func TestRunTopKStreamEarlyTermination(t *testing.T) {
+	db := New()
+	tab := hotTable(t, db)
+	ctx := context.Background()
+	q := TopKQuery("hot", 20)
+
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before := db.DiskStats()
+	matRes, err := tab.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matRes.Collect()
+	fullCost := db.DiskStats().Sub(before).Elapsed
+	if len(want) != 20 || fullCost <= 0 {
+		t.Fatalf("materialized top-k: %d rows, cost %v", len(want), fullCost)
+	}
+
+	// First result costs less than the whole materialized run: only
+	// one head per partition is needed, not any completed scan.
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before = db.DiskStats()
+	strRes, err := tab.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Result
+	for r, err := range strRes.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		first = &r
+		break // partial drain: cancels the remaining scans
+	}
+	firstCost := db.DiskStats().Sub(before).Elapsed
+	if first == nil || first.Tuple.ID != want[0].Tuple.ID {
+		t.Fatalf("first streamed result %+v, want ID %d", first, want[0].Tuple.ID)
+	}
+	if firstCost >= fullCost {
+		t.Fatalf("first-result modeled cost %v not below materialized %v", firstCost, fullCost)
+	}
+
+	// A full streamed drain returns the identical top-k for strictly
+	// less modeled I/O: the fractures' cutoff chases never happen.
+	if err := tab.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	before = db.DiskStats()
+	strRes, err = tab.Run(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := streamAll(t, strRes)
+	streamCost := db.DiskStats().Sub(before).Elapsed
+	if len(got) != len(want) {
+		t.Fatalf("streamed top-k %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Tuple.ID != want[i].Tuple.ID {
+			t.Fatalf("row %d: streamed ID %d, want %d", i, got[i].Tuple.ID, want[i].Tuple.ID)
+		}
+	}
+	if streamCost >= fullCost {
+		t.Fatalf("streamed top-k cost %v not below materialized %v", streamCost, fullCost)
+	}
+}
+
+// TestRunPartialDrainSpendsHandle: breaking out of All cancels the
+// remaining scans and spends the handle — a second All yields
+// ErrStreamConsumed instead of silently resuming, Collect/Len report
+// an empty set, and Err explains why.
+func TestRunPartialDrainSpendsHandle(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == 2 {
+			break
+		}
+	}
+	var second error
+	for _, err := range res.All() {
+		second = err
+		break
+	}
+	if !errors.Is(second, ErrStreamConsumed) {
+		t.Fatalf("second All after partial drain: %v", second)
+	}
+	if rs := res.Collect(); rs != nil {
+		t.Fatalf("Collect after partial drain returned %d rows", len(rs))
+	}
+	if res.Len() != 0 {
+		t.Fatalf("Len after partial drain: %d", res.Len())
+	}
+	if !errors.Is(res.Err(), ErrStreamConsumed) {
+		t.Fatalf("Err after partial drain: %v", res.Err())
+	}
+	// The spent handle released its pins: the table merges cleanly and
+	// a fresh query still answers.
+	if err := tab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
+	if err != nil || fresh.Len() == 0 {
+		t.Fatalf("table broken after partial drain + merge: %v (%d rows)", err, fresh.Len())
+	}
+}
+
+// TestRunMidStreamCancel: cancelling the context after n streamed
+// results terminates the iterator with ErrCanceled, stops charging
+// modeled I/O, and releases every partition pin (the table merges
+// cleanly afterwards).
+func TestRunMidStreamCancel(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := tab.Run(ctx, PTQ("", "v01", 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		n         int
+		streamErr error
+	)
+	for _, err := range res.All() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if n++; n == 3 {
+			cancel() // checked between pulls: next iteration must fail
+		}
+	}
+	if !errors.Is(streamErr, ErrCanceled) || !errors.Is(streamErr, context.Canceled) {
+		t.Fatalf("want ErrCanceled wrapping context.Canceled after %d rows, got %v", n, streamErr)
+	}
+	if n != 3 {
+		t.Fatalf("stream yielded %d rows after cancellation point", n)
+	}
+	after := db.DiskStats()
+	if !errors.Is(res.Err(), ErrCanceled) {
+		t.Fatalf("Err after cancelled stream: %v", res.Err())
+	}
+	if rs := res.Collect(); rs != nil {
+		t.Fatalf("Collect after cancelled stream returned %d rows", len(rs))
+	}
+	if d := db.DiskStats().Sub(after); d.Elapsed != 0 || d.BytesRead != 0 {
+		t.Fatalf("cancelled stream kept charging: %v", d)
+	}
+	// Pins are back: merging reclaims the old generation without a
+	// leak, and the table still answers.
+	if err := tab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
+	if err != nil || fresh.Len() == 0 {
+		t.Fatalf("table broken after cancelled stream + merge: %v (%d rows)", err, fresh.Len())
+	}
+}
+
+// TestResultsClose: Close on an unconsumed handle releases its pins
+// without executing; the handle is spent.
+func TestResultsClose(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	before := db.DiskStats()
+	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Close()
+	res.Close() // idempotent
+	if d := db.DiskStats().Sub(before); d.Elapsed != 0 {
+		t.Fatalf("closed-unconsumed handle charged I/O: %v", d)
+	}
+	if rs := res.Collect(); rs != nil {
+		t.Fatalf("Collect after Close returned %d rows", len(rs))
+	}
+	if !errors.Is(res.Err(), ErrStreamConsumed) {
+		t.Fatalf("Err after Close: %v", res.Err())
+	}
+	if err := tab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunAccessorsDuringStream: calling Info/Len/Collect/Err from
+// inside an in-progress All loop must not double-consume the query or
+// poison the handle — they are inert mid-drain, and the stream still
+// finishes cleanly with Err() == nil.
+func TestRunAccessorsDuringStream(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 0)
+	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, err := range res.All() {
+		if err != nil {
+			t.Fatalf("stream failed after mid-drain accessor: %v", err)
+		}
+		if n++; n == 1 {
+			if rs := res.Collect(); rs != nil {
+				t.Fatalf("Collect mid-stream returned %d rows", len(rs))
+			}
+			if res.Len() != 0 {
+				t.Fatalf("Len mid-stream: %d", res.Len())
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("Err mid-stream: %v", err)
+			}
+			_ = res.Info() // must not force a second execution
+			// A re-entrant All must refuse rather than double-consume.
+			for _, err := range res.All() {
+				if !errors.Is(err, ErrStreamConsumed) {
+					t.Fatalf("re-entrant All: %v", err)
+				}
+				break
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("stream yielded nothing")
+	}
+	if res.Err() != nil {
+		t.Fatalf("Err after clean drain: %v", res.Err())
+	}
+	if got := res.Len(); got != n {
+		t.Fatalf("Len after drain: %d, streamed %d", got, n)
+	}
+}
+
+// TestRunStreamsManyValues is a broader golden sweep: every value of
+// the fractured table streams identically to its materialized run.
+func TestRunStreamsManyValues(t *testing.T) {
+	db := New()
+	tab := fracturedTable(t, db, 2)
+	ctx := context.Background()
+	for v := 0; v < 7; v++ {
+		for _, qt := range []float64{0.05, 0.3, 0.6} {
+			q := PTQ("", fmt.Sprintf("v%02d", v), qt)
+			matRes, err := tab.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := matRes.Collect()
+			strRes, err := tab.Run(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := streamAll(t, strRes)
+			if len(got) != len(want) {
+				t.Fatalf("v%02d qt=%v: %d streamed vs %d collected", v, qt, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Tuple.ID != want[i].Tuple.ID {
+					t.Fatalf("v%02d qt=%v row %d: %d vs %d", v, qt, i, got[i].Tuple.ID, want[i].Tuple.ID)
+				}
+			}
+		}
+	}
+}

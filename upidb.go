@@ -30,12 +30,16 @@
 // Every query goes through one entry point, Table.Run: a Query
 // descriptor (PTQ or TopKQuery, with chainable per-query options)
 // executed under a context.Context, returning a Results handle that
-// both streams (All) and materializes (Collect) the answers.
+// either streams (All) or materializes (Collect) the answers.
+// Streaming is truly incremental: per-partition pull-based cursors
+// feed a k-way merge that yields the globally next-best result while
+// slower partitions are still scanning, and a top-k query stops
+// scanning — and stops charging modeled I/O — at its k-th result.
 // Cancellation and deadlines propagate through every layer — a
 // cancelled query stops between heap pages, stops charging modeled
 // I/O and fails with ErrCanceled. Errors are typed sentinels
-// (ErrUnknownAttr, ErrNoStats, ErrCanceled, ErrClosed) shared by all
-// layers.
+// (ErrUnknownAttr, ErrNoStats, ErrCanceled, ErrClosed,
+// ErrStreamConsumed) shared by all layers.
 //
 // Statistics maintain themselves: every table owns a catalog of
 // per-attribute value/probability histograms (Section 6.1) that
@@ -369,7 +373,7 @@ func (t *Table) Query(value string, qt float64) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res.results, nil
+	return res.collectErr()
 }
 
 // QueryStats answers the PTQ and also reports modeled cost and what
@@ -383,7 +387,11 @@ func (t *Table) QueryStats(value string, qt float64) ([]Result, QueryInfo, error
 	if err != nil {
 		return nil, QueryInfo{}, err
 	}
-	return res.results, res.Info(), nil
+	rs, err := res.collectErr()
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	return rs, res.Info(), nil
 }
 
 // QuerySecondary answers a PTQ on a secondary uncertain attribute,
@@ -397,7 +405,7 @@ func (t *Table) QuerySecondary(attr, value string, qt float64) ([]Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return res.results, nil
+	return res.collectErr()
 }
 
 // TopK returns the k highest-confidence tuples for the given value of
@@ -411,7 +419,7 @@ func (t *Table) TopK(value string, k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res.results, nil
+	return res.collectErr()
 }
 
 // SetParallelism changes the per-query partition fan-out width
