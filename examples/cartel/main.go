@@ -1,5 +1,6 @@
 // Example cartel: continuous UPI over uncertain GPS observations —
-// the paper's Queries 4 and 5 on the public spatial API.
+// the paper's Queries 4 and 5 through the unified Run(ctx, Query)
+// spatial API (planner routing, EXPLAIN, streaming, per-query stats).
 package main
 
 import (
@@ -26,27 +27,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("continuous UPI size: %.1f MB\n", float64(cars.SizeBytes())/(1<<20))
+	fmt.Printf("continuous UPI size: %.1f MB (spatial stats: %+v)\n",
+		float64(cars.SizeBytes())/(1<<20), cars.StatsInfo())
 
 	// Query 4: all cars within 400 m of downtown with appearance
-	// probability >= 0.5.
+	// probability >= 0.5 — planner-routed, with per-query modeled cost.
+	q4 := upidb.Circle(upidb.Point{X: 0, Y: 0}, 400, 0.5)
 	if err := cars.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	before := db.DiskStats()
-	rs, err := cars.RunCircle(ctx, upidb.Point{X: 0, Y: 0}, 400, 0.5)
+	res, err := cars.Run(ctx, q4.WithStats())
 	if err != nil {
 		log.Fatal(err)
 	}
-	cost := db.DiskStats().Sub(before)
-	fmt.Printf("\nQuery 4 (within 400m of downtown, threshold 0.5): %d cars, modeled cost %v\n",
-		len(rs), cost.Elapsed)
+	rs := res.Collect()
+	info := res.Info()
+	fmt.Printf("\nQuery 4 (within 400m of downtown, threshold 0.5): %d cars\n", len(rs))
+	fmt.Printf("  routed by %q to plan %s; %d candidates, %d fetched, modeled cost %v\n",
+		info.PlanSource, info.Plan, info.Candidates, info.HeapEntries, info.ModeledTime)
 	for _, r := range rs[:min(3, len(rs))] {
 		fmt.Printf("  car %d at (%.0f, %.0f) with probability %.2f, speed %.1f m/s\n",
 			r.Obs.ID, r.Obs.Loc.Center.X, r.Obs.Loc.Center.Y, r.Confidence, r.Obs.Speed)
 	}
 
-	// Query 5: cars on the busiest road segment.
+	// The same query as an EXPLAIN: the costed plans, nothing executed.
+	ex, err := cars.Run(ctx, q4.WithExplain())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEXPLAIN Query 4:\n%s", ex.Info().Explain)
+
+	// Query 5: cars on the busiest road segment, streamed on the
+	// segment-index path (pinned with WithHeuristic) — results arrive
+	// in confidence order while the index scan is still running.
 	counts := map[string]int{}
 	for _, o := range c.Observations {
 		counts[o.Segment.First().Value]++
@@ -60,15 +73,25 @@ func main() {
 	if err := cars.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	before = db.DiskStats()
-	rs, err = cars.RunSegment(ctx, seg, 0.3)
+	res, err = cars.Run(ctx, upidb.Segment(seg, 0.3).WithHeuristic())
 	if err != nil {
 		log.Fatal(err)
 	}
-	cost = db.DiskStats().Sub(before)
-	fmt.Printf("\nQuery 5 (Segment=%s, QT=0.3): %d cars, modeled cost %v\n", seg, len(rs), cost.Elapsed)
+	fmt.Printf("\nQuery 5 (Segment=%s, QT=0.3), streaming in confidence order:\n", seg)
+	n := 0
+	for r, err := range res.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n < 3 {
+			fmt.Printf("  car %d on %s with probability %.2f\n", r.Obs.ID, seg, r.Confidence)
+		}
+		n++
+	}
+	fmt.Printf("  ... %d cars total\n", n)
 
-	// Live insert: a new observation is immediately queryable.
+	// Live insert: a new observation is immediately queryable (and its
+	// statistics delta is absorbed, so routing stays planner-fresh).
 	segDist, err := upidb.NewDiscrete([]upidb.Alternative{{Value: seg, Prob: 1.0}})
 	if err != nil {
 		log.Fatal(err)
@@ -82,11 +105,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs, err = cars.RunCircle(ctx, upidb.Point{X: 0, Y: 0}, 200, 0.5)
+	res, err = cars.Run(ctx, upidb.Circle(upidb.Point{X: 0, Y: 0}, 200, 0.5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nafter live insert, %d cars within 200m of downtown\n", len(rs))
+	fmt.Printf("\nafter live insert, %d cars within 200m of downtown (source %q)\n",
+		res.Len(), res.Info().PlanSource)
 }
 
 func min(a, b int) int {

@@ -213,6 +213,7 @@ func Registered() []struct {
 		{"table8", Table8Merging},
 		{"parallel-ptq", ParallelPTQ},
 		{"planner-routing", PlannerRouting},
+		{"spatial-routing", SpatialRouting},
 		{"streaming-latency", StreamingLatency},
 		{"ablation-pointers", AblationMaxPointers},
 		{"ablation-size", AblationCutoffSize},

@@ -102,7 +102,7 @@ func Fig8Query5(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.81; qt += 0.1 {
 		qt := qt
 		cuDur, err := coldRun(cuDisk, cu.DropCaches, func() error {
-			_, qerr := cu.QuerySegment(context.Background(), seg, qt)
+			_, _, qerr := cu.QuerySegment(context.Background(), seg, qt)
 			return qerr
 		})
 		if err != nil {

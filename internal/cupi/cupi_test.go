@@ -186,7 +186,7 @@ func TestFig8Property(t *testing.T) {
 
 	cu.DropCaches()
 	sp := sim.StartSpan(cuDisk)
-	resC, err := cu.QuerySegment(context.Background(), seg, 0.3)
+	resC, _, err := cu.QuerySegment(context.Background(), seg, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,7 +44,6 @@ package fracture
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -57,9 +56,11 @@ import (
 	"upidb/internal/upi"
 )
 
-// ErrClosed reports an operation on a store after Close. The public
-// facade re-exports it, so errors.Is works across the API boundary.
-var ErrClosed = errors.New("upidb: table closed")
+// ErrClosed reports an operation on a store after Close. It is the
+// shared upi.ErrClosed sentinel (the continuous UPI returns the same
+// value), re-exported here for compatibility; the public facade
+// aliases it, so errors.Is works across the API boundary.
+var ErrClosed = upi.ErrClosed
 
 // Options configure a fractured UPI.
 type Options struct {

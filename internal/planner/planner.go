@@ -54,6 +54,12 @@ func (k PlanKind) String() string {
 		return "SecondaryTailored"
 	case FullScan:
 		return "FullScan"
+	case RTreeProbe:
+		return "RTreeProbe"
+	case SegmentScan:
+		return "SegmentIndexScan"
+	case SpatialScan:
+		return "SpatialFullScan"
 	}
 	return fmt.Sprintf("PlanKind(%d)", int(k))
 }

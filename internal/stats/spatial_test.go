@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"upidb/internal/prob"
+	"upidb/internal/tuple"
+)
+
+// gridObs builds one observation at (x, y) with a single-alternative
+// segment value.
+func gridObs(id uint64, x, y float64, seg string, p float64) *tuple.Observation {
+	d, err := prob.NewDiscrete([]prob.Alternative{
+		{Value: seg, Prob: p},
+		{Value: "other", Prob: 1 - p},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &tuple.Observation{
+		ID:      id,
+		Loc:     prob.ConstrainedGaussian{Center: prob.Point{X: x, Y: y}, Sigma: 3, Bound: 9},
+		Segment: d,
+	}
+}
+
+func TestSpatialCatalogCircleEstimates(t *testing.T) {
+	var obs []*tuple.Observation
+	id := uint64(1)
+	// A 40×40 uniform lattice over [0, 1000)².
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			obs = append(obs, gridObs(id, float64(i)*25, float64(j)*25, fmt.Sprintf("s%d", i%5), 0.6))
+			id++
+		}
+	}
+	c := NewSpatialCatalog()
+	if c.Seeded() || c.Fresh() {
+		t.Fatal("new catalog must be unseeded")
+	}
+	if c.SegmentHistogram() != nil {
+		t.Fatal("unseeded catalog must return a nil segment histogram")
+	}
+	c.Seed(obs)
+	if !c.Seeded() || !c.Fresh() {
+		t.Fatal("seeded catalog must be fresh")
+	}
+	if got := c.TotalObservations(); got != int64(len(obs)) {
+		t.Fatalf("TotalObservations %d, want %d", got, len(obs))
+	}
+
+	// Full coverage is exact.
+	if got := c.EstimateCircleCandidates(prob.Point{X: 500, Y: 500}, 5000); got != float64(len(obs)) {
+		t.Fatalf("full-coverage estimate %v, want %d", got, len(obs))
+	}
+	// A quarter-extent query MBR should estimate roughly a quarter of
+	// the centroids (uniform data, fixed grid: allow 25% slack).
+	got := c.EstimateCircleCandidates(prob.Point{X: 250, Y: 250}, 250)
+	brute := 0
+	for _, o := range obs {
+		cen := o.Loc.MBR().Center()
+		if cen.X >= 0 && cen.X <= 500 && cen.Y >= 0 && cen.Y <= 500 {
+			brute++
+		}
+	}
+	if math.Abs(got-float64(brute)) > 0.25*float64(brute) {
+		t.Fatalf("quarter estimate %v, brute %d", got, brute)
+	}
+	// Far outside the extent: nothing.
+	if got := c.EstimateCircleCandidates(prob.Point{X: 1e6, Y: 1e6}, 10); got != 0 {
+		t.Fatalf("out-of-extent estimate %v, want 0", got)
+	}
+}
+
+func TestSpatialCatalogSegmentEstimatesAndDeltas(t *testing.T) {
+	var obs []*tuple.Observation
+	for i := uint64(1); i <= 200; i++ {
+		obs = append(obs, gridObs(i, float64(i), float64(i), "busy", 0.8))
+	}
+	c := NewSpatialCatalog()
+	c.Seed(obs)
+	if got := c.SegmentHistogram().EstimateEntries("busy", 0.5); math.Abs(got-200) > 5 {
+		t.Fatalf("busy@0.5 estimate %v, want ~200", got)
+	}
+	if got := c.SegmentHistogram().EstimateEntries("busy", 0.9); got > 10 {
+		t.Fatalf("busy@0.9 estimate %v, want ~0", got)
+	}
+	if got := c.SegmentHistogram().EstimateEntries("absent", 0); got != 0 {
+		t.Fatalf("absent estimate %v, want 0", got)
+	}
+	// Insert deltas keep both histograms fresh.
+	before := c.EstimateCircleCandidates(prob.Point{X: 100, Y: 100}, 150)
+	for i := uint64(1000); i < 1050; i++ {
+		c.AddObservation(gridObs(i, 100, 100, "busy", 0.8))
+	}
+	if got := c.TotalObservations(); got != 250 {
+		t.Fatalf("TotalObservations after deltas %d, want 250", got)
+	}
+	after := c.EstimateCircleCandidates(prob.Point{X: 100, Y: 100}, 150)
+	if after < before+40 {
+		t.Fatalf("grid did not absorb deltas: before %v after %v", before, after)
+	}
+	if got := c.SegmentHistogram().EstimateEntries("busy", 0.5); math.Abs(got-250) > 6 {
+		t.Fatalf("busy@0.5 after deltas %v, want ~250", got)
+	}
+	// Out-of-extent inserts clamp into the border cells but are still
+	// counted.
+	c.AddObservation(gridObs(2000, 1e6, 1e6, "busy", 0.8))
+	if got := c.EstimateCircleCandidates(prob.Point{X: 100, Y: 100}, 1e7); got != 251 {
+		t.Fatalf("full-coverage after clamped insert %v, want 251", got)
+	}
+}
+
+func TestSpatialCatalogEmptySeed(t *testing.T) {
+	c := NewSpatialCatalog()
+	c.Seed(nil)
+	if !c.Fresh() {
+		t.Fatal("an empty table's catalog is complete")
+	}
+	if got := c.EstimateCircleCandidates(prob.Point{}, 100); got != 0 {
+		t.Fatalf("empty estimate %v", got)
+	}
+	// The first insert establishes the extent.
+	c.AddObservation(gridObs(1, 50, 50, "s", 0.9))
+	if got := c.EstimateCircleCandidates(prob.Point{X: 50, Y: 50}, 10); got != 1 {
+		t.Fatalf("estimate after first insert %v, want 1", got)
+	}
+}

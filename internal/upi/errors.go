@@ -18,6 +18,11 @@ var (
 	// ErrCanceled and the specific context error (context.Canceled or
 	// context.DeadlineExceeded), so errors.Is matches either.
 	ErrCanceled = errors.New("upidb: query canceled")
+	// ErrClosed reports an operation on a table after Close. Both the
+	// fractured store and the continuous UPI return it (fracture
+	// re-exports it for compatibility), and the public facade aliases
+	// it, so errors.Is works across the API boundary.
+	ErrClosed = errors.New("upidb: table closed")
 )
 
 // CtxErr returns nil while ctx is live, and an error wrapping both

@@ -25,7 +25,31 @@ const (
 	// KindTopK is a top-k query: the k highest-confidence tuples for
 	// one value of the primary attribute.
 	KindTopK
+	// KindCircle is a spatial range PTQ (paper Query 4): observations
+	// within a radius of a point with appearance probability >= the
+	// threshold. Executed by SpatialTable.Run.
+	KindCircle
+	// KindSegment is a PTQ on the uncertain road-segment attribute
+	// (paper Query 5). Executed by SpatialTable.Run.
+	KindSegment
 )
+
+func (k Kind) String() string {
+	switch k {
+	case KindPTQ:
+		return "PTQ"
+	case KindTopK:
+		return "TopK"
+	case KindCircle:
+		return "Circle"
+	case KindSegment:
+		return "Segment"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// spatial reports whether the descriptor belongs to SpatialTable.Run.
+func (k Kind) spatial() bool { return k == KindCircle || k == KindSegment }
 
 // Query describes one query: the predicate plus per-query execution
 // options. Build it with PTQ or TopKQuery and chain With* options —
@@ -40,6 +64,10 @@ type Query struct {
 	value string
 	qt    float64
 	k     int
+
+	// Spatial predicate (KindCircle).
+	center Point
+	radius float64
 
 	parallelism int
 	usePlanner  bool
@@ -60,6 +88,22 @@ func PTQ(attr, value string, qt float64) Query {
 // highest-confidence tuples with the given value.
 func TopKQuery(value string, k int) Query {
 	return Query{kind: KindTopK, value: value, k: k}
+}
+
+// Circle describes the paper's Query 4 on a spatial table: all
+// observations within radius of q whose appearance probability is at
+// least threshold. Execute it with SpatialTable.Run; Table.Run rejects
+// it.
+func Circle(q Point, radius, threshold float64) Query {
+	return Query{kind: KindCircle, center: q, radius: radius, qt: threshold}
+}
+
+// Segment describes the paper's Query 5 on a spatial table: all
+// observations whose uncertain road segment equals segment with
+// probability >= qt. Execute it with SpatialTable.Run; Table.Run
+// rejects it.
+func Segment(segment string, qt float64) Query {
+	return Query{kind: KindSegment, value: segment, qt: qt}
 }
 
 // WithParallelism overrides the table's partition fan-out width for
@@ -380,6 +424,9 @@ func (r *Results) Info() QueryInfo {
 func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 	if err := upi.CtxErr(ctx); err != nil {
 		return nil, err
+	}
+	if q.kind.spatial() {
+		return nil, fmt.Errorf("upidb: %v is a spatial query; run it with SpatialTable.Run", q.kind)
 	}
 	main := t.store.Main()
 	primary := main.Attr()

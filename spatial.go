@@ -1,0 +1,393 @@
+package upidb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"slices"
+	"time"
+
+	"upidb/internal/cupi"
+	"upidb/internal/planner"
+	"upidb/internal/sim"
+	"upidb/internal/upi"
+	"upidb/internal/utree"
+)
+
+// SpatialStatsInfo is a snapshot of a spatial table's statistics
+// catalog — the inputs to Run's automatic routing decision. Spatial
+// catalogs absorb every Insert delta and have no unabsorbed channel
+// (no deletes, no out-of-band updates), so a seeded catalog is always
+// fresh.
+type SpatialStatsInfo struct {
+	// Seeded reports whether the catalog describes the complete table
+	// (always true for tables built with BulkLoadSpatial).
+	Seeded bool
+	// Observations is the number of observations the catalog tracks.
+	Observations int64
+}
+
+// StatsInfo reports the current state of the spatial statistics
+// catalog.
+func (s *SpatialTable) StatsInfo() SpatialStatsInfo {
+	return SpatialStatsInfo{
+		Seeded:       s.catalog.Seeded(),
+		Observations: s.catalog.TotalObservations(),
+	}
+}
+
+// SpatialResults is the answer to one SpatialTable.Run call — the
+// spatial counterpart of Results, with the same lazy dual-mode
+// consumption contract:
+//
+//   - All streams incrementally: R-Tree node pages, segment-index
+//     pages and heap fetches happen only as the loop demands them, and
+//     breaking out stops the remaining I/O (it is never charged).
+//   - Collect and Len force the full materialized drain and return the
+//     canonical ordering (confidence DESC, observation ID ASC) —
+//     exactly what the legacy RunCircle/RunSegment return.
+//
+// Streaming order depends on the plan: a SegmentIndexScan streams in
+// the canonical confidence order (the segment index's native key
+// order), while an RTreeProbe or SpatialFullScan streams in refinement
+// order (clustered heap order) — circle confidences are computed by
+// integration at fetch time, so confidence-ordered delivery would
+// require draining everything first. Collect always reports canonical
+// order, even after a full All drain.
+//
+// After a complete drain the handle is reusable (All replays, Collect
+// returns the set); after a partial streaming drain it is spent — a
+// second All yields ErrStreamConsumed and Collect/Len report an empty
+// set. Execution errors surface in All's error slot and through Err;
+// a SpatialResults handle is not safe for concurrent use.
+//
+// While an All stream is mid-drain it holds the spatial table's read
+// lock, so Insert waits for it; do not Insert from the goroutine that
+// is consuming the stream.
+type SpatialResults struct {
+	ctx       context.Context
+	s         *SpatialTable
+	wantStats bool
+
+	// collect and cursor execute the routed plan; finishTape is set
+	// while I/O routing is active.
+	collect func(ctx context.Context) ([]SpatialResult, cupi.Stats, error)
+	cursor  func(ctx context.Context) *cupi.Cursor
+
+	state   resState
+	results []SpatialResult
+	info    QueryInfo
+	err     error
+}
+
+// routeTape starts recording this query's I/O on a private tape.
+// finish releases the routing, replays the tape against the simulated
+// disk and returns the modeled time — the same per-query accounting
+// discipline fracture uses (under concurrent queries on the same
+// table, routing is last-writer-wins, the known overlap caveat).
+func (r *SpatialResults) routeTape() (finish func() time.Duration) {
+	tape := sim.NewTape()
+	release := r.s.db.fs.RouteTo(r.s.tab.Files(), tape)
+	tape.Open(r.s.tab.Name())
+	return func() time.Duration {
+		release()
+		return r.s.db.disk.Replay(tape)
+	}
+}
+
+// fillInfo folds the execution statistics into the query info, keeping
+// the routing fields chosen at Run time.
+func (r *SpatialResults) fillInfo(st cupi.Stats, modeled time.Duration) {
+	r.info.HeapEntries = st.Fetched
+	r.info.Candidates = st.Candidates
+	r.info.Partitions = 1
+	if r.wantStats {
+		r.info.ModeledTime = modeled
+	}
+}
+
+// materialize executes a still-pending query the materialized way.
+func (r *SpatialResults) materialize() {
+	if r.state != statePending {
+		return
+	}
+	finish := r.routeTape()
+	rs, st, err := r.collect(r.ctx)
+	r.fillInfo(st, finish())
+	if err != nil {
+		r.state = stateFailed
+		r.err = err
+		return
+	}
+	r.results = rs
+	r.state = stateDrained
+}
+
+// All returns an iterator over the results:
+//
+//	for r, err := range res.All() { ... }
+//
+// On an unconsumed handle, All executes the query incrementally (see
+// SpatialResults for the delivery order per plan). Breaking out of the
+// loop cancels the rest of the scan; pages it never read are never
+// charged. After a full drain, All replays the same results; after a
+// partial drain it yields ErrStreamConsumed.
+func (r *SpatialResults) All() iter.Seq2[SpatialResult, error] {
+	return func(yield func(SpatialResult, error) bool) {
+		switch r.state {
+		case stateDrained:
+			for _, res := range r.results {
+				if !yield(res, nil) {
+					return
+				}
+			}
+		case statePending:
+			cur := r.cursor(r.ctx)
+			finish := r.routeTape()
+			r.state = stateStreaming
+			for {
+				res, ok, err := cur.Next()
+				if err != nil {
+					r.state = stateFailed
+					r.err = err
+					r.results = nil
+					r.fillInfo(cur.Stats(), finish())
+					yield(SpatialResult{}, err)
+					return
+				}
+				if !ok {
+					r.state = stateDrained
+					r.fillInfo(cur.Stats(), finish())
+					return
+				}
+				r.results = append(r.results, res)
+				if !yield(res, nil) {
+					cur.Close()
+					r.state = statePartial
+					r.err = ErrStreamConsumed
+					r.results = nil
+					r.fillInfo(cur.Stats(), finish())
+					return
+				}
+			}
+		case stateStreaming, statePartial:
+			yield(SpatialResult{}, ErrStreamConsumed)
+		case stateFailed:
+			yield(SpatialResult{}, r.err)
+		}
+	}
+}
+
+// Collect returns all results in the canonical order (confidence DESC,
+// ID ASC), forcing the full materialized drain on an unconsumed
+// handle. It returns nil when execution failed or the handle was
+// partially drained; Err reports why.
+func (r *SpatialResults) Collect() []SpatialResult {
+	r.materialize()
+	if r.state != stateDrained {
+		return nil
+	}
+	out := slices.Clone(r.results)
+	utree.SortResults(out)
+	return out
+}
+
+// Len returns the number of results Collect would return, forcing the
+// full drain on an unconsumed handle (0 after a failure or a partial
+// drain).
+func (r *SpatialResults) Len() int {
+	r.materialize()
+	if r.state != stateDrained {
+		return 0
+	}
+	return len(r.results)
+}
+
+// Err returns the terminal error of the handle's execution: nil after
+// a successful full drain, the failure cause (e.g. ErrCanceled) after
+// an error, ErrStreamConsumed after a partial drain. On an unconsumed
+// handle it forces the materialized drain first.
+func (r *SpatialResults) Err() error {
+	r.materialize()
+	return r.err
+}
+
+// Close discards an unconsumed handle without executing the query.
+// Consuming the handle (fully or partially) finishes it too; Close is
+// only needed for a Run whose results turned out not to matter.
+// Idempotent.
+func (r *SpatialResults) Close() {
+	if r.state == statePending {
+		r.state = statePartial
+		r.err = ErrStreamConsumed
+	}
+}
+
+// Info reports what the query touched and cost. ModeledTime is only
+// measured when the query was built WithStats; Plan and Explain are
+// only set for planner-routed / WithExplain runs. On an unconsumed
+// handle Info forces the full materialized drain so the counters are
+// complete; after a streaming consumption it reports what the stream
+// actually touched.
+func (r *SpatialResults) Info() QueryInfo {
+	r.materialize()
+	return r.info
+}
+
+// Run admits and prepares one spatial query described by q (a Circle
+// or Segment descriptor; discrete descriptors belong to Table.Run),
+// honoring ctx exactly like Table.Run: a done context fails fast with
+// ErrCanceled before any modeled I/O is charged, and Run itself
+// performs no scan — it validates, routes and applies admission
+// control; the returned handle executes on first consumption (All
+// streams, Collect/Len/Info force the materialized drain).
+//
+// Routing mirrors the discrete engine: the query goes through the
+// cost-based spatial planner — choosing between the R-Tree probe, the
+// segment-index scan and a sequential full heap scan from the spatial
+// statistics catalog — whenever the catalog is fresh (always, for
+// tables built with BulkLoadSpatial, since every Insert applies its
+// delta); WithHeuristic pins the fixed legacy routing (circle →
+// R-Tree probe, segment → segment index), WithPlanner forces planning,
+// and WithExplain returns the costed plans without executing.
+// Info().PlanSource reports which happened. On the planner path, a ctx
+// deadline shorter than the cheapest plan's modeled cost is refused up
+// front with ErrCanceled — zero modeled I/O — the same deadline-aware
+// admission discrete PTQs get. WithParallelism is accepted but inert:
+// a spatial table is a single partition.
+//
+// Run is safe for concurrent use alongside Insert.
+func (s *SpatialTable) Run(ctx context.Context, q Query) (*SpatialResults, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if !q.kind.spatial() {
+		return nil, fmt.Errorf("upidb: %v is not a spatial query; run it with Table.Run", q.kind)
+	}
+	if s.tab.Closed() {
+		return nil, ErrClosed
+	}
+	source := s.routeSource(q)
+	// The heuristic physical plan: the legacy fixed routing.
+	physical := planner.RTreeProbe
+	if q.kind == KindSegment {
+		physical = planner.SegmentScan
+	}
+	planName := ""
+	if q.explainOnly || source != PlanSourceHeuristic {
+		plans, err := s.plan(q)
+		switch {
+		case err == nil:
+			best := plans[0]
+			if q.explainOnly {
+				// Report the plan the routing would actually execute: the
+				// cheapest costed plan on a planner route, the fixed
+				// physical path on a heuristic one (the listing still
+				// shows what each candidate would have cost).
+				executed := best.Kind
+				if source == PlanSourceHeuristic {
+					executed = physical
+				}
+				info := QueryInfo{PlanSource: source, Plan: executed.String()}
+				info.Explain = s.explainRouting(source, q.heuristic) + planner.Explain(plans)
+				return &SpatialResults{state: stateDrained, info: info}, nil
+			}
+			// Deadline-aware admission, identical to the discrete path:
+			// refuse a query whose remaining deadline cannot cover even
+			// the cheapest plan's modeled cost, before any I/O.
+			if dl, ok := ctx.Deadline(); ok {
+				if remain := time.Until(dl); remain < best.EstimatedCost {
+					return nil, fmt.Errorf(
+						"%w: admission refused: remaining deadline %v is below the cheapest plan's modeled cost %v (%v)",
+						ErrCanceled, remain.Round(time.Millisecond),
+						best.EstimatedCost.Round(time.Millisecond), best.Kind)
+				}
+			}
+			physical = best.Kind
+			planName = best.Kind.String()
+		case source == PlanSourceStats && errors.Is(err, ErrNoStats):
+			// Degrade to the heuristic route like a stale discrete
+			// catalog would.
+			source = PlanSourceHeuristic
+		default:
+			return nil, err
+		}
+	}
+	r := &SpatialResults{
+		ctx:       ctx,
+		s:         s,
+		wantStats: q.wantStats,
+		info:      QueryInfo{Plan: planName, PlanSource: source},
+	}
+	switch {
+	case q.kind == KindCircle && physical == planner.SpatialScan:
+		r.collect = func(ctx context.Context) ([]SpatialResult, cupi.Stats, error) {
+			return s.tab.FullScanCircle(ctx, q.center, q.radius, q.qt)
+		}
+		r.cursor = func(ctx context.Context) *cupi.Cursor {
+			return s.tab.ScanCircleCursor(ctx, q.center, q.radius, q.qt)
+		}
+	case q.kind == KindCircle:
+		r.collect = func(ctx context.Context) ([]SpatialResult, cupi.Stats, error) {
+			return s.tab.QueryCircle(ctx, q.center, q.radius, q.qt)
+		}
+		r.cursor = func(ctx context.Context) *cupi.Cursor {
+			return s.tab.CircleCursor(ctx, q.center, q.radius, q.qt)
+		}
+	case physical == planner.SpatialScan:
+		r.collect = func(ctx context.Context) ([]SpatialResult, cupi.Stats, error) {
+			return s.tab.FullScanSegment(ctx, q.value, q.qt)
+		}
+		r.cursor = func(ctx context.Context) *cupi.Cursor {
+			return s.tab.ScanSegmentCursor(ctx, q.value, q.qt)
+		}
+	default:
+		r.collect = func(ctx context.Context) ([]SpatialResult, cupi.Stats, error) {
+			return s.tab.QuerySegment(ctx, q.value, q.qt)
+		}
+		r.cursor = func(ctx context.Context) *cupi.Cursor {
+			return s.tab.SegmentCursor(ctx, q.value, q.qt)
+		}
+	}
+	return r, nil
+}
+
+// routeSource decides how Run will route a spatial query, without
+// executing anything.
+func (s *SpatialTable) routeSource(q Query) string {
+	switch {
+	case q.usePlanner:
+		return PlanSourceForced
+	case q.heuristic:
+		return PlanSourceHeuristic
+	case s.planner.Fresh():
+		return PlanSourceStats
+	default:
+		return PlanSourceHeuristic
+	}
+}
+
+// plan costs the candidate plans for q, cheapest first.
+func (s *SpatialTable) plan(q Query) ([]planner.Plan, error) {
+	if q.kind == KindCircle {
+		return s.planner.PlanCircle(q.center, q.radius, q.qt)
+	}
+	return s.planner.PlanSegment(q.value, q.qt)
+}
+
+// explainRouting renders the routing line heading spatial Explain
+// output.
+func (s *SpatialTable) explainRouting(source string, heuristicForced bool) string {
+	si := s.StatsInfo()
+	switch {
+	case source == PlanSourceStats:
+		return fmt.Sprintf("routing: planner, fresh spatial stats (%d observations)\n", si.Observations)
+	case source == PlanSourceForced:
+		return "routing: planner, forced by WithPlanner\n"
+	case heuristicForced:
+		return "routing: heuristic, forced by WithHeuristic\n"
+	default:
+		return "routing: heuristic fallback (spatial statistics unseeded)\n"
+	}
+}

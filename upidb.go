@@ -41,6 +41,13 @@
 // (ErrUnknownAttr, ErrNoStats, ErrCanceled, ErrClosed,
 // ErrStreamConsumed) shared by all layers.
 //
+// Spatial tables (the paper's Section 5 continuous UPI over uncertain
+// 2-D observations, BulkLoadSpatial) share the same regime: Circle and
+// Segment descriptors executed by SpatialTable.Run with identical
+// streaming, planner routing, admission and error semantics, backed by
+// a spatial statistics catalog (a 2-D grid histogram of observation
+// centroids plus a segment-attribute histogram) absorbed per insert.
+//
 // Statistics maintain themselves: every table owns a catalog of
 // per-attribute value/probability histograms (Section 6.1) that
 // absorbs insert and delete deltas as they happen and is re-derived
@@ -170,9 +177,10 @@ type DB struct {
 	disk *sim.Disk
 	fs   *storage.FS
 
-	mu     sync.Mutex
-	closed bool
-	tables []*Table
+	mu       sync.Mutex
+	closed   bool
+	tables   []*Table
+	spatials []*SpatialTable
 }
 
 // New creates a database over a fresh simulated disk with the paper's
@@ -311,10 +319,16 @@ func (db *DB) Close() error {
 	db.mu.Lock()
 	db.closed = true
 	tables := db.tables
+	spatials := db.spatials
 	db.mu.Unlock()
 	var first error
 	for _, t := range tables {
 		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range spatials {
+		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -476,6 +490,9 @@ type QueryInfo struct {
 	// absent or stale — or WithHeuristic — so the fixed heuristic
 	// routing ran), or PlanSourceForced (WithPlanner).
 	PlanSource string
+	// Candidates is the number of R-Tree candidates or segment-index
+	// entries a spatial query examined (spatial Run only).
+	Candidates int
 	// Explain is the EXPLAIN-style costed-plan listing (WithExplain
 	// runs only).
 	Explain string
@@ -503,14 +520,25 @@ type SpatialOptions struct {
 
 // SpatialTable is a continuous UPI (Section 5) over uncertain 2-D
 // observations, with a secondary index on the uncertain segment
-// attribute.
+// attribute. Like discrete tables it is safe for concurrent use, owns
+// a self-maintaining statistics catalog (a 2-D grid histogram of
+// observation centroids plus a segment-attribute histogram, absorbed
+// delta by delta on every Insert), and serves every query through
+// Run(ctx, Query) — Circle and Segment descriptors routed through the
+// cost-based spatial planner with the same PlanSource/WithExplain/
+// WithStats/deadline-admission contract as Table.Run.
 type SpatialTable struct {
-	db  *DB
-	tab *cupi.Table
+	db      *DB
+	tab     *cupi.Table
+	catalog *stats.SpatialCatalog
+	planner *planner.Spatial
 }
 
 // BulkLoadSpatial builds a continuous UPI from observations. Like
-// table creation, it fails with ErrClosed once the DB is closed.
+// table creation, it fails with ErrClosed once the DB is closed. The
+// spatial statistics catalog is seeded from the same observations, so
+// Run routes through the cost-based spatial planner from the first
+// query.
 func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptions) (*SpatialTable, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
@@ -522,17 +550,50 @@ func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptio
 	if err != nil {
 		return nil, err
 	}
-	return &SpatialTable{db: db, tab: tab}, nil
+	cat := stats.NewSpatialCatalog()
+	cat.Seed(obs)
+	s := &SpatialTable{
+		db:      db,
+		tab:     tab,
+		catalog: cat,
+		planner: planner.NewSpatial(tab, cat, db.disk.Params()),
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		// Lost the race against Close: undo and refuse.
+		_ = tab.Close()
+		return nil, ErrClosed
+	}
+	db.spatials = append(db.spatials, s)
+	return s, nil
 }
 
-// Insert adds one observation after the initial load.
-func (s *SpatialTable) Insert(o *Observation) error { return s.tab.Insert(o) }
+// Insert adds one observation after the initial load and absorbs its
+// statistics delta. It fails with ErrClosed once the table is closed.
+func (s *SpatialTable) Insert(o *Observation) error {
+	if err := s.tab.Insert(o); err != nil {
+		return err
+	}
+	s.catalog.AddObservation(o)
+	return nil
+}
+
+// Close marks the spatial table closed: every subsequent query and
+// Insert fails with ErrClosed, matching the DB.Close contract of
+// discrete tables. In-flight queries finish normally. Closing twice is
+// safe.
+func (s *SpatialTable) Close() error { return s.tab.Close() }
 
 // RunCircle answers "within radius of q with appearance probability
 // >= threshold" (the paper's Query 4) under ctx: cancellation stops
 // the R-Tree traversal between leaves and the fetch phase between
-// heap reads, failing with ErrCanceled. Full Query-descriptor parity
-// with Table.Run is a roadmap item.
+// heap reads, failing with ErrCanceled.
+//
+// Deprecated: use Run with a Circle descriptor, which adds planner
+// routing, per-query options and streaming:
+//
+//	res, err := s.Run(ctx, upidb.Circle(q, radius, threshold))
 func (s *SpatialTable) RunCircle(ctx context.Context, q Point, radius, threshold float64) ([]SpatialResult, error) {
 	rs, _, err := s.tab.QueryCircle(ctx, q, radius, threshold)
 	return rs, err
@@ -540,8 +601,13 @@ func (s *SpatialTable) RunCircle(ctx context.Context, q Point, radius, threshold
 
 // RunSegment answers a PTQ on the uncertain road-segment attribute
 // (the paper's Query 5) under ctx.
+//
+// Deprecated: use Run with a Segment descriptor:
+//
+//	res, err := s.Run(ctx, upidb.Segment(segment, qt))
 func (s *SpatialTable) RunSegment(ctx context.Context, segment string, qt float64) ([]SpatialResult, error) {
-	return s.tab.QuerySegment(ctx, segment, qt)
+	rs, _, err := s.tab.QuerySegment(ctx, segment, qt)
+	return rs, err
 }
 
 // QueryCircle answers "within radius of q with appearance probability
