@@ -162,9 +162,12 @@ func BenchmarkPIIQueryPTQ(b *testing.B) {
 
 func BenchmarkFacadeInsertFlushQuery(b *testing.B) {
 	tuples := benchTuples(b, 2000)
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		b.Fatal(err)
+	}
 	tab, err := db.CreateTable("t", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, upidb.TableOptions{Cutoff: 0.1, BufferTuples: 500})
+		[]string{dataset.AttrCountry}, upidb.WithCutoff(0.1), upidb.WithBufferTuples(500))
 	if err != nil {
 		b.Fatal(err)
 	}

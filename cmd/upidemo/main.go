@@ -31,9 +31,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "per-query partition fan-out (0 = GOMAXPROCS, 1 = serial; modeled costs are identical)")
 	flag.Parse()
 
-	db := upidb.New()
+	db, err := upidb.Create("")
+	must(err)
 	authors, err := db.CreateTable("authors", "Institution", []string{"Country"},
-		upidb.TableOptions{Cutoff: 0.10, Parallelism: *parallel})
+		upidb.WithCutoff(0.10), upidb.WithParallelism(*parallel))
 	must(err)
 
 	fmt.Println("Loading the paper's running example (Table 4):")

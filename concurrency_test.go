@@ -49,9 +49,9 @@ func TestSoakConcurrentEngine(t *testing.T) {
 	}
 	const writers = 3
 
-	db := New()
+	db := mustCreate(t)
 	tab, err := db.CreateTable("conc", "X", []string{"Y"},
-		TableOptions{Cutoff: 0.15, BufferTuples: 64, Parallelism: 4})
+		WithCutoff(0.15), WithBufferTuples(64), WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}

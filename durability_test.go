@@ -1,0 +1,231 @@
+package upidb
+
+// Facade-level durability tests: the Create/Open lifecycle over the
+// real-disk backend, WAL recovery of acknowledged-but-unflushed writes
+// through the public API, the reopen-with-stale-stats contract (a
+// reopened table stays on heuristic routing until its first merge
+// reseeds the catalog), and option-scope validation.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"upidb/internal/storage"
+)
+
+// durTuple builds a tuple with primary attribute X = val (prob 0.9)
+// and secondary Y = "y"+val, existence 1 — confidence 0.9 for PTQs.
+func durTuple(t testing.TB, id uint64, val string) *Tuple {
+	t.Helper()
+	x, err := NewDiscrete([]Alternative{{Value: val, Prob: 0.9}, {Value: "other", Prob: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := NewDiscrete([]Alternative{{Value: "y" + val, Prob: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Tuple{ID: id, Existence: 1, Unc: []UncField{{Name: "X", Dist: x}, {Name: "Y", Dist: y}}}
+}
+
+func durVal(id uint64) string { return fmt.Sprintf("v%02d", id%7) }
+
+// verifyLive checks that a PTQ per value returns exactly the live IDs.
+func verifyLive(t *testing.T, tab *Table, live map[uint64]bool) {
+	t.Helper()
+	ctx := context.Background()
+	want := make(map[string]map[uint64]bool)
+	for id := range live {
+		v := durVal(id)
+		if want[v] == nil {
+			want[v] = make(map[uint64]bool)
+		}
+		want[v][id] = true
+	}
+	for i := 0; i < 7; i++ {
+		v := fmt.Sprintf("v%02d", i)
+		res, err := tab.Run(ctx, PTQ("", v, 0.5))
+		if err != nil {
+			t.Fatalf("query %s: %v", v, err)
+		}
+		got := make(map[uint64]bool)
+		for _, r := range res.Collect() {
+			got[r.Tuple.ID] = true
+		}
+		if len(got) != len(want[v]) {
+			t.Fatalf("value %s: got %d results, want %d", v, len(got), len(want[v]))
+		}
+		for id := range want[v] {
+			if !got[id] {
+				t.Fatalf("value %s: missing id %d", v, id)
+			}
+		}
+	}
+}
+
+// TestFacadeDiskDurableRoundTrip: Create(dir) stores real files with
+// durable tables by default; after Close, Open(dir)+OpenTable recovers
+// every acknowledged write — flushed fractures, the WAL-logged RAM
+// buffer, and pending deletes. The reopened table starts with an
+// unseeded catalog (heuristic routing) until its first merge reseeds
+// it and planner routing resumes — the reopen-with-stale-stats
+// contract, end to end.
+func TestFacadeDiskDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("events", "X", []string{"Y"}, WithCutoff(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]bool)
+	for id := uint64(1); id <= 20; id++ {
+		if err := tab.Insert(durTuple(t, id, durVal(id))); err != nil {
+			t.Fatal(err)
+		}
+		live[id] = true
+	}
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Buffered tail: WAL-only at close time.
+	for id := uint64(21); id <= 30; id++ {
+		if err := tab.Insert(durTuple(t, id, durVal(id))); err != nil {
+			t.Fatal(err)
+		}
+		live[id] = true
+	}
+	// One on-disk delete and one buffered delete.
+	for _, id := range []uint64{5, 25} {
+		if err := tab.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		delete(live, id)
+	}
+	verifyLive(t, tab, live)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rtab, err := re.OpenTable("events", "X", []string{"Y"}, WithCutoff(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyLive(t, rtab, live)
+
+	// Reopened content is unknown to the catalog: heuristic routing
+	// until the first merge re-derives the histograms.
+	if si := rtab.StatsInfo(); si.Seeded {
+		t.Fatalf("reopened table should start unseeded: %+v", si)
+	}
+	ctx := context.Background()
+	res, err := rtab.Run(ctx, PTQ("", "v01", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := res.Info().PlanSource; src != PlanSourceHeuristic {
+		t.Fatalf("pre-merge routing: %q, want heuristic", src)
+	}
+	if err := rtab.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if si := rtab.StatsInfo(); !si.Seeded || si.Rebuilds != 1 {
+		t.Fatalf("merge should reseed the catalog: %+v", si)
+	}
+	res, err = rtab.Run(ctx, PTQ("", "v01", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src := res.Info().PlanSource; src != PlanSourceStats {
+		t.Fatalf("post-merge routing: %q, want stats", src)
+	}
+	verifyLive(t, rtab, live)
+}
+
+// TestFacadeDurableKillRecovery: with durability on, a database that is
+// never closed ("killed") still recovers every acknowledged write on
+// reopen over the same backend — the WAL contract through the facade.
+func TestFacadeDurableKillRecovery(t *testing.T) {
+	mem := storage.NewMemBackend()
+	db, err := Create("", WithBackend(mem), WithDurability(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.CreateTable("t", "X", []string{"Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[uint64]bool)
+	for id := uint64(1); id <= 12; id++ {
+		if err := tab.Insert(durTuple(t, id, durVal(id))); err != nil {
+			t.Fatal(err)
+		}
+		live[id] = true
+	}
+	if err := tab.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	delete(live, 7)
+	// Kill: abandon db without Flush or Close. All 12 inserts and the
+	// delete live only in the WAL.
+	re, err := Open("", WithBackend(mem), WithDurability(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtab, err := re.OpenTable("t", "X", []string{"Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyLive(t, rtab, live)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeCreateOpenContract: Create refuses an existing database,
+// Open refuses a missing one, and database-level options are rejected
+// at table scope.
+func TestFacadeCreateOpenContract(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Create(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir); err == nil {
+		t.Fatal("Create over an existing database accepted")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("Open of an empty directory accepted")
+	}
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open of a fresh in-memory backend accepted")
+	}
+
+	mdb := mustCreate(t)
+	if _, err := mdb.CreateTable("t", "X", nil, WithDiskBackend(t.TempDir())); err == nil {
+		t.Fatal("database-level option accepted at table scope")
+	}
+	if _, err := mdb.CreateTable("t", "X", nil, WithDiskParams(DiskParams())); err == nil {
+		t.Fatal("WithDiskParams accepted at table scope")
+	}
+	// Table-scope durability override works: a durable table over the
+	// in-memory backend (non-durable default) gains a WAL.
+	tab, err := mdb.CreateTable("d", "X", nil, WithDurability(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(durTuple(t, 1, "v01")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,9 +17,9 @@ var (
 	// secondary-indexed one.
 	ErrUnknownAttr = upi.ErrUnknownAttr
 
-	// ErrNoStats reports a forced planned query (WithPlanner,
-	// WithExplain, or the legacy Explain/QueryPlanned wrappers) on an
-	// attribute without seeded statistics: the table was reopened and
+	// ErrNoStats reports a forced planned query (WithPlanner or
+	// WithExplain) on an attribute without seeded statistics: the
+	// table was reopened and
 	// has not merged yet, or a BuildStats subset dropped the
 	// attribute. Automatic routing never returns it — Run falls back
 	// to heuristic routing instead.

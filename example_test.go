@@ -13,9 +13,12 @@ import (
 // semantics. Queries are descriptors executed by Run under a context;
 // results stream through a range-over-func iterator.
 func Example() {
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		log.Fatal(err)
+	}
 	authors, err := db.CreateTable("authors", "Institution", nil,
-		upidb.TableOptions{Cutoff: 0.10})
+		upidb.WithCutoff(0.10))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,8 +61,8 @@ func Example() {
 // the clustered attribute; the UPI's confidence-descending order makes
 // this a bounded scan. Per-query options chain onto the descriptor.
 func ExampleTable_Run() {
-	db := upidb.New()
-	authors, _ := db.CreateTable("authors", "Institution", nil, upidb.TableOptions{})
+	db, _ := upidb.Create("")
+	authors, _ := db.CreateTable("authors", "Institution", nil)
 	for i, p := range []float64{0.3, 0.9, 0.6} {
 		d, _ := upidb.NewDiscrete([]upidb.Alternative{{Value: "MIT", Prob: p}})
 		authors.Insert(&upidb.Tuple{ID: uint64(i + 1), Existence: 1, Unc: []upidb.UncField{
@@ -80,8 +83,8 @@ func ExampleTable_Run() {
 // writes, explicit flushes into fractures, and a merge that folds all
 // fractures back into one main UPI.
 func ExampleTable_Merge() {
-	db := upidb.New()
-	t, _ := db.CreateTable("t", "X", nil, upidb.TableOptions{})
+	db, _ := upidb.Create("")
+	t, _ := db.CreateTable("t", "X", nil)
 	d, _ := upidb.NewDiscrete([]upidb.Alternative{{Value: "a", Prob: 1}})
 	for batch := 0; batch < 3; batch++ {
 		for i := 0; i < 10; i++ {

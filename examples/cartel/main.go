@@ -22,7 +22,10 @@ func main() {
 		len(c.Observations), len(c.Segments))
 
 	ctx := context.Background()
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		log.Fatal(err)
+	}
 	cars, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
 	if err != nil {
 		log.Fatal(err)

@@ -25,14 +25,17 @@ func main() {
 	}
 	fmt.Printf("generated %d authors, %d publications\n", len(d.Authors), len(d.Publications))
 
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		log.Fatal(err)
+	}
 	authors, err := db.BulkLoadTable("authors", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, upidb.TableOptions{Cutoff: 0.10}, d.Authors)
+		[]string{dataset.AttrCountry}, d.Authors, upidb.WithCutoff(0.10))
 	if err != nil {
 		log.Fatal(err)
 	}
 	pubs, err := db.BulkLoadTable("pubs", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, upidb.TableOptions{Cutoff: 0.10}, d.Publications)
+		[]string{dataset.AttrCountry}, d.Publications, upidb.WithCutoff(0.10))
 	if err != nil {
 		log.Fatal(err)
 	}

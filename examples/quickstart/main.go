@@ -12,16 +12,22 @@ import (
 )
 
 func main() {
-	db := upidb.New()
+	// Create("") is the in-memory database over the simulated disk:
+	// hermetic, deterministic modeled I/O costs. Create(dir) instead
+	// stores real files under dir with WAL durability.
+	db, err := upidb.Create("")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A UPI clusters the heap file on an uncertain attribute; here
 	// Institution, with a secondary index on Country and a 10% cutoff
 	// threshold (alternatives below 10% confidence go to the cutoff
-	// index instead of being duplicated in the heap). Parallelism: 0
-	// fans queries out over the main UPI and all fractures with up to
-	// GOMAXPROCS workers; modeled costs are the same at any width.
+	// index instead of being duplicated in the heap). Queries fan out
+	// over the main UPI and all fractures with up to GOMAXPROCS
+	// workers by default; modeled costs are the same at any width.
 	authors, err := db.CreateTable("authors", "Institution", []string{"Country"},
-		upidb.TableOptions{Cutoff: 0.10, Parallelism: 0})
+		upidb.WithCutoff(0.10))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -217,6 +217,7 @@ func Registered() []struct {
 		{"streaming-latency", StreamingLatency},
 		{"ablation-pointers", AblationMaxPointers},
 		{"ablation-size", AblationCutoffSize},
+		{"wallclock-disk", WallclockDisk},
 	}
 }
 

@@ -171,7 +171,7 @@ func Table7Maintenance(e *Env) (*Experiment, error) {
 	{
 		disk, fs := newDisk()
 		store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-			[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff},
+			[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: defaultCutoff},
 				Parallelism: e.cfg.Parallelism}, d.Authors)
 		if err != nil {
 			return nil, err
@@ -236,7 +236,7 @@ func Fig9Deterioration(e *Env) (*Experiment, error) {
 	}
 	fracDisk, fracFS := newDisk()
 	store, err := fracture.BulkLoad(fracFS, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT},
+		[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: fig9QT},
 			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err
@@ -326,7 +326,7 @@ func Fig10FracturedModel(e *Env) (*Experiment, error) {
 	}
 	disk, fs := newDisk()
 	store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT},
+		[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: fig9QT},
 			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err
@@ -396,7 +396,7 @@ func Table8Merging(e *Env) (*Experiment, error) {
 	}
 	disk, fs := newDisk()
 	store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: defaultCutoff},
+		[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: defaultCutoff},
 			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, err

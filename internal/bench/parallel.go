@@ -30,7 +30,7 @@ func buildFracturedAuthors(e *Env) (*fracture.Store, *sim.Disk, error) {
 	}
 	disk, fs := newDisk()
 	store, err := fracture.BulkLoad(fs, "author", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: fig9QT},
+		[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: fig9QT},
 			Parallelism: e.cfg.Parallelism}, d.Authors)
 	if err != nil {
 		return nil, nil, err

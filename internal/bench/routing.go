@@ -25,10 +25,13 @@ func PlannerRouting(e *Env) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		return nil, err
+	}
 	tab, err := db.BulkLoadTable("authors", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry},
-		upidb.TableOptions{Cutoff: fig9QT, Parallelism: e.cfg.Parallelism}, d.Authors)
+		[]string{dataset.AttrCountry}, d.Authors,
+		upidb.WithCutoff(fig9QT), upidb.WithParallelism(e.cfg.Parallelism))
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,10 @@ func SpatialRouting(e *Env) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := upidb.New()
+	db, err := upidb.Create("")
+	if err != nil {
+		return nil, err
+	}
 	tab, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
 	if err != nil {
 		return nil, err

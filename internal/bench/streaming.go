@@ -76,7 +76,7 @@ func buildStreamingStore(e *Env) (*fracture.Store, *sim.Disk, error) {
 		id++
 	}
 	store, err := fracture.BulkLoad(fs, "stream", "X", nil,
-		fracture.Options{UPI: upi.Options{Cutoff: streamingCutoff}, Parallelism: e.cfg.Parallelism}, base)
+		fracture.Config{UPI: upi.Options{Cutoff: streamingCutoff}, Parallelism: e.cfg.Parallelism}, base)
 	if err != nil {
 		return nil, nil, err
 	}

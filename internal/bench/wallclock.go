@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	upidb "upidb"
+	"upidb/internal/dataset"
+)
+
+// wallclockInserts is how many single-tuple inserts the WAL-fsync
+// phase performs (each one appends and fsyncs a WAL record before
+// acknowledging).
+const wallclockInserts = 500
+
+// WallclockDisk exercises the real on-disk backend end to end — bulk
+// load, WAL-fsynced inserts, flush, cold query, merge — and reports,
+// for each phase, the modeled disk time next to the first measured
+// wall-clock column. Modeled costs price the same I/O the simulated
+// backend would charge; wall-clock times are real fsync-bound
+// machine-dependent measurements, so the column is named with "Wall"
+// and excluded from the regression gate.
+func WallclockDisk(e *Env) (*Experiment, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "upibench-disk-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := upidb.Create(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	exp := &Experiment{
+		ID:      "wallclock-disk",
+		Title:   "Disk backend: modeled cost vs wall-clock (durable tables)",
+		XLabel:  "phase",
+		Columns: []string{"Modeled [s]", "Wall [ms Wall]"},
+		Notes: fmt.Sprintf("real files + per-write WAL fsync in a temp dir; %d authors; wall times are machine-dependent and not gated",
+			len(d.Authors)),
+	}
+	var lastModeled time.Duration
+	phase := func(label string, run func() error) error {
+		wallStart := time.Now()
+		if err := run(); err != nil {
+			return fmt.Errorf("bench: %s: %w", label, err)
+		}
+		wall := time.Since(wallStart)
+		modeled := db.DiskStats().Elapsed
+		exp.Rows = append(exp.Rows, Row{
+			Label:  label,
+			Values: []float64{seconds(modeled - lastModeled), float64(wall.Microseconds()) / 1000},
+		})
+		lastModeled = modeled
+		return nil
+	}
+
+	var tab *upidb.Table
+	if err := phase(fmt.Sprintf("bulk load %d authors", len(d.Authors)), func() error {
+		tab, err = db.BulkLoadTable("authors", dataset.AttrInstitution,
+			[]string{dataset.AttrCountry}, d.Authors,
+			upidb.WithCutoff(fig9QT), upidb.WithParallelism(e.cfg.Parallelism))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := phase(fmt.Sprintf("%d inserts (WAL fsync each)", wallclockInserts), func() error {
+		for i := 0; i < wallclockInserts; i++ {
+			tup := *d.Authors[i%len(d.Authors)]
+			tup.ID = uint64(1_000_000 + i)
+			if err := tab.Insert(&tup); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := phase("flush (fracture + manifest commit)", tab.Flush); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := phase("Q1 Inst=MIT qt=0.1 cold", func() error {
+		if err := tab.DropCaches(); err != nil {
+			return err
+		}
+		res, err := tab.Run(ctx, upidb.PTQ("", dataset.MITInstitution, 0.1))
+		if err != nil {
+			return err
+		}
+		if res.Len() == 0 {
+			return fmt.Errorf("empty result")
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := phase("merge (WAL checkpoint)", tab.Merge); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}

@@ -62,11 +62,13 @@ import (
 // aliases it, so errors.Is works across the API boundary.
 var ErrClosed = upi.ErrClosed
 
-// Options configure a fractured UPI.
-type Options struct {
+// Config is the one canonical configuration of a fractured UPI. The
+// public facade's functional options (upidb.WithCutoff, WithDurability,
+// ...) all thread into this struct; nothing is duplicated above it.
+type Config struct {
 	// UPI are the parameters each fracture and the main UPI share.
 	// (Section 4.2 notes fractures *may* use different parameters; the
-	// Store applies the current value of Options.UPI to each new
+	// Store applies the current value of Config.UPI to each new
 	// fracture, so callers can retune between flushes.)
 	UPI upi.Options
 	// BufferTuples is the insert-buffer capacity; reaching it triggers
@@ -77,7 +79,27 @@ type Options struct {
 	// 1 scans partitions serially. The modeled I/O cost of a query is
 	// the same at every setting.
 	Parallelism int
+	// StatsStaleness is the statistics-staleness threshold the facade
+	// applies to the table's catalog (the fracture layer itself does
+	// not read it; it lives here so one struct carries the whole table
+	// configuration). 0 means the catalog default; negative disables
+	// automatic planner routing.
+	StatsStaleness float64
+	// Durable, when true, gives the store crash-consistency: every
+	// Insert/Delete is WAL-logged and fsynced before it is
+	// acknowledged, flushes and merges commit through an atomically
+	// renamed manifest, and Open replays the WAL to reconstruct the
+	// RAM buffer. When false (the default), the store keeps the
+	// legacy simulation behavior: no WAL, no manifest, no fsync — and
+	// no extra bytes, so modeled costs are byte-identical to earlier
+	// releases.
+	Durable bool
 }
+
+// Options is the former name of Config.
+//
+// Deprecated: use Config.
+type Options = Config
 
 // Store is a fractured UPI. It is safe for concurrent use: any number
 // of concurrent readers (Query, QuerySecondary, TopK) may run alongside
@@ -92,14 +114,19 @@ type Store struct {
 	// mu guards every field below. Queries hold it only while
 	// snapshotting; partition scans run outside it.
 	mu     sync.RWMutex
-	opts   Options
+	opts   Config
 	closed bool
 
 	main      *upi.Table
 	mainRef   *partRef // lifetime of the current main's files
+	mainGen   int      // generation of the current main (for the manifest)
 	fractures []*fract
 	fracGens  []int // generation number of each fracture (for file names)
 	gen       int   // generation counter for fracture / main file names
+
+	// wal is the write-ahead log, present only on durable stores. Its
+	// appends are serialized by mu, in buffer-mutation order.
+	wal *wal
 
 	// Insert buffer ("on RAM" in Figure 1): pending tuples by ID, plus
 	// their arrival order for deterministic flushing.
@@ -191,7 +218,7 @@ func (p *partRef) remove(files []string) {
 }
 
 // NewStore creates an empty fractured UPI.
-func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
+func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Config) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
 	s := newShell(fs, name, attr, secAttrs, opts)
 	main, err := upi.Create(fs, s.mainName(0), attr, secAttrs, opts.UPI)
@@ -199,12 +226,15 @@ func NewStore(fs *storage.FS, name, attr string, secAttrs []string, opts Options
 		return nil, err
 	}
 	s.main = main
+	if err := s.initDurable(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // BulkLoad creates a fractured UPI whose main partition is bulk-built
 // from tuples (the initial load of the experiments).
-func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Options, tuples []*tuple.Tuple) (*Store, error) {
+func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Config, tuples []*tuple.Tuple) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
 	s := newShell(fs, name, attr, secAttrs, opts)
 	main, err := upi.BulkBuild(fs, s.mainName(0), attr, secAttrs, opts.UPI, tuples)
@@ -212,11 +242,14 @@ func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Options
 		return nil, err
 	}
 	s.main = main
+	if err := s.initDurable(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // newShell builds a Store with everything but the main partition.
-func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Options) *Store {
+func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Config) *Store {
 	return &Store{
 		fs: fs, name: name, attr: attr,
 		secAttrs:   append([]string(nil), secAttrs...),
@@ -225,6 +258,30 @@ func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Options
 		bufTuples:  make(map[uint64]*tuple.Tuple),
 		bufDeletes: make(map[uint64]bool),
 	}
+}
+
+// initDurable brings a freshly created durable store to a recoverable
+// on-disk state: main partition fsynced, manifest committed, empty WAL
+// in place. A no-op for non-durable stores.
+func (s *Store) initDurable() error {
+	if !s.opts.Durable {
+		return nil
+	}
+	if err := s.main.Flush(); err != nil {
+		return err
+	}
+	if err := syncTableFiles(s.fs, s.main); err != nil {
+		return err
+	}
+	if err := writeManifest(s.fs, s.name, s.mainGen, nil); err != nil {
+		return err
+	}
+	w, err := createWAL(s.fs, s.name)
+	if err != nil {
+		return err
+	}
+	s.wal = w
+	return nil
 }
 
 func (s *Store) mainName(gen int) string { return fmt.Sprintf("%s.main%d", s.name, gen) }
@@ -291,6 +348,19 @@ func (s *Store) FractureOptions() upi.Options {
 func (s *Store) SetStats(c *stats.Catalog) {
 	s.mu.Lock()
 	s.cat = c
+	if c != nil {
+		// A WAL-recovered store may already hold buffered operations
+		// that predate the catalog attachment; feed their deltas now so
+		// the catalog sees exactly what a crash-free run would have.
+		for _, id := range s.bufOrder {
+			c.AddTuple(s.bufTuples[id])
+		}
+		for id := range s.bufDeletes {
+			if _, buffered := s.bufTuples[id]; !buffered {
+				c.NoteDeleteID(id)
+			}
+		}
+	}
 	s.mu.Unlock()
 }
 
@@ -327,6 +397,34 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	// WAL first: the operation is applied (and later acknowledged)
+	// only once its record is durable, so recovery never holds writes
+	// the caller was not promised, and a failed append changes
+	// nothing.
+	if s.wal != nil {
+		if err := s.wal.appendInsert(tup); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.applyInsertLocked(tup)
+	var err error
+	flushed := false
+	if s.opts.BufferTuples > 0 && len(s.bufTuples) >= s.opts.BufferTuples {
+		err = s.flushLocked()
+		flushed = err == nil
+	}
+	am := s.am
+	s.mu.Unlock()
+	if flushed && am != nil {
+		am.kick()
+	}
+	return err
+}
+
+// applyInsertLocked is the buffer mutation of Insert, shared with WAL
+// replay. Callers must hold mu.
+func (s *Store) applyInsertLocked(tup *tuple.Tuple) {
 	if s.cat != nil {
 		// Absorb the delta: the new version counts immediately; a
 		// replaced buffered version is subtracted exactly. (A replaced
@@ -343,18 +441,6 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 		s.bufOrder = append(s.bufOrder, tup.ID)
 	}
 	s.bufTuples[tup.ID] = tup
-	var err error
-	flushed := false
-	if s.opts.BufferTuples > 0 && len(s.bufTuples) >= s.opts.BufferTuples {
-		err = s.flushLocked()
-		flushed = err == nil
-	}
-	am := s.am
-	s.mu.Unlock()
-	if flushed && am != nil {
-		am.kick()
-	}
-	return err
 }
 
 // Delete buffers a deletion by tuple ID. "Deletion is handled like
@@ -366,6 +452,18 @@ func (s *Store) Delete(id uint64) error {
 	if s.closed {
 		return ErrClosed
 	}
+	if s.wal != nil {
+		if err := s.wal.appendDelete(id); err != nil {
+			return err
+		}
+	}
+	s.applyDeleteLocked(id)
+	return nil
+}
+
+// applyDeleteLocked is the buffer mutation of Delete, shared with WAL
+// replay. Callers must hold mu.
+func (s *Store) applyDeleteLocked(id uint64) {
 	if old, buffered := s.bufTuples[id]; buffered {
 		// The buffered version never reached disk; cancel it and
 		// subtract its statistics delta exactly, since the content is
@@ -382,7 +480,7 @@ func (s *Store) Delete(id uint64) error {
 				break
 			}
 		}
-		return nil
+		return
 	}
 	// An on-disk tuple is known only by ID; the catalog cannot subtract
 	// its histogram contribution, so the delete counts as staleness
@@ -391,7 +489,6 @@ func (s *Store) Delete(id uint64) error {
 		s.cat.NoteDeleteID(id)
 	}
 	s.bufDeletes[id] = true
-	return nil
 }
 
 // Flush writes the buffered changes out as a new fracture: a bulk-built
@@ -449,11 +546,39 @@ func (s *Store) flushLocked() error {
 	if err := s.writeDelSet(id, deleted); err != nil {
 		return err
 	}
+	// Durable flush ordering: fsync the fracture's files, commit the
+	// new partition list through the manifest rename, and only then
+	// drop the WAL records the fracture now covers. A crash at any
+	// point leaves a recoverable state — before the manifest commit
+	// the WAL still holds everything (the half-built fracture becomes
+	// an orphan, removed on open); after it, replaying a not-yet-
+	// truncated WAL merely re-applies operations the fracture already
+	// holds, which upsert semantics dedupe.
+	if s.opts.Durable {
+		if err := syncTableFiles(s.fs, tab); err != nil {
+			return err
+		}
+		if err := s.fs.Sync(s.delSetFile(id)); err != nil {
+			return err
+		}
+		if err := writeManifest(s.fs, s.name, s.mainGen, append(append([]int(nil), s.fracGens...), id)); err != nil {
+			return err
+		}
+	}
 	s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted, ref: newPartRef(s.fs)})
 	s.fracGens = append(s.fracGens, id)
 	s.bufTuples = make(map[uint64]*tuple.Tuple)
 	s.bufOrder = nil
 	s.bufDeletes = make(map[uint64]bool)
+	if s.wal != nil {
+		// The fracture is the checkpoint; its WAL records are now
+		// redundant. If this truncate fails the flush has still fully
+		// committed — recovery just replays records the fracture
+		// already holds.
+		if err := s.wal.reset(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,167 @@
+package fracture
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"upidb/internal/storage"
+	"upidb/internal/upi"
+)
+
+// The manifest is the durable store's partition catalog: one small
+// text file naming the current main generation and every fracture
+// generation, in flush order. It is written to a temp file, fsynced
+// and renamed into place, so the rename is the atomic commit point of
+// every flush and merge — a crash before the rename leaves the old
+// manifest (and the half-built files as orphans, removed on the next
+// open); a crash after it leaves the new state fully described.
+//
+// Non-durable stores write no manifest and keep the legacy behavior of
+// discovering partitions by scanning file names.
+
+func manifestName(store string) string { return store + ".manifest" }
+func manifestTmpName(store string) string {
+	return store + ".manifest.tmp"
+}
+
+// writeManifest atomically replaces the manifest with the given
+// partition catalog.
+func writeManifest(fs *storage.FS, store string, mainGen int, fracGens []int) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "main %d\n", mainGen)
+	for _, g := range fracGens {
+		fmt.Fprintf(&b, "frac %d\n", g)
+	}
+	tmp := manifestTmpName(store)
+	fs.Sideband(tmp)
+	fs.Sideband(manifestName(store))
+	f := fs.Create(tmp)
+	if err := f.WriteAt([]byte(b.String()), 0); err != nil {
+		return fmt.Errorf("fracture: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("fracture: sync manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, manifestName(store)); err != nil {
+		return fmt.Errorf("fracture: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads the partition catalog. ok is false if no manifest
+// exists (legacy or non-durable store).
+func readManifest(fs *storage.FS, store string) (mainGen int, fracGens []int, ok bool, err error) {
+	name := manifestName(store)
+	if !fs.Exists(name) {
+		return 0, nil, false, nil
+	}
+	fs.Sideband(name)
+	f, err := fs.Open(name)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	data := make([]byte, f.Size())
+	if len(data) > 0 {
+		if err := f.ReadAt(data, 0); err != nil {
+			return 0, nil, false, err
+		}
+	}
+	mainGen = -1
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		kind, num, found := strings.Cut(line, " ")
+		if !found {
+			return 0, nil, false, fmt.Errorf("fracture: corrupt manifest line %q", line)
+		}
+		n, err := strconv.Atoi(num)
+		if err != nil {
+			return 0, nil, false, fmt.Errorf("fracture: corrupt manifest line %q", line)
+		}
+		switch kind {
+		case "main":
+			mainGen = n
+		case "frac":
+			fracGens = append(fracGens, n)
+		default:
+			return 0, nil, false, fmt.Errorf("fracture: corrupt manifest line %q", line)
+		}
+	}
+	if mainGen < 0 {
+		return 0, nil, false, fmt.Errorf("fracture: manifest for %q names no main partition", store)
+	}
+	sort.Ints(fracGens)
+	return mainGen, fracGens, true, nil
+}
+
+// removeOrphans deletes partition files of generations the manifest
+// does not name — debris of a flush or merge that crashed before its
+// manifest commit — plus any stranded manifest temp file. Only files
+// clearly belonging to this store's partition namespace are touched.
+func removeOrphans(fs *storage.FS, store string, mainGen int, fracGens []int) {
+	keepFrac := make(map[int]bool, len(fracGens))
+	for _, g := range fracGens {
+		keepFrac[g] = true
+	}
+	for _, f := range fs.List() {
+		rest, found := strings.CutPrefix(f, store+".")
+		if !found {
+			continue
+		}
+		if rest == "manifest.tmp" {
+			_ = fs.Remove(f)
+			continue
+		}
+		kind, gen, found := cutPartitionName(rest)
+		if !found {
+			continue
+		}
+		orphan := false
+		switch kind {
+		case "main":
+			orphan = gen != mainGen
+		case "frac":
+			orphan = !keepFrac[gen]
+		}
+		if orphan {
+			_ = fs.Remove(f)
+		}
+	}
+}
+
+// cutPartitionName parses "main<gen>.upi...", "frac<gen>.upi..." or
+// "frac<gen>.delset" into its partition kind and generation.
+func cutPartitionName(rest string) (kind string, gen int, ok bool) {
+	for _, k := range []string{"main", "frac"} {
+		num, found := strings.CutPrefix(rest, k)
+		if !found {
+			continue
+		}
+		digits, _, found := strings.Cut(num, ".")
+		if !found {
+			return "", 0, false
+		}
+		n, err := strconv.Atoi(digits)
+		if err != nil {
+			return "", 0, false
+		}
+		return k, n, true
+	}
+	return "", 0, false
+}
+
+// syncTableFiles fsyncs every file of a UPI partition.
+func syncTableFiles(fs *storage.FS, t *upi.Table) error {
+	for _, f := range t.Files() {
+		if err := fs.Sync(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ type mergeSnapshot struct {
 	parts    []*upi.Table // index 0 = main, then the fractures to fold
 	deletes  []map[uint64]bool
 	nMerged  int // number of fractures being folded
+	newGen   int // generation of the main UPI being built
 	newName  string
 	opts     upi.Options
 	homogene bool
@@ -68,6 +69,7 @@ func (s *Store) Merge() error {
 		parts:   make([]*upi.Table, 0, 1+len(s.fractures)),
 		deletes: make([]map[uint64]bool, 0, 1+len(s.fractures)),
 		nMerged: len(s.fractures),
+		newGen:  s.gen,
 		newName: s.mainName(s.gen),
 		opts:    s.opts.UPI,
 	}
@@ -104,7 +106,10 @@ func (s *Store) Merge() error {
 		rb.Abort()
 		return err
 	}
-	s.swapMerged(newMain, snap.nMerged)
+	if err := s.swapMerged(newMain, snap.newGen, snap.nMerged); err != nil {
+		rb.Abort()
+		return err
+	}
 	rb.Commit()
 	return nil
 }
@@ -230,14 +235,36 @@ func (s *Store) mergeByRebuild(snap mergeSnapshot, rb *stats.Rebuild) (*upi.Tabl
 // fractures (keeping any flushed while the merge was building) and
 // dooms the replaced partitions' files: they disappear as soon as the
 // last in-flight query over the old generation releases its snapshot.
-func (s *Store) swapMerged(newMain *upi.Table, nMerged int) {
+//
+// On a durable store the manifest rename is the commit point: the new
+// main's files are fsynced and the manifest rewritten *before* the
+// in-memory swap, so a failure (or crash) before the rename changes
+// nothing — the new files are removed (or swept as orphans on the next
+// open) and the old generation remains authoritative.
+func (s *Store) swapMerged(newMain *upi.Table, newGen, nMerged int) error {
 	s.mu.Lock()
+	if s.opts.Durable {
+		err := syncTableFiles(s.fs, newMain)
+		if err == nil {
+			err = writeManifest(s.fs, s.name, newGen, s.fracGens[nMerged:])
+		}
+		if err != nil {
+			s.mu.Unlock()
+			for _, f := range newMain.Files() {
+				if s.fs.Exists(f) {
+					_ = s.fs.Remove(f)
+				}
+			}
+			return err
+		}
+	}
 	oldMain := s.main
 	oldMainRef := s.mainRef
 	merged := s.fractures[:nMerged]
 	mergedGens := s.fracGens[:nMerged]
 	s.main = newMain
 	s.mainRef = newPartRef(s.fs)
+	s.mainGen = newGen
 	s.fractures = append([]*fract(nil), s.fractures[nMerged:]...)
 	s.fracGens = append([]int(nil), s.fracGens[nMerged:]...)
 	s.mu.Unlock()
@@ -246,6 +273,7 @@ func (s *Store) swapMerged(newMain *upi.Table, nMerged int) {
 	for i, f := range merged {
 		f.ref.doom(append(f.table.Files(), s.delSetFile(mergedGens[i])))
 	}
+	return nil
 }
 
 // mergeReadAhead is the per-source read-ahead window (pages) during a

@@ -8,27 +8,48 @@ import (
 	"strings"
 
 	"upidb/internal/storage"
+	"upidb/internal/tuple"
 	"upidb/internal/upi"
 )
 
-// Open loads an existing fractured UPI from its files: the newest main
-// generation, every fracture in flush order, and their delete sets.
-// The RAM insert buffer is empty after opening (it never survives a
-// shutdown; unflushed changes are lost by design, like any
-// write-buffered store without a WAL).
-func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*Store, error) {
+// Open loads an existing fractured UPI from its files. A durable store
+// (one with a manifest) is opened from its manifest — the authoritative
+// partition catalog — with debris of any crashed flush or merge swept
+// away, and its write-ahead log replayed to reconstruct the RAM insert
+// buffer and pending delete set: every acknowledged write survives.
+//
+// A store without a manifest is opened the legacy way, by scanning
+// file names for the newest main generation and every fracture in
+// flush order; its RAM buffer is empty after opening (unflushed
+// changes of a non-durable store are lost by design).
+//
+// Opening a durable store with opts.Durable unset downgrades it: the
+// WAL is replayed one last time, then the WAL and manifest are removed
+// so they cannot go stale beside future unlogged writes.
+func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Config) (*Store, error) {
 	opts.UPI = opts.UPI.WithDefaults()
 	s := newShell(fs, name, attr, secAttrs, opts)
 
-	mainGen, fracGens, err := scanPartitions(fs, name)
+	mainGen, fracGens, fromManifest, err := readManifest(fs, name)
 	if err != nil {
 		return nil, err
+	}
+	if fromManifest {
+		// Partition files the manifest does not name are debris of a
+		// crashed flush or merge; the WAL (replayed below) holds
+		// anything acknowledged that they contained.
+		removeOrphans(fs, name, mainGen, fracGens)
+	} else {
+		if mainGen, fracGens, err = scanPartitions(fs, name); err != nil {
+			return nil, err
+		}
 	}
 	main, err := upi.Open(fs, s.mainName(mainGen), attr, secAttrs, opts.UPI)
 	if err != nil {
 		return nil, err
 	}
 	s.main = main
+	s.mainGen = mainGen
 	s.gen = mainGen
 	for _, g := range fracGens {
 		tab, err := upi.Open(fs, s.fracName(g), attr, secAttrs, opts.UPI)
@@ -45,7 +66,64 @@ func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Options) (*
 			s.gen = g
 		}
 	}
+	if err := s.recoverWAL(fromManifest); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// recoverWAL replays an existing WAL into the freshly opened store and
+// arranges the durability mode the caller asked for: durable stores
+// keep (or gain) a live WAL and manifest, non-durable ones shed both.
+func (s *Store) recoverWAL(hadManifest bool) error {
+	if s.fs.Exists(walName(s.name)) {
+		w, err := openWAL(s.fs, s.name, func(recType byte, payload []byte) error {
+			switch recType {
+			case walRecInsert:
+				tup, err := tuple.Decode(payload)
+				if err != nil {
+					return err
+				}
+				s.applyInsertLocked(tup)
+			case walRecDelete:
+				if len(payload) != 8 {
+					return fmt.Errorf("delete record has %d payload bytes", len(payload))
+				}
+				s.applyDeleteLocked(binary.BigEndian.Uint64(payload))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if s.opts.Durable {
+			s.wal = w
+		}
+	} else if s.opts.Durable {
+		w, err := createWAL(s.fs, s.name)
+		if err != nil {
+			return err
+		}
+		s.wal = w
+	}
+	if s.opts.Durable {
+		if !hadManifest {
+			// Upgrade: give a legacy store its manifest so the next
+			// open trusts the catalog, not the file scan.
+			return writeManifest(s.fs, s.name, s.mainGen, s.fracGens)
+		}
+		return nil
+	}
+	// Downgrade: recovered operations now live only in RAM, matching
+	// non-durable semantics; stale durability files must not linger.
+	for _, f := range []string{walName(s.name), manifestName(s.name)} {
+		if s.fs.Exists(f) {
+			if err := s.fs.Remove(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // scanPartitions finds the newest main generation and the fracture

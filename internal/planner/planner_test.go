@@ -23,7 +23,7 @@ func testPlanner(t *testing.T) (*Planner, *fracture.Store, *dataset.DBLP) {
 	}
 	fs := storage.NewFS(sim.NewDisk(sim.DefaultParams()))
 	store, err := fracture.BulkLoad(fs, "authors", dataset.AttrInstitution,
-		[]string{dataset.AttrCountry}, fracture.Options{UPI: upi.Options{Cutoff: 0.1}}, d.Authors)
+		[]string{dataset.AttrCountry}, fracture.Config{UPI: upi.Options{Cutoff: 0.1}}, d.Authors)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error every triggered fault returns. Crash tests
+// check for it with errors.Is to distinguish injected failures from
+// real bugs.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultOp names a Backend operation a Fault can intercept.
+type FaultOp string
+
+const (
+	OpCreate   FaultOp = "create"
+	OpWrite    FaultOp = "write"
+	OpSync     FaultOp = "sync"
+	OpTruncate FaultOp = "truncate"
+	OpRemove   FaultOp = "remove"
+	OpRename   FaultOp = "rename"
+)
+
+// Fault describes one failpoint: the Nth operation of the given kind
+// whose file name contains Name fails with ErrInjected. For writes,
+// PartialBytes of the payload may be let through first, modeling a
+// torn write that a crash leaves behind.
+type Fault struct {
+	// Op is the operation kind to intercept.
+	Op FaultOp
+	// Name is a substring the file name must contain ("" matches all).
+	Name string
+	// CountDown skips that many matching operations before failing:
+	// 0 fails the first match, 1 the second, and so on.
+	CountDown int
+	// PartialBytes applies to OpWrite: how many bytes of the failing
+	// write reach the backend before the error (0 = none).
+	PartialBytes int
+}
+
+// FaultBackend wraps a Backend and fails exactly one armed operation,
+// simulating the first half of a crash: everything before the
+// failpoint reached the store, nothing after it did. It is safe for
+// concurrent use; at most one operation triggers per Arm.
+type FaultBackend struct {
+	inner Backend
+
+	mu        sync.Mutex
+	fault     *Fault
+	remaining int
+	triggered bool
+}
+
+// NewFaultBackend wraps inner with no fault armed.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{inner: inner}
+}
+
+// Arm installs the fault, replacing any previous one and clearing the
+// triggered flag.
+func (b *FaultBackend) Arm(f Fault) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fault = &f
+	b.remaining = f.CountDown
+	b.triggered = false
+}
+
+// Disarm removes any armed fault.
+func (b *FaultBackend) Disarm() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fault = nil
+}
+
+// Triggered reports whether the armed fault has fired.
+func (b *FaultBackend) Triggered() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.triggered
+}
+
+// check decides whether this operation fires the fault. On fire it
+// returns (true, partialBytes).
+func (b *FaultBackend) check(op FaultOp, name string) (bool, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f := b.fault
+	if f == nil || f.Op != op || !strings.Contains(name, f.Name) {
+		return false, 0
+	}
+	if b.remaining > 0 {
+		b.remaining--
+		return false, 0
+	}
+	b.fault = nil
+	b.triggered = true
+	return true, f.PartialBytes
+}
+
+func (b *FaultBackend) Create(name string) error {
+	if fire, _ := b.check(OpCreate, name); fire {
+		return ErrInjected
+	}
+	return b.inner.Create(name)
+}
+
+func (b *FaultBackend) Exists(name string) bool { return b.inner.Exists(name) }
+
+func (b *FaultBackend) ReadAt(name string, p []byte, off int64) error {
+	return b.inner.ReadAt(name, p, off)
+}
+
+func (b *FaultBackend) WriteAt(name string, p []byte, off int64) error {
+	if fire, partial := b.check(OpWrite, name); fire {
+		if partial > 0 {
+			if partial > len(p) {
+				partial = len(p)
+			}
+			// Torn write: a prefix lands, then the "crash".
+			_ = b.inner.WriteAt(name, p[:partial], off)
+		}
+		return ErrInjected
+	}
+	return b.inner.WriteAt(name, p, off)
+}
+
+func (b *FaultBackend) Sync(name string) error {
+	if fire, _ := b.check(OpSync, name); fire {
+		return ErrInjected
+	}
+	return b.inner.Sync(name)
+}
+
+func (b *FaultBackend) Truncate(name string, size int64) error {
+	if fire, _ := b.check(OpTruncate, name); fire {
+		return ErrInjected
+	}
+	return b.inner.Truncate(name, size)
+}
+
+func (b *FaultBackend) Remove(name string) error {
+	if fire, _ := b.check(OpRemove, name); fire {
+		return ErrInjected
+	}
+	return b.inner.Remove(name)
+}
+
+func (b *FaultBackend) Rename(oldName, newName string) error {
+	if fire, _ := b.check(OpRename, oldName+" "+newName); fire {
+		return ErrInjected
+	}
+	return b.inner.Rename(oldName, newName)
+}
+
+func (b *FaultBackend) List() []string { return b.inner.List() }
+
+func (b *FaultBackend) Size(name string) (int64, bool) { return b.inner.Size(name) }
+
+func (b *FaultBackend) Close() error { return b.inner.Close() }

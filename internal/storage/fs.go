@@ -1,7 +1,13 @@
 // Package storage provides the file and page abstractions used by all
-// index structures in this repository: an in-memory file system whose
-// every byte of I/O is charged to a sim.Disk, and a Pager that exposes
-// fixed-size pages through an LRU buffer pool.
+// index structures in this repository: a file system whose every byte
+// of I/O is charged to a sim.Disk, and a Pager that exposes fixed-size
+// pages through an LRU buffer pool.
+//
+// The bytes themselves live in a pluggable Backend: MemBackend (the
+// default) keeps them in memory so modeled-cost experiments stay
+// deterministic, DiskBackend keeps them in real files with real fsync
+// so tables survive the process. The FS layer on top is the same
+// either way — it owns the accounting.
 //
 // The combination stands in for BerkeleyDB's mpool + file layer in the
 // paper's prototype: hot pages are served from the buffer pool for
@@ -11,21 +17,21 @@ package storage
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"upidb/internal/sim"
 )
 
-// FS is an in-memory file system backed by a simulated disk. All
-// methods are safe for concurrent use.
+// FS is a file system front-end charging I/O to a simulated disk and
+// storing bytes in a Backend. All methods are safe for concurrent use.
 type FS struct {
-	disk *sim.Disk
+	disk    *sim.Disk
+	backend Backend
 
 	mu       sync.Mutex
-	files    map[string]*fileData
 	routes   map[string]routeEntry
 	routeSeq uint64
+	sideband map[string]bool
 }
 
 // Recorder receives the I/O charges of routed files in place of the
@@ -41,22 +47,53 @@ type routeEntry struct {
 	token uint64
 }
 
-type fileData struct {
-	data []byte
+// NewFS returns an empty file system charging I/O to disk, storing
+// bytes in memory.
+func NewFS(disk *sim.Disk) *FS {
+	return NewFSOn(disk, NewMemBackend())
 }
 
-// NewFS returns an empty file system charging I/O to disk.
-func NewFS(disk *sim.Disk) *FS {
-	return &FS{disk: disk, files: make(map[string]*fileData)}
+// NewFSOn returns a file system charging I/O to disk and storing bytes
+// in the given backend.
+func NewFSOn(disk *sim.Disk, backend Backend) *FS {
+	return &FS{disk: disk, backend: backend}
 }
 
 // Disk returns the simulated disk backing this file system.
 func (fs *FS) Disk() *sim.Disk { return fs.disk }
 
+// Backend returns the byte store underneath this file system.
+func (fs *FS) Backend() Backend { return fs.backend }
+
+// Sideband marks the named file as accounting-exempt: its I/O is never
+// charged to the disk and never diverted by RouteTo, so durability
+// bookkeeping (WAL appends, manifest writes) cannot perturb modeled
+// query costs or be attributed to a concurrent query's per-query
+// stats. The mark survives Create/truncate and follows the file
+// through Rename; Remove clears it.
+func (fs *FS) Sideband(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.sideband == nil {
+		fs.sideband = make(map[string]bool)
+	}
+	fs.sideband[name] = true
+}
+
+// IsSideband reports whether the named file is accounting-exempt.
+func (fs *FS) IsSideband(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sideband[name]
+}
+
 // RouteTo diverts the I/O charges of the named files to rec instead of
 // the disk until the returned release function is called. A parallel
 // query routes each partition's files to a private sim.Tape, then
 // replays the tapes in partition order for deterministic accounting.
+// Sideband files are never routed: a WAL or manifest name in files is
+// silently skipped, so durability appends cannot land on a query's
+// recorder.
 //
 // Routes nest last-writer-wins: if a second RouteTo claims a file, the
 // newer route receives subsequent charges and the older release leaves
@@ -73,11 +110,15 @@ func (fs *FS) RouteTo(files []string, rec Recorder) (release func()) {
 	}
 	fs.routeSeq++
 	token := fs.routeSeq
+	routed := make([]string, 0, len(files))
 	for _, name := range files {
+		if fs.sideband[name] {
+			continue
+		}
 		fs.routes[name] = routeEntry{rec: rec, token: token}
+		routed = append(routed, name)
 	}
 	fs.mu.Unlock()
-	routed := append([]string(nil), files...)
 	return func() {
 		fs.mu.Lock()
 		for _, name := range routed {
@@ -89,100 +130,104 @@ func (fs *FS) RouteTo(files []string, rec Recorder) (release func()) {
 	}
 }
 
-// route returns the recorder currently claiming name, if any.
-func (fs *FS) route(name string) Recorder {
-	if e, ok := fs.routes[name]; ok {
-		return e.rec
+// sink classifies where charges for name go: the routed recorder, the
+// disk (rec nil, charge true), or nowhere (sideband).
+func (fs *FS) sink(name string) (rec Recorder, charge bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.sideband[name] {
+		return nil, false
 	}
-	return nil
+	if e, ok := fs.routes[name]; ok {
+		return e.rec, true
+	}
+	return nil, true
 }
 
 // Create creates (or truncates) a file and returns an open handle.
-// Creating charges the file-open cost.
+// Creating charges the file-open cost. A backend failure is carried by
+// the handle and surfaces on its first read or write.
 func (fs *FS) Create(name string) *File {
-	fs.mu.Lock()
-	fs.files[name] = &fileData{}
-	fs.mu.Unlock()
-	fs.disk.Open(name)
-	return &File{fs: fs, name: name}
+	err := fs.backend.Create(name)
+	if err != nil {
+		err = fmt.Errorf("storage: create %s: %w", name, err)
+	}
+	if _, charge := fs.sink(name); charge {
+		fs.disk.Open(name)
+	}
+	return &File{fs: fs, name: name, err: err}
 }
 
 // Open opens an existing file, charging the file-open cost (Costinit).
 func (fs *FS) Open(name string) (*File, error) {
-	fs.mu.Lock()
-	_, ok := fs.files[name]
-	fs.mu.Unlock()
-	if !ok {
+	if !fs.backend.Exists(name) {
 		return nil, fmt.Errorf("storage: open %s: no such file", name)
 	}
-	fs.disk.Open(name)
+	if _, charge := fs.sink(name); charge {
+		fs.disk.Open(name)
+	}
 	return &File{fs: fs, name: name}, nil
 }
 
 // Exists reports whether a file with the given name exists.
 func (fs *FS) Exists(name string) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	_, ok := fs.files[name]
-	return ok
+	return fs.backend.Exists(name)
 }
 
 // Remove deletes a file. Removing a missing file is an error.
 func (fs *FS) Remove(name string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if _, ok := fs.files[name]; !ok {
-		return fmt.Errorf("storage: remove %s: no such file", name)
+	if err := fs.backend.Remove(name); err != nil {
+		return err
 	}
-	delete(fs.files, name)
+	fs.mu.Lock()
+	delete(fs.sideband, name)
+	fs.mu.Unlock()
 	return nil
 }
 
-// Rename moves a file to a new name, replacing any existing file.
+// Rename moves a file to a new name, replacing any existing file. The
+// sideband mark, if any, follows the file.
 func (fs *FS) Rename(oldName, newName string) error {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fd, ok := fs.files[oldName]
-	if !ok {
-		return fmt.Errorf("storage: rename %s: no such file", oldName)
+	if err := fs.backend.Rename(oldName, newName); err != nil {
+		return err
 	}
-	delete(fs.files, oldName)
-	fs.files[newName] = fd
+	fs.mu.Lock()
+	if fs.sideband[oldName] {
+		delete(fs.sideband, oldName)
+		fs.sideband[newName] = true
+	} else {
+		delete(fs.sideband, newName)
+	}
+	fs.mu.Unlock()
 	return nil
 }
 
 // List returns the names of all files, sorted.
 func (fs *FS) List() []string {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	names := make([]string, 0, len(fs.files))
-	for n := range fs.files {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return fs.backend.List()
 }
 
 // TotalSize returns the sum of all file sizes in bytes.
 func (fs *FS) TotalSize() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	var total int64
-	for _, fd := range fs.files {
-		total += int64(len(fd.data))
+	for _, name := range fs.backend.List() {
+		if size, ok := fs.backend.Size(name); ok {
+			total += size
+		}
 	}
 	return total
 }
 
 // Size returns the size of the named file, or 0 if it does not exist.
 func (fs *FS) Size(name string) int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	fd, ok := fs.files[name]
-	if !ok {
-		return 0
-	}
-	return int64(len(fd.data))
+	size, _ := fs.backend.Size(name)
+	return size
+}
+
+// Sync makes the named file's written bytes durable (uncharged; a
+// no-op on memory backends).
+func (fs *FS) Sync(name string) error {
+	return fs.backend.Sync(name)
 }
 
 // File is a handle on one file of an FS. The handle itself carries no
@@ -190,6 +235,7 @@ func (fs *FS) Size(name string) int64 {
 type File struct {
 	fs   *FS
 	name string
+	err  error // deferred Create failure
 }
 
 // Name returns the file's name.
@@ -203,23 +249,16 @@ func (f *File) Size() int64 {
 // ReadAt reads len(p) bytes at offset off, charging the disk. Reading
 // past the end of the file is an error.
 func (f *File) ReadAt(p []byte, off int64) error {
-	f.fs.mu.Lock()
-	fd, ok := f.fs.files[f.name]
-	if !ok {
-		f.fs.mu.Unlock()
-		return fmt.Errorf("storage: read %s: no such file", f.name)
+	if f.err != nil {
+		return f.err
 	}
-	if off < 0 || off+int64(len(p)) > int64(len(fd.data)) {
-		f.fs.mu.Unlock()
-		return fmt.Errorf("storage: read %s: out of range [%d, %d) of %d",
-			f.name, off, off+int64(len(p)), len(fd.data))
+	if err := f.fs.backend.ReadAt(f.name, p, off); err != nil {
+		return err
 	}
-	copy(p, fd.data[off:])
-	rec := f.fs.route(f.name)
-	f.fs.mu.Unlock()
+	rec, charge := f.fs.sink(f.name)
 	if rec != nil {
 		rec.Read(f.name, off, int64(len(p)))
-	} else {
+	} else if charge {
 		f.fs.disk.Read(f.name, off, int64(len(p)))
 	}
 	return nil
@@ -228,38 +267,37 @@ func (f *File) ReadAt(p []byte, off int64) error {
 // WriteAt writes len(p) bytes at offset off, growing the file if the
 // write extends past its end, and charges the disk.
 func (f *File) WriteAt(p []byte, off int64) error {
-	if off < 0 {
-		return fmt.Errorf("storage: write %s: negative offset", f.name)
+	if f.err != nil {
+		return f.err
 	}
-	f.fs.mu.Lock()
-	fd, ok := f.fs.files[f.name]
-	if !ok {
-		f.fs.mu.Unlock()
-		return fmt.Errorf("storage: write %s: no such file", f.name)
+	if err := f.fs.backend.WriteAt(f.name, p, off); err != nil {
+		return err
 	}
-	end := off + int64(len(p))
-	if end > int64(len(fd.data)) {
-		if end > int64(cap(fd.data)) {
-			// Grow capacity geometrically so sequential appends are
-			// amortized O(1) instead of quadratic.
-			newCap := 2 * int64(cap(fd.data))
-			if newCap < end {
-				newCap = end
-			}
-			grown := make([]byte, end, newCap)
-			copy(grown, fd.data)
-			fd.data = grown
-		} else {
-			fd.data = fd.data[:end]
-		}
-	}
-	copy(fd.data[off:], p)
-	rec := f.fs.route(f.name)
-	f.fs.mu.Unlock()
+	rec, charge := f.fs.sink(f.name)
 	if rec != nil {
 		rec.Write(f.name, off, int64(len(p)))
-	} else {
+	} else if charge {
 		f.fs.disk.Write(f.name, off, int64(len(p)))
 	}
 	return nil
+}
+
+// Sync makes previously written bytes durable. It is uncharged: the
+// simulated disk has no fsync model, and on the disk backend fsync
+// cost is real wall-clock time, not modeled time.
+func (f *File) Sync() error {
+	if f.err != nil {
+		return f.err
+	}
+	return f.fs.backend.Sync(f.name)
+}
+
+// Truncate sets the file's size, discarding bytes past it. Uncharged,
+// like Sync: it exists for durability bookkeeping (WAL self-healing),
+// not for modeled I/O.
+func (f *File) Truncate(size int64) error {
+	if f.err != nil {
+		return f.err
+	}
+	return f.fs.backend.Truncate(f.name, size)
 }

@@ -1,0 +1,264 @@
+package upidb
+
+import (
+	"fmt"
+
+	"upidb/internal/fracture"
+	"upidb/internal/sim"
+	"upidb/internal/storage"
+)
+
+// Option configures a database at Open/Create time or a single table
+// at CreateTable/BulkLoadTable/OpenTable time. Database-level options
+// (backend selection, disk cost constants) are rejected at table
+// scope; table-tuning options given at database scope become the
+// defaults every table inherits.
+type Option func(*config)
+
+// config accumulates the effect of a list of Options. table holds the
+// one canonical per-table configuration (fracture.Config); nothing is
+// duplicated beside it.
+type config struct {
+	params     sim.Params
+	dir        string
+	mem        bool
+	backend    storage.Backend
+	table      fracture.Config
+	durable    *bool
+	autoMerge  *fracture.AutoMergeOptions
+	tableScope bool
+	err        error
+}
+
+func (c *config) dbOnly(name string) bool {
+	if c.tableScope {
+		c.setErr(fmt.Errorf("upidb: %s is a database-level option; pass it to Open or Create", name))
+		return false
+	}
+	return true
+}
+
+func (c *config) setErr(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// WithDiskBackend stores every byte in real files under path, with
+// real fsync — the one-option durability switch. Tables default to
+// Durable (WAL + manifest crash recovery); combine with
+// WithDurability(false) to run on disk without the WAL.
+func WithDiskBackend(path string) Option {
+	return func(c *config) {
+		if !c.dbOnly("WithDiskBackend") {
+			return
+		}
+		c.dir = path
+		c.mem = false
+	}
+}
+
+// WithMemBackend stores every byte in memory (the default): runs are
+// hermetic and modeled costs deterministic, and nothing survives the
+// process unless WithDurability(true) pairs it with an
+// externally-shared backend.
+func WithMemBackend() Option {
+	return func(c *config) {
+		if !c.dbOnly("WithMemBackend") {
+			return
+		}
+		c.mem = true
+		c.backend = nil
+	}
+}
+
+// WithBackend plugs in a caller-supplied storage backend. Crash tests
+// use it to reopen a database over the bytes a "killed" instance left
+// behind; custom implementations (encryption, tracing, quotas) slot in
+// the same way.
+func WithBackend(b storage.Backend) Option {
+	return func(c *config) {
+		if !c.dbOnly("WithBackend") {
+			return
+		}
+		c.backend = b
+		c.mem = false
+	}
+}
+
+// WithDiskParams sets the simulated-disk cost constants (defaults:
+// the paper's Table 6 values). The model prices every backend's I/O,
+// including the real-disk backend's.
+func WithDiskParams(p sim.Params) Option {
+	return func(c *config) {
+		if !c.dbOnly("WithDiskParams") {
+			return
+		}
+		c.params = p
+	}
+}
+
+// WithDurability overrides the backend's durability default (disk:
+// on, memory: off). Durable tables WAL-log every Insert/Delete before
+// acknowledging it, commit flushes and merges through an atomically
+// renamed manifest, and recover all acknowledged writes on OpenTable.
+func WithDurability(on bool) Option {
+	return func(c *config) { c.durable = &on }
+}
+
+// WithCutoff sets the cutoff threshold C (Section 3.1): alternatives
+// with confidence below C live in the cutoff index instead of being
+// duplicated in the heap file. 0 disables the cutoff index.
+func WithCutoff(c float64) Option {
+	return func(cfg *config) { cfg.table.UPI.Cutoff = c }
+}
+
+// WithMaxPointers caps pointers per secondary-index entry
+// (0 = unlimited).
+func WithMaxPointers(n int) Option {
+	return func(c *config) { c.table.UPI.MaxPointers = n }
+}
+
+// WithBufferTuples sets the RAM insert-buffer capacity before an
+// automatic flush into a new fracture (0 = manual Flush only).
+func WithBufferTuples(n int) Option {
+	return func(c *config) { c.table.BufferTuples = n }
+}
+
+// WithParallelism bounds the worker goroutines one query fans out
+// across the main UPI and the fractures (0 = GOMAXPROCS, 1 = serial
+// scan). Modeled query costs are identical at every setting; only
+// wall-clock time changes.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.table.Parallelism = n }
+}
+
+// WithStatsStaleness sets the staleness ratio (unabsorbed statistics
+// deltas over tracked tuples) up to which Run trusts the table's
+// statistics catalog and routes PTQs through the cost-based planner
+// automatically. 0 means the default (10%); a negative value disables
+// automatic planner routing entirely.
+func WithStatsStaleness(r float64) Option {
+	return func(c *config) { c.table.StatsStaleness = r }
+}
+
+// WithAutoMerge starts the background merger on every table the
+// option reaches: fractures are folded into the main UPI whenever
+// their count or total size crosses the given thresholds.
+func WithAutoMerge(opts AutoMergeOptions) Option {
+	return func(c *config) {
+		am := opts
+		c.autoMerge = &am
+	}
+}
+
+// WithTableOptions applies a legacy TableOptions struct wholesale.
+//
+// Deprecated: pass the individual options (WithCutoff, WithMaxPointers,
+// WithBufferTuples, WithParallelism, WithStatsStaleness) instead.
+func WithTableOptions(opts TableOptions) Option {
+	return func(c *config) {
+		c.table.UPI.Cutoff = opts.Cutoff
+		c.table.UPI.MaxPointers = opts.MaxPointers
+		c.table.BufferTuples = opts.BufferTuples
+		c.table.Parallelism = opts.Parallelism
+		c.table.StatsStaleness = opts.StatsStaleness
+	}
+}
+
+// markerFile is the database marker distinguishing Create from Open.
+// It is sideband: no modeled charge, never routed.
+const markerFile = "upidb.meta"
+
+// Create initializes a new database. With dir == "" (and no backend
+// option) everything lives in memory over the simulated disk — the
+// deterministic experiment setting. A non-empty dir is shorthand for
+// WithDiskBackend(dir): real files, real fsync, durable tables by
+// default. Create refuses a location that already holds a database.
+func Create(dir string, opts ...Option) (*DB, error) {
+	return newDB(dir, true, opts)
+}
+
+// Open attaches to an existing database previously initialized with
+// Create — typically Open(dir) over a disk directory, or
+// Open("", WithBackend(b)) over a shared backend. Individual tables
+// are then reloaded with OpenTable. Opening a location that holds no
+// database is an error.
+func Open(dir string, opts ...Option) (*DB, error) {
+	return newDB(dir, false, opts)
+}
+
+func newDB(dir string, create bool, opts []Option) (*DB, error) {
+	cfg := config{params: sim.DefaultParams(), dir: dir}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	var (
+		backend storage.Backend
+		onDisk  bool
+	)
+	switch {
+	case cfg.backend != nil:
+		backend = cfg.backend
+	case cfg.dir != "" && !cfg.mem:
+		b, err := storage.NewDiskBackend(cfg.dir)
+		if err != nil {
+			return nil, err
+		}
+		backend = b
+		onDisk = true
+	default:
+		backend = storage.NewMemBackend()
+	}
+	if cfg.durable == nil {
+		cfg.table.Durable = onDisk
+	} else {
+		cfg.table.Durable = *cfg.durable
+	}
+
+	disk := sim.NewDisk(cfg.params)
+	fs := storage.NewFSOn(disk, backend)
+	fs.Sideband(markerFile)
+	if create {
+		if fs.Exists(markerFile) {
+			return nil, fmt.Errorf("upidb: database already exists at %q; use Open", dir)
+		}
+		f := fs.Create(markerFile)
+		if err := f.WriteAt([]byte("upidb 1\n"), 0); err != nil {
+			return nil, err
+		}
+		if cfg.table.Durable {
+			if err := f.Sync(); err != nil {
+				return nil, err
+			}
+		}
+	} else if !fs.Exists(markerFile) {
+		return nil, fmt.Errorf("upidb: no database at %q; use Create", dir)
+	}
+	return &DB{
+		disk:      disk,
+		fs:        fs,
+		backend:   backend,
+		defaults:  cfg.table,
+		autoMerge: cfg.autoMerge,
+	}, nil
+}
+
+// tableConfig resolves the effective configuration of one table: the
+// database defaults overridden by the per-table options.
+func (db *DB) tableConfig(opts []Option) (fracture.Config, *fracture.AutoMergeOptions, error) {
+	cfg := config{table: db.defaults, autoMerge: db.autoMerge, tableScope: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return fracture.Config{}, nil, cfg.err
+	}
+	if cfg.durable != nil {
+		cfg.table.Durable = *cfg.durable
+	}
+	return cfg.table, cfg.autoMerge, nil
+}

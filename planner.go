@@ -1,9 +1,5 @@
 package upidb
 
-import (
-	"context"
-)
-
 // How a query was routed, reported as QueryInfo.PlanSource and in the
 // first line of Explain output.
 const (
@@ -66,41 +62,4 @@ func (t *Table) StatsInfo() StatsInfo {
 		TrackedTuples: t.catalog.TotalTuples(),
 		Unabsorbed:    t.catalog.Unabsorbed(),
 	}
-}
-
-// Explain returns the costed physical plans for a PTQ, cheapest first,
-// in EXPLAIN-style text (including the routing line Run would use).
-// The queried attribute must have seeded statistics (ErrNoStats
-// otherwise).
-//
-// Deprecated: use Run with WithExplain:
-//
-//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt).WithExplain())
-//	plans := res.Info().Explain
-func (t *Table) Explain(attr, value string, qt float64) (string, error) {
-	res, err := t.Run(context.Background(), PTQ(attr, value, qt).WithExplain())
-	if err != nil {
-		return "", err
-	}
-	return res.Info().Explain, nil
-}
-
-// QueryPlanned runs the PTQ with the cheapest plan the cost model
-// finds and reports which plan was used. The queried attribute must
-// have seeded statistics (ErrNoStats otherwise).
-//
-// Deprecated: use Run with WithPlanner:
-//
-//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt).WithPlanner())
-//	plan := res.Info().Plan
-func (t *Table) QueryPlanned(attr, value string, qt float64) ([]Result, string, error) {
-	res, err := t.Run(context.Background(), PTQ(attr, value, qt).WithPlanner())
-	if err != nil {
-		return nil, "", err
-	}
-	rs, err := res.collectErr()
-	if err != nil {
-		return nil, "", err
-	}
-	return rs, res.Info().Plan, nil
 }

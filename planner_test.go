@@ -1,7 +1,5 @@
 package upidb
 
-//lint:file-ignore SA1019 the legacy-wrapper test intentionally exercises the deprecated Explain/QueryPlanned.
-
 import (
 	"context"
 	"errors"
@@ -13,10 +11,10 @@ import (
 // so Run with no options routes PTQs through the planner and reports
 // it; WithHeuristic restores the fixed routing with identical results.
 func TestFacadePlannerByDefault(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
 	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
-		TableOptions{Cutoff: 0.1}, tuples)
+		tuples, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,10 +63,10 @@ func TestFacadePlannerByDefault(t *testing.T) {
 }
 
 func TestFacadeExplain(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
 	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
-		TableOptions{Cutoff: 0.1}, tuples)
+		tuples, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +135,10 @@ func TestFacadeExplain(t *testing.T) {
 // past its threshold, Run degrades to heuristic routing, and a merge
 // re-derivation restores planner routing.
 func TestFacadeStalenessFallback(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
 	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
-		TableOptions{Cutoff: 0.1}, tuples)
+		tuples, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,17 +184,16 @@ func TestFacadeStalenessFallback(t *testing.T) {
 // automatic planning, ErrNoStats on forced planning — until BuildStats
 // seeds it or a merge re-derives it.
 func TestFacadeUnseededCatalog(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
-	opts := TableOptions{Cutoff: 0.1}
-	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, opts, tuples)
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, tuples, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := authors.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := db.OpenTable("authors", "Institution", []string{"Country"}, opts)
+	re, err := db.OpenTable("authors", "Institution", []string{"Country"}, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,10 +243,10 @@ func TestFacadeUnseededCatalog(t *testing.T) {
 // TestFacadeAutoRoutingDisabled: a negative StatsStaleness threshold
 // turns automatic planner routing off; WithPlanner still works.
 func TestFacadeAutoRoutingDisabled(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
 	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
-		TableOptions{Cutoff: 0.1, StatsStaleness: -1}, tuples)
+		tuples, WithCutoff(0.1), WithStatsStaleness(-1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,43 +258,5 @@ func TestFacadeAutoRoutingDisabled(t *testing.T) {
 	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner())
 	if err != nil || res.Info().PlanSource != PlanSourceForced || res.Len() != 2 {
 		t.Fatalf("forced planner with auto off: %v %q %d", err, res.Info().PlanSource, res.Len())
-	}
-}
-
-// TestFacadePlannerLegacyWrappers pins the deprecated Explain and
-// QueryPlanned wrappers to the Run path they delegate to.
-func TestFacadePlannerLegacyWrappers(t *testing.T) {
-	db := New()
-	tuples := exampleTuples(t)
-	opts := TableOptions{Cutoff: 0.1}
-	loaded, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, opts, tuples)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := loaded.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	// Reopen to get an unseeded catalog: the wrappers' ErrNoStats
-	// contract still holds there.
-	authors, err := db.OpenTable("authors", "Institution", []string{"Country"}, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := authors.Explain("Institution", "MIT", 0.1); !errors.Is(err, ErrNoStats) {
-		t.Fatalf("Explain without stats: %v", err)
-	}
-	if _, _, err := authors.QueryPlanned("Institution", "MIT", 0.1); !errors.Is(err, ErrNoStats) {
-		t.Fatalf("QueryPlanned without stats: %v", err)
-	}
-	if err := authors.BuildStats(tuples); err != nil {
-		t.Fatal(err)
-	}
-	out, err := authors.Explain("Institution", "MIT", 0.1)
-	if err != nil || !strings.Contains(out, "PrimaryScan") {
-		t.Fatalf("legacy explain: %v %q", err, out)
-	}
-	rs, plan, err := authors.QueryPlanned("Institution", "MIT", 0.1)
-	if err != nil || len(rs) != 2 || plan == "" {
-		t.Fatalf("legacy planned query: %v %d via %q", err, len(rs), plan)
 	}
 }

@@ -370,17 +370,6 @@ func (r *Results) Close() {
 	}
 }
 
-// collectErr forces the materialized drain and returns the results
-// alongside the execution error — the eager contract the deprecated
-// wrappers keep.
-func (r *Results) collectErr() ([]Result, error) {
-	r.materialize()
-	if r.state != stateDrained {
-		return nil, r.err
-	}
-	return r.results, nil
-}
-
 // Info reports what the query touched and cost. ModeledTime is only
 // measured when the query was built WithStats; Plan and Explain are
 // only set for planner-routed / WithExplain runs. On an unconsumed
@@ -410,7 +399,7 @@ func (r *Results) Info() QueryInfo {
 //
 // A PTQ routes through the cost-based planner automatically whenever
 // the table's statistics catalog is fresh (staleness at or below the
-// TableOptions.StatsStaleness threshold); when statistics are absent
+// WithStatsStaleness threshold); when statistics are absent
 // or stale — or under WithHeuristic — the fixed heuristic routing
 // runs instead. Info().PlanSource reports which happened. On the
 // planner path, a deadline on ctx is compared against the chosen

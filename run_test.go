@@ -37,7 +37,7 @@ func fracturedTable(t *testing.T, db *DB, par int) *Table {
 		load = append(load, mk(uint64(i+1), val(i), val(i+1), 0.3+float64(i%60)/100))
 	}
 	tab, err := db.BulkLoadTable(fmt.Sprintf("runtest%d", par), "X", []string{"Y"},
-		TableOptions{Cutoff: 0.15, Parallelism: par}, load)
+		load, WithCutoff(0.15), WithParallelism(par))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func fracturedTable(t *testing.T, db *DB, par int) *Table {
 // context fails with ErrCanceled immediately — no modeled I/O charged,
 // no results, and well under a millisecond of wall clock.
 func TestRunCanceledContext(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	if err := tab.DropCaches(); err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestRunCanceledContext(t *testing.T) {
 // TestRunDeadlineExceeded: an expired deadline behaves like a cancel
 // but wraps context.DeadlineExceeded.
 func TestRunDeadlineExceeded(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
@@ -116,7 +116,7 @@ func TestRunDeadlineExceeded(t *testing.T) {
 // TestRunUnknownAttr: querying an unindexed attribute fails with the
 // typed sentinel at the facade, before any partition work.
 func TestRunUnknownAttr(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	if _, err := tab.Run(context.Background(), PTQ("Nope", "x", 0.1)); !errors.Is(err, ErrUnknownAttr) {
 		t.Fatalf("want ErrUnknownAttr, got %v", err)
@@ -126,7 +126,7 @@ func TestRunUnknownAttr(t *testing.T) {
 // TestRunClosed: after Close, queries and mutations fail with
 // ErrClosed; Close is idempotent.
 func TestRunClosed(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	if err := tab.Close(); err != nil {
 		t.Fatal(err)
@@ -168,7 +168,7 @@ func TestRunStreamingMatchesCollect(t *testing.T) {
 	}
 	baseline := make(map[int][]key)
 	for _, par := range []int{1, 2, 4, 0} {
-		db := New()
+		db := mustCreate(t)
 		tab := fracturedTable(t, db, par)
 		for qi, q := range queries {
 			res, err := tab.Run(context.Background(), q)
@@ -200,71 +200,11 @@ func TestRunStreamingMatchesCollect(t *testing.T) {
 	}
 }
 
-// TestRunGoldenLegacyWrappers: the six deprecated methods return
-// results identical to the equivalent Run calls.
-func TestRunGoldenLegacyWrappers(t *testing.T) {
-	db := New()
-	tab := fracturedTable(t, db, 0)
-	ctx := context.Background()
-
-	runOf := func(q Query) []Result {
-		t.Helper()
-		res, err := tab.Run(ctx, q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.Collect()
-	}
-
-	// Query.
-	legacy, err := tab.Query("v02", 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := runOf(PTQ("", "v02", 0.1)); !reflect.DeepEqual(legacy, want) {
-		t.Fatalf("Query diverged from Run: %d vs %d rows", len(legacy), len(want))
-	}
-	// QuerySecondary.
-	legacy, err = tab.QuerySecondary("Y", "yv03", 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := runOf(PTQ("Y", "yv03", 0.1)); !reflect.DeepEqual(legacy, want) {
-		t.Fatalf("QuerySecondary diverged from Run: %d vs %d rows", len(legacy), len(want))
-	}
-	// TopK.
-	legacy, err = tab.TopK("v05", 5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if want := runOf(TopKQuery("v05", 5)); !reflect.DeepEqual(legacy, want) {
-		t.Fatalf("TopK diverged from Run: %d vs %d rows", len(legacy), len(want))
-	}
-	// QueryStats agrees on rows and structural counters.
-	legacy, info, err := tab.QueryStats("v02", 0.1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := tab.Run(ctx, PTQ("", "v02", 0.1).WithStats())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(legacy, res.Collect()) {
-		t.Fatal("QueryStats rows diverged from Run")
-	}
-	if got := res.Info(); info.HeapEntries != got.HeapEntries ||
-		info.CutoffPointers != got.CutoffPointers || info.Partitions != got.Partitions {
-		t.Fatalf("QueryStats info diverged: %+v vs %+v", info, got)
-	}
-	// Explain and QueryPlanned golden equivalence is covered by
-	// TestFacadePlannerLegacyWrappers (they require BuildStats).
-}
-
 // TestRunPerQueryParallelism: WithParallelism overrides the table
 // default for one query without changing results or the table's
 // setting for later queries.
 func TestRunPerQueryParallelism(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 1)
 	ctx := context.Background()
 	base, err := tab.Run(ctx, PTQ("", "v01", 0.05))
@@ -293,7 +233,7 @@ func TestRunPerQueryParallelism(t *testing.T) {
 func TestRunModeledCostParallelismInvariant(t *testing.T) {
 	var want time.Duration
 	for i, par := range []int{1, 3, 8} {
-		db := New()
+		db := mustCreate(t)
 		tab := fracturedTable(t, db, par)
 		if err := tab.DropCaches(); err != nil {
 			t.Fatal(err)

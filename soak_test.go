@@ -52,8 +52,8 @@ func TestSoakAgainstReference(t *testing.T) {
 		t.Skip("soak test")
 	}
 	rng := rand.New(rand.NewSource(99))
-	db := New()
-	tab, err := db.CreateTable("soak", "X", []string{"Y"}, TableOptions{Cutoff: 0.15})
+	db := mustCreate(t)
+	tab, err := db.CreateTable("soak", "X", []string{"Y"}, WithCutoff(0.15))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,8 +45,7 @@ func (s *SpatialTable) StatsInfo() SpatialStatsInfo {
 //     pages and heap fetches happen only as the loop demands them, and
 //     breaking out stops the remaining I/O (it is never charged).
 //   - Collect and Len force the full materialized drain and return the
-//     canonical ordering (confidence DESC, observation ID ASC) —
-//     exactly what the legacy RunCircle/RunSegment return.
+//     canonical ordering (confidence DESC, observation ID ASC).
 //
 // Streaming order depends on the plan: a SegmentIndexScan streams in
 // the canonical confidence order (the segment index's native key

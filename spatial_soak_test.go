@@ -87,7 +87,7 @@ func TestSoakConcurrentSpatial(t *testing.T) {
 		baseIDs[i] = uint64(i + 1)
 		base = append(base, soakObs(baseIDs[i]))
 	}
-	db := New()
+	db := mustCreate(t)
 	tab, err := db.BulkLoadSpatial(soakSpatial, base, SpatialOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -262,10 +262,11 @@ func TestSoakConcurrentSpatial(t *testing.T) {
 		}
 	}
 	truth := soakSegTruth(allIDs, "seg03", soakSegQT)
-	legacy, err := tab.RunSegment(ctx, "seg03", soakSegQT)
+	segRes, err := tab.Run(ctx, Segment("seg03", soakSegQT))
 	if err != nil {
 		t.Fatal(err)
 	}
+	legacy := segRes.Collect()
 	if len(legacy) != len(truth) {
 		t.Fatalf("final segment: %d results, want %d", len(legacy), len(truth))
 	}

@@ -1,10 +1,10 @@
 package upidb
 
 // Facade tests for spatial Run parity: golden equivalence of the
-// unified Run(ctx, Circle/Segment) against the legacy
-// RunCircle/RunSegment entry points, planner routing and PlanSource
-// reporting, streamed-vs-collected parity, deadline admission with
-// zero modeled I/O, and the DB.Close contract on spatial tables.
+// planner-routed Run(ctx, Circle/Segment) against the fixed heuristic
+// routing, planner routing and PlanSource reporting,
+// streamed-vs-collected parity, deadline admission with zero modeled
+// I/O, and the DB.Close contract on spatial tables.
 
 import (
 	"context"
@@ -26,7 +26,7 @@ func spatialFixture(t testing.TB, n int) (*DB, *SpatialTable, *dataset.Cartel) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := New()
+	db := mustCreate(t)
 	tab, err := db.BulkLoadSpatial("cars", c.Observations, SpatialOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -62,9 +62,10 @@ func sameSpatialResults(t *testing.T, what string, got, want []SpatialResult) {
 	}
 }
 
-// TestSpatialRunGolden: Run(ctx, Circle/Segment) must return results
-// identical to the legacy RunCircle/RunSegment on a golden workload,
-// with PlanSource reporting fresh-stats planner routing.
+// TestSpatialRunGolden: planner-routed Run(ctx, Circle/Segment) must
+// return results identical to the fixed heuristic routing
+// (WithHeuristic) on a golden workload, with PlanSource reporting
+// fresh-stats planner routing.
 func TestSpatialRunGolden(t *testing.T) {
 	_, tab, c := spatialFixture(t, 4000)
 	ctx := context.Background()
@@ -75,10 +76,11 @@ func TestSpatialRunGolden(t *testing.T) {
 	center := c.Extent.Center()
 	for _, radius := range []float64{120, 400, 900} {
 		for _, th := range []float64{0.3, 0.6} {
-			legacy, err := tab.RunCircle(ctx, center, radius, th)
+			hres, err := tab.Run(ctx, Circle(center, radius, th).WithHeuristic())
 			if err != nil {
 				t.Fatal(err)
 			}
+			legacy := hres.Collect()
 			res, err := tab.Run(ctx, Circle(center, radius, th))
 			if err != nil {
 				t.Fatal(err)
@@ -98,10 +100,11 @@ func TestSpatialRunGolden(t *testing.T) {
 
 	seg := busySegment(c)
 	for _, qt := range []float64{0.2, 0.5, 0.8} {
-		legacy, err := tab.RunSegment(ctx, seg, qt)
+		hres, err := tab.Run(ctx, Segment(seg, qt).WithHeuristic())
 		if err != nil {
 			t.Fatal(err)
 		}
+		legacy := hres.Collect()
 		res, err := tab.Run(ctx, Segment(seg, qt))
 		if err != nil {
 			t.Fatal(err)
@@ -115,16 +118,11 @@ func TestSpatialRunGolden(t *testing.T) {
 		}
 	}
 
-	// WithHeuristic pins the legacy fixed routing and reports it.
+	// WithHeuristic pins the fixed routing and reports it.
 	res, err := tab.Run(ctx, Circle(center, 400, 0.5).WithHeuristic())
 	if err != nil {
 		t.Fatal(err)
 	}
-	legacy, err := tab.RunCircle(ctx, center, 400, 0.5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sameSpatialResults(t, "heuristic circle", res.Collect(), legacy)
 	if src := res.Info().PlanSource; src != PlanSourceHeuristic {
 		t.Fatalf("WithHeuristic PlanSource %q", src)
 	}
@@ -308,11 +306,8 @@ func TestSpatialClose(t *testing.T) {
 	if _, err := tab.Run(ctx, Circle(Point{}, 100, 0.5)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Run after Close: %v", err)
 	}
-	if _, err := tab.RunCircle(ctx, Point{}, 100, 0.5); !errors.Is(err, ErrClosed) {
-		t.Fatalf("RunCircle after Close: %v", err)
-	}
-	if _, err := tab.RunSegment(ctx, "s", 0.5); !errors.Is(err, ErrClosed) {
-		t.Fatalf("RunSegment after Close: %v", err)
+	if _, err := tab.Run(ctx, Segment("s", 0.5)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("segment Run after Close: %v", err)
 	}
 	if _, err := db.BulkLoadSpatial("more", c.Observations, SpatialOptions{}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("BulkLoadSpatial after Close: %v", err)
@@ -324,7 +319,7 @@ func TestSpatialClose(t *testing.T) {
 func TestSpatialKindRouting(t *testing.T) {
 	db, stab, _ := spatialFixture(t, 300)
 	ctx := context.Background()
-	dtab, err := db.CreateTable("d", "X", nil, TableOptions{})
+	dtab, err := db.CreateTable("d", "X", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

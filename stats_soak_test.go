@@ -44,9 +44,9 @@ func TestSoakStatsFreshness(t *testing.T) {
 		load = append(load, tup)
 		mirror[tup.ID] = tup
 	}
-	db := New()
+	db := mustCreate(t)
 	defer db.Close()
-	tab, err := db.BulkLoadTable("statsoak", "X", []string{"Y"}, TableOptions{Cutoff: 0.15}, load)
+	tab, err := db.BulkLoadTable("statsoak", "X", []string{"Y"}, load, WithCutoff(0.15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func TestSoakStatsFreshness(t *testing.T) {
 // zero modeled I/O, zero pinned partitions — while a generous deadline
 // admits the same query.
 func TestRunDeadlineAdmission(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	if err := tab.DropCaches(); err != nil {
 		t.Fatal(err)

@@ -41,7 +41,7 @@ func hotTable(t *testing.T, db *DB) *Table {
 		base = append(base, hot(id, 0.5+float64(i)*0.008))
 		id++
 	}
-	tab, err := db.BulkLoadTable("hottab", "X", nil, TableOptions{Cutoff: 0.15, Parallelism: 1}, base)
+	tab, err := db.BulkLoadTable("hottab", "X", nil, base, WithCutoff(0.15), WithParallelism(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestRunStreamsGoldenVsCollect(t *testing.T) {
 	}
 	ctx := context.Background()
 	for _, par := range []int{1, 2, 0} {
-		db := New()
+		db := mustCreate(t)
 		tab := fracturedTable(t, db, par)
 		for qi, q := range queries {
 			matRes, err := tab.Run(ctx, q)
@@ -129,7 +129,7 @@ func TestRunStreamsGoldenVsCollect(t *testing.T) {
 // reports the same execution statistics — entries scanned, partitions,
 // buffer hits and exact modeled time — as the materialized execution.
 func TestRunStreamStatsMatchMaterialized(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	ctx := context.Background()
 	q := PTQ("", "v01", 0.05).WithStats()
@@ -165,7 +165,7 @@ func TestRunStreamStatsMatchMaterialized(t *testing.T) {
 // top-k yields its first result — and completes — for strictly less
 // modeled I/O than the materialized execution, with identical results.
 func TestRunTopKStreamEarlyTermination(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := hotTable(t, db)
 	ctx := context.Background()
 	q := TopKQuery("hot", 20)
@@ -240,7 +240,7 @@ func TestRunTopKStreamEarlyTermination(t *testing.T) {
 // ErrStreamConsumed instead of silently resuming, Collect/Len report
 // an empty set, and Err explains why.
 func TestRunPartialDrainSpendsHandle(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
 	if err != nil {
@@ -288,7 +288,7 @@ func TestRunPartialDrainSpendsHandle(t *testing.T) {
 // modeled I/O, and releases every partition pin (the table merges
 // cleanly afterwards).
 func TestRunMidStreamCancel(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -339,7 +339,7 @@ func TestRunMidStreamCancel(t *testing.T) {
 // TestResultsClose: Close on an unconsumed handle releases its pins
 // without executing; the handle is spent.
 func TestResultsClose(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	before := db.DiskStats()
 	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
@@ -367,7 +367,7 @@ func TestResultsClose(t *testing.T) {
 // poison the handle — they are inert mid-drain, and the stream still
 // finishes cleanly with Err() == nil.
 func TestRunAccessorsDuringStream(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 0)
 	res, err := tab.Run(context.Background(), PTQ("", "v01", 0.05))
 	if err != nil {
@@ -412,7 +412,7 @@ func TestRunAccessorsDuringStream(t *testing.T) {
 // TestRunStreamsManyValues is a broader golden sweep: every value of
 // the fractured table streams identically to its materialized run.
 func TestRunStreamsManyValues(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tab := fracturedTable(t, db, 2)
 	ctx := context.Background()
 	for v := 0; v < 7; v++ {

@@ -14,9 +14,9 @@
 //
 // Quick start:
 //
-//	db := upidb.New()
+//	db, _ := upidb.Create("") // in-memory, simulated disk
 //	authors, _ := db.CreateTable("authors", "Institution",
-//		[]string{"Country"}, upidb.TableOptions{Cutoff: 0.1})
+//		[]string{"Country"}, upidb.WithCutoff(0.1))
 //	authors.Insert(&upidb.Tuple{
 //		ID: 1, Existence: 0.9,
 //		Unc: []upidb.UncField{{Name: "Institution", Dist: upidb.Discrete{
@@ -26,6 +26,20 @@
 //	// PTQ on the primary attribute: confidence >= 0.1.
 //	res, _ := authors.Run(ctx, upidb.PTQ("", "MIT", 0.1))
 //	for r, _ := range res.All() { ... }
+//
+// A database is constructed with Create (new) or Open (existing) plus
+// functional options. The default backend keeps every byte in memory
+// over the deterministic simulated disk — the paper's experiment
+// setting. Durability is one option away:
+//
+//	db, _ := upidb.Create("/var/data/upi") // or Create("", upidb.WithDiskBackend(dir))
+//
+// stores bytes in real files and makes every table durable: inserts
+// and deletes are written to a per-table write-ahead log and fsynced
+// before they are acknowledged, flushes and merges commit through an
+// atomically renamed manifest, and OpenTable replays the WAL so every
+// acknowledged write survives a crash. See README.md ("Durability &
+// backends") for the recovery contract.
 //
 // Every query goes through one entry point, Table.Run: a Query
 // descriptor (PTQ or TopKQuery, with chainable per-query options)
@@ -78,7 +92,7 @@
 // write) and a merge builds its new generation without the lock.
 //
 // Each query additionally fans its per-partition scans out across a
-// bounded worker pool sized by TableOptions.Parallelism (default
+// bounded worker pool sized by WithParallelism (default
 // GOMAXPROCS) — the partition-parallel read path that multi-petabyte
 // shared-nothing designs rely on. Modeled I/O stays deterministic at
 // every parallelism: each partition records its I/O on a private tape
@@ -95,7 +109,6 @@
 package upidb
 
 import (
-	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -147,6 +160,11 @@ type (
 func NewDiscrete(alts []Alternative) (Discrete, error) { return prob.NewDiscrete(alts) }
 
 // TableOptions tune a UPI table.
+//
+// Deprecated: pass functional options (WithCutoff, WithMaxPointers,
+// WithBufferTuples, WithParallelism, WithStatsStaleness) to
+// CreateTable, BulkLoadTable and OpenTable instead; an existing struct
+// can be bridged with WithTableOptions.
 type TableOptions struct {
 	// Cutoff is the cutoff threshold C (Section 3.1). Alternatives
 	// with confidence below C live in the cutoff index instead of
@@ -172,10 +190,19 @@ type TableOptions struct {
 	StatsStaleness float64
 }
 
-// DB owns a simulated disk and the tables created on it.
+// DB owns a disk model, a storage backend and the tables created on
+// them. Construct one with Create or Open.
 type DB struct {
-	disk *sim.Disk
-	fs   *storage.FS
+	disk    *sim.Disk
+	fs      *storage.FS
+	backend storage.Backend
+
+	// defaults is the table configuration every CreateTable /
+	// BulkLoadTable / OpenTable starts from, as resolved from the
+	// database-level options; autoMerge, when set, starts the
+	// background merger on every table.
+	defaults  fracture.Config
+	autoMerge *fracture.AutoMergeOptions
 
 	mu       sync.Mutex
 	closed   bool
@@ -185,19 +212,29 @@ type DB struct {
 
 // New creates a database over a fresh simulated disk with the paper's
 // default cost constants.
+//
+// Deprecated: use Create("").
 func New() *DB {
-	disk := sim.NewDisk(sim.DefaultParams())
-	return &DB{disk: disk, fs: storage.NewFS(disk)}
+	db, err := Create("")
+	if err != nil { // unreachable: the in-memory backend cannot fail
+		panic(err)
+	}
+	return db
 }
 
 // NewWithParams creates a database with custom disk cost constants.
+//
+// Deprecated: use Create("", WithDiskParams(p)).
 func NewWithParams(p sim.Params) *DB {
-	disk := sim.NewDisk(p)
-	return &DB{disk: disk, fs: storage.NewFS(disk)}
+	db, err := Create("", WithDiskParams(p))
+	if err != nil { // unreachable: the in-memory backend cannot fail
+		panic(err)
+	}
+	return db
 }
 
 // DiskParams returns the paper's default disk cost constants (Table
-// 6), as a starting point for NewWithParams.
+// 6), as a starting point for WithDiskParams.
 func DiskParams() sim.Params { return sim.DefaultParams() }
 
 // DiskStats returns the accumulated simulated-disk activity.
@@ -224,8 +261,8 @@ func (db *DB) checkOpen() error {
 // hooks). A table whose on-disk content is unknown (OpenTable) starts
 // unseeded: Run falls back to heuristic routing until the first merge
 // re-derives the statistics.
-func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, opts TableOptions) (*Table, error) {
-	cat := stats.NewCatalog(store.Main().Attr(), store.Main().SecondaryAttrs(), opts.StatsStaleness, known)
+func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, cfg fracture.Config, am *AutoMergeOptions) (*Table, error) {
+	cat := stats.NewCatalog(store.Main().Attr(), store.Main().SecondaryAttrs(), cfg.StatsStaleness, known)
 	if seed != nil {
 		if err := cat.Seed(seed); err != nil {
 			return nil, err
@@ -237,6 +274,12 @@ func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, opts
 		store:   store,
 		catalog: cat,
 		planner: planner.New(store, cat, db.disk.Params()),
+	}
+	if am != nil {
+		if err := store.StartAutoMerge(*am); err != nil {
+			_ = store.Close()
+			return nil, err
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -254,69 +297,73 @@ func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, opts
 // The table's statistics catalog starts complete (an empty table has
 // nothing unknown) and absorbs every subsequent insert and delete, so
 // Run routes through the cost-based planner from the first query.
-func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, fracture.Options{
-		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
-		BufferTuples: opts.BufferTuples,
-		Parallelism:  opts.Parallelism,
-	})
+	cfg, am, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, nil, true, opts)
+	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return db.attachTable(store, nil, true, cfg, am)
 }
 
 // BulkLoadTable creates a fractured-UPI table whose main partition is
 // bulk-built from tuples with sequential I/O only. The statistics
 // catalog is seeded from the same tuples, so the engine owns complete
 // cardinality knowledge without a separate BuildStats pass.
-func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, opts TableOptions, tuples []*Tuple) (*Table, error) {
+func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, tuples []*Tuple, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, fracture.Options{
-		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
-		BufferTuples: opts.BufferTuples,
-		Parallelism:  opts.Parallelism,
-	}, tuples)
+	cfg, am, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, tuples, false, opts)
+	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, cfg, tuples)
+	if err != nil {
+		return nil, err
+	}
+	return db.attachTable(store, tuples, false, cfg, am)
 }
 
-// OpenTable reloads a table previously created on this DB's file
-// system (after Flush; unflushed RAM-buffer contents do not survive).
-// The on-disk content is unknown to the statistics catalog, so Run
-// uses heuristic routing until BuildStats seeds it or the first merge
-// re-derives it.
-func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts TableOptions) (*Table, error) {
+// OpenTable reloads a table previously created on this DB's storage.
+// On a durable table every acknowledged write survives: the manifest
+// names the authoritative partitions and the write-ahead log replays
+// the RAM insert buffer and pending deletes. On a non-durable table
+// only flushed state survives. Either way the on-disk content is
+// unknown to the statistics catalog, so Run uses heuristic routing
+// until BuildStats seeds it or the first merge re-derives it.
+func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, fracture.Options{
-		UPI:          upi.Options{Cutoff: opts.Cutoff, MaxPointers: opts.MaxPointers},
-		BufferTuples: opts.BufferTuples,
-		Parallelism:  opts.Parallelism,
-	})
+	cfg, am, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, nil, false, opts)
+	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return db.attachTable(store, nil, false, cfg, am)
 }
 
 // Close closes the database: every table is closed — stopping
 // background mergers, failing subsequent queries and mutations with
 // ErrClosed — and any later CreateTable, BulkLoadTable, OpenTable or
 // BulkLoadSpatial on this DB fails with ErrClosed too. In-flight
-// queries finish normally on the snapshots they hold. Close returns
-// the first table-close error (background-merge failures surface
-// here, like Table.Close); closing twice is safe.
+// queries finish normally on the snapshots they hold. The storage
+// backend is closed last, releasing any real file handles a disk
+// backend holds. Close returns the first error (background-merge
+// failures surface here, like Table.Close); closing twice is safe.
 func (db *DB) Close() error {
 	db.mu.Lock()
+	alreadyClosed := db.closed
 	db.closed = true
 	tables := db.tables
 	spatials := db.spatials
@@ -329,6 +376,11 @@ func (db *DB) Close() error {
 	}
 	for _, s := range spatials {
 		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if !alreadyClosed {
+		if err := db.backend.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -375,66 +427,6 @@ func (t *Table) Merge() error { return t.store.Merge() }
 // hold. Close returns the first background-merge error, like
 // StopAutoMerge; closing twice is safe.
 func (t *Table) Close() error { return t.store.Close() }
-
-// Query answers the PTQ "primaryAttr = value AND confidence >= qt".
-//
-// Deprecated: use Run with a PTQ descriptor, which adds context
-// cancellation, per-query options and streaming:
-//
-//	res, err := t.Run(ctx, upidb.PTQ("", value, qt))
-func (t *Table) Query(value string, qt float64) ([]Result, error) {
-	res, err := t.Run(context.Background(), PTQ("", value, qt))
-	if err != nil {
-		return nil, err
-	}
-	return res.collectErr()
-}
-
-// QueryStats answers the PTQ and also reports modeled cost and what
-// the query touched.
-//
-// Deprecated: use Run with WithStats:
-//
-//	res, err := t.Run(ctx, upidb.PTQ("", value, qt).WithStats())
-func (t *Table) QueryStats(value string, qt float64) ([]Result, QueryInfo, error) {
-	res, err := t.Run(context.Background(), PTQ("", value, qt).WithStats())
-	if err != nil {
-		return nil, QueryInfo{}, err
-	}
-	rs, err := res.collectErr()
-	if err != nil {
-		return nil, QueryInfo{}, err
-	}
-	return rs, res.Info(), nil
-}
-
-// QuerySecondary answers a PTQ on a secondary uncertain attribute,
-// using tailored secondary index access (Section 3.2).
-//
-// Deprecated: use Run with a PTQ descriptor naming the attribute:
-//
-//	res, err := t.Run(ctx, upidb.PTQ(attr, value, qt))
-func (t *Table) QuerySecondary(attr, value string, qt float64) ([]Result, error) {
-	res, err := t.Run(context.Background(), PTQ(attr, value, qt))
-	if err != nil {
-		return nil, err
-	}
-	return res.collectErr()
-}
-
-// TopK returns the k highest-confidence tuples for the given value of
-// the primary attribute.
-//
-// Deprecated: use Run with a TopKQuery descriptor:
-//
-//	res, err := t.Run(ctx, upidb.TopKQuery(value, k))
-func (t *Table) TopK(value string, k int) ([]Result, error) {
-	res, err := t.Run(context.Background(), TopKQuery(value, k))
-	if err != nil {
-		return nil, err
-	}
-	return res.collectErr()
-}
 
 // SetParallelism changes the per-query partition fan-out width
 // (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not depend on
@@ -584,47 +576,6 @@ func (s *SpatialTable) Insert(o *Observation) error {
 // discrete tables. In-flight queries finish normally. Closing twice is
 // safe.
 func (s *SpatialTable) Close() error { return s.tab.Close() }
-
-// RunCircle answers "within radius of q with appearance probability
-// >= threshold" (the paper's Query 4) under ctx: cancellation stops
-// the R-Tree traversal between leaves and the fetch phase between
-// heap reads, failing with ErrCanceled.
-//
-// Deprecated: use Run with a Circle descriptor, which adds planner
-// routing, per-query options and streaming:
-//
-//	res, err := s.Run(ctx, upidb.Circle(q, radius, threshold))
-func (s *SpatialTable) RunCircle(ctx context.Context, q Point, radius, threshold float64) ([]SpatialResult, error) {
-	rs, _, err := s.tab.QueryCircle(ctx, q, radius, threshold)
-	return rs, err
-}
-
-// RunSegment answers a PTQ on the uncertain road-segment attribute
-// (the paper's Query 5) under ctx.
-//
-// Deprecated: use Run with a Segment descriptor:
-//
-//	res, err := s.Run(ctx, upidb.Segment(segment, qt))
-func (s *SpatialTable) RunSegment(ctx context.Context, segment string, qt float64) ([]SpatialResult, error) {
-	rs, _, err := s.tab.QuerySegment(ctx, segment, qt)
-	return rs, err
-}
-
-// QueryCircle answers "within radius of q with appearance probability
-// >= threshold" (the paper's Query 4).
-//
-// Deprecated: use RunCircle, which honors a context.
-func (s *SpatialTable) QueryCircle(q Point, radius, threshold float64) ([]SpatialResult, error) {
-	return s.RunCircle(context.Background(), q, radius, threshold)
-}
-
-// QuerySegment answers a PTQ on the uncertain road-segment attribute
-// (the paper's Query 5).
-//
-// Deprecated: use RunSegment, which honors a context.
-func (s *SpatialTable) QuerySegment(segment string, qt float64) ([]SpatialResult, error) {
-	return s.RunSegment(context.Background(), segment, qt)
-}
 
 // SizeBytes returns the spatial table's total on-disk size.
 func (s *SpatialTable) SizeBytes() int64 { return s.tab.SizeBytes() }

@@ -40,9 +40,18 @@ func exampleTuples(t *testing.T) []*Tuple {
 	}
 }
 
+func mustCreate(t testing.TB, opts ...Option) *DB {
+	t.Helper()
+	db, err := Create("", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
 func TestFacadeEndToEnd(t *testing.T) {
-	db := New()
-	authors, err := db.CreateTable("authors", "Institution", []string{"Country"}, TableOptions{Cutoff: 0.1})
+	db := mustCreate(t)
+	authors, err := db.CreateTable("authors", "Institution", []string{"Country"}, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,9 +121,9 @@ func TestFacadeEndToEnd(t *testing.T) {
 }
 
 func TestFacadeQueryStats(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"},
-		TableOptions{Cutoff: 0.1}, exampleTuples(t))
+		exampleTuples(t), WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +153,7 @@ func TestFacadeQueryStats(t *testing.T) {
 }
 
 func TestFacadeSpatial(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	seg, err := NewDiscrete([]Alternative{{Value: "seg-1", Prob: 0.7}, {Value: "seg-2", Prob: 0.3}})
 	if err != nil {
 		t.Fatal(err)
@@ -158,21 +167,28 @@ func TestFacadeSpatial(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	rs, err := cars.RunCircle(ctx, Point{X: 0, Y: 0}, 100, 0.5)
-	if err != nil || len(rs) != 1 || rs[0].Obs.ID != 1 {
-		t.Fatalf("circle: %v %+v", err, rs)
+	cres, err := cars.Run(ctx, Circle(Point{X: 0, Y: 0}, 100, 0.5))
+	if err != nil {
+		t.Fatal(err)
 	}
-	rs, err = cars.RunSegment(ctx, "seg-1", 0.5)
-	if err != nil || len(rs) != 2 {
-		t.Fatalf("segment: %v %+v", err, rs)
+	rs := cres.Collect()
+	if len(rs) != 1 || rs[0].Obs.ID != 1 {
+		t.Fatalf("circle: %+v", rs)
+	}
+	sres, err := cars.Run(ctx, Segment("seg-1", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs = sres.Collect(); len(rs) != 2 {
+		t.Fatalf("segment: %+v", rs)
 	}
 	if err := cars.Insert(&Observation{
 		ID: 3, Loc: ConstrainedGaussian{Center: Point{X: 10, Y: 10}, Sigma: 10, Bound: 50}, Segment: seg,
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rs, _ = cars.RunCircle(ctx, Point{X: 0, Y: 0}, 100, 0.5)
-	if len(rs) != 2 {
+	cres, _ = cars.Run(ctx, Circle(Point{X: 0, Y: 0}, 100, 0.5))
+	if rs = cres.Collect(); len(rs) != 2 {
 		t.Fatalf("after insert: %+v", rs)
 	}
 	if cars.SizeBytes() == 0 {
@@ -184,16 +200,15 @@ func TestFacadeSpatial(t *testing.T) {
 }
 
 func TestFacadeOpenTable(t *testing.T) {
-	db := New()
-	opts := TableOptions{Cutoff: 0.1}
-	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, opts, exampleTuples(t))
+	db := mustCreate(t)
+	authors, err := db.BulkLoadTable("authors", "Institution", []string{"Country"}, exampleTuples(t), WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := authors.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := db.OpenTable("authors", "Institution", []string{"Country"}, opts)
+	re, err := db.OpenTable("authors", "Institution", []string{"Country"}, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +216,7 @@ func TestFacadeOpenTable(t *testing.T) {
 	if err != nil || res.Len() != 2 {
 		t.Fatalf("reopened: %v %+v", err, res)
 	}
-	if _, err := db.OpenTable("missing", "X", nil, opts); err == nil {
+	if _, err := db.OpenTable("missing", "X", nil); err == nil {
 		t.Fatal("open of missing table accepted")
 	}
 }
@@ -209,9 +224,9 @@ func TestFacadeOpenTable(t *testing.T) {
 // TestDBClose: closing the DB closes every table and rejects further
 // table creation and opening with ErrClosed; closing twice is safe.
 func TestDBClose(t *testing.T) {
-	db := New()
+	db := mustCreate(t)
 	tuples := exampleTuples(t)
-	a, err := db.CreateTable("a", "Institution", []string{"Country"}, TableOptions{Cutoff: 0.1})
+	a, err := db.CreateTable("a", "Institution", []string{"Country"}, WithCutoff(0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +235,7 @@ func TestDBClose(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	b, err := db.BulkLoadTable("b", "Institution", []string{"Country"}, TableOptions{}, tuples)
+	b, err := db.BulkLoadTable("b", "Institution", []string{"Country"}, tuples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,13 +253,13 @@ func TestDBClose(t *testing.T) {
 		t.Fatalf("Insert on table b after DB.Close: %v", err)
 	}
 	// New tables and lookups are rejected.
-	if _, err := db.CreateTable("c", "X", nil, TableOptions{}); !errors.Is(err, ErrClosed) {
+	if _, err := db.CreateTable("c", "X", nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("CreateTable after Close: %v", err)
 	}
-	if _, err := db.BulkLoadTable("d", "X", nil, TableOptions{}, nil); !errors.Is(err, ErrClosed) {
+	if _, err := db.BulkLoadTable("d", "X", nil, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("BulkLoadTable after Close: %v", err)
 	}
-	if _, err := db.OpenTable("b", "Institution", []string{"Country"}, TableOptions{}); !errors.Is(err, ErrClosed) {
+	if _, err := db.OpenTable("b", "Institution", []string{"Country"}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("OpenTable after Close: %v", err)
 	}
 	if _, err := db.BulkLoadSpatial("s", nil, SpatialOptions{}); !errors.Is(err, ErrClosed) {
@@ -258,8 +273,8 @@ func TestDBClose(t *testing.T) {
 func TestFacadeCustomDiskParams(t *testing.T) {
 	p := DiskParams()
 	p.Seek *= 2
-	db := NewWithParams(p)
-	tab, err := db.CreateTable("t", "X", nil, TableOptions{})
+	db := mustCreate(t, WithDiskParams(p))
+	tab, err := db.CreateTable("t", "X", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
