@@ -39,6 +39,11 @@ var (
 	// DB.Close, including creating or opening tables on a closed DB.
 	ErrClosed = fracture.ErrClosed
 
+	// ErrInvalidShards reports a WithShards option with n < 1. A table
+	// always has at least one shard; WithShards(1) is the unsharded
+	// engine.
+	ErrInvalidShards = errors.New("upidb: WithShards requires at least 1 shard")
+
 	// ErrStreamConsumed reports a Results handle consumed twice after a
 	// partial drain: an All iterator was abandoned mid-stream (the
 	// consumer broke out before exhaustion), so the remaining results

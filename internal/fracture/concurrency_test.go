@@ -146,7 +146,7 @@ func TestInFlightQuerySurvivesMerge(t *testing.T) {
 	// The snapshot must still answer from the old generation.
 	rs, _, err := s.collect(context.Background(), snap, func(ctx context.Context, tab *upi.Table) ([]upi.Result, upi.QueryStats, error) {
 		return tab.Query(ctx, concValue(3), 0.1)
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("query over pinned old generation: %v", err)
 	}

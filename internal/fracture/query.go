@@ -59,6 +59,10 @@ type Req struct {
 	// Parallelism overrides the store's partition fan-out width for
 	// this query only (0 = store default).
 	Parallelism int
+	// Trace, when set, receives span events (partition scan start/end)
+	// as the query executes. It may be called from concurrent scan
+	// workers; see TraceFunc.
+	Trace TraceFunc
 }
 
 // snapshot is a consistent view of the store taken under the read
@@ -192,7 +196,7 @@ type partQuery func(ctx context.Context, t *upi.Table) ([]upi.Result, upi.QueryS
 // cancellation — its tape and every later partition's tape are
 // discarded instead of replayed: an abandoned query stops charging
 // modeled I/O beyond the partitions it had already completed.
-func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery) ([]upi.Result, Stats, error) {
+func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery, trace TraceFunc) ([]upi.Result, Stats, error) {
 	n := len(snap.parts)
 	type partOut struct {
 		rs   []upi.Result
@@ -208,12 +212,18 @@ func (s *Store) collect(ctx context.Context, snap *snapshot, q partQuery) ([]upi
 			return
 		}
 		t := snap.parts[i]
+		trace.emit(TraceScanStart, i, t.Name())
 		tape := sim.NewTape()
 		release := s.fs.RouteTo(t.Files(), tape)
 		tape.Open(t.Name())
 		rs, qs, err := q(ctx, t)
 		release()
 		outs[i] = partOut{rs: rs, qs: qs, err: err, tape: tape}
+		if err != nil {
+			trace.emit(TraceScanEnd, i, t.Name()+": "+err.Error())
+		} else {
+			trace.emit(TraceScanEnd, i, t.Name())
+		}
 	}
 
 	if workers := min(snap.parallelism, n); workers <= 1 {
@@ -370,10 +380,11 @@ func (s *Store) Run(ctx context.Context, req Req) ([]upi.Result, Stats, error) {
 // (incremental k-way merged) may consume it; Release discards an
 // unconsumed Prepared.
 type Prepared struct {
-	s    *Store
-	plan execPlan
-	snap *snapshot // nil for trivially empty queries
-	used bool
+	s     *Store
+	plan  execPlan
+	snap  *snapshot // nil for trivially empty queries
+	trace TraceFunc
+	used  bool
 }
 
 // Prepare compiles req, evaluates the RAM buffer and pins the current
@@ -387,7 +398,7 @@ func (s *Store) Prepare(ctx context.Context, req Req) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{s: s, plan: plan}
+	p := &Prepared{s: s, plan: plan, trace: req.Trace}
 	if plan.empty {
 		return p, nil
 	}
@@ -413,7 +424,7 @@ func (p *Prepared) Collect(ctx context.Context) ([]upi.Result, Stats, error) {
 		return nil, Stats{}, nil
 	}
 	defer p.snap.release()
-	results, stats, err := p.s.collect(ctx, p.snap, p.plan.q)
+	results, stats, err := p.s.collect(ctx, p.snap, p.plan.q, p.trace)
 	if err != nil {
 		return nil, stats, err
 	}

@@ -42,6 +42,7 @@ type Stream struct {
 	s      *Store
 	snap   *snapshot
 	cursor func(ctx context.Context, t *upi.Table) *upi.Cursor
+	trace  TraceFunc
 	k      int // stop after this many yields (0 = drain everything)
 
 	primed  bool
@@ -75,7 +76,7 @@ func (p *Prepared) Stream(ctx context.Context) *Stream {
 		return &Stream{done: true, err: errConsumed}
 	}
 	p.used = true
-	st := &Stream{ctx: ctx, s: p.s, snap: p.snap, cursor: p.plan.cursor, k: p.plan.k}
+	st := &Stream{ctx: ctx, s: p.s, snap: p.snap, cursor: p.plan.cursor, trace: p.trace, k: p.plan.k}
 	if p.snap == nil {
 		st.done = true
 	}
@@ -106,6 +107,7 @@ func (st *Stream) prime() error {
 			return
 		}
 		t := snap.parts[i]
+		st.trace.emit(TraceScanStart, i, t.Name())
 		p.release = st.s.fs.RouteTo(t.Files(), p.tape)
 		p.tape.Open(t.Name())
 		p.cur = st.cursor(st.ctx, t)
@@ -193,6 +195,7 @@ func (st *Stream) finalizePart(p *streamPart) {
 	}
 	st.stats.ModeledTime += st.s.fs.Disk().Replay(p.tape)
 	st.snap.unpinPart(p.idx)
+	st.trace.emit(TraceScanEnd, p.idx, st.snap.parts[p.idx].Name())
 }
 
 // finish terminates the stream: every remaining partition is

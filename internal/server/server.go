@@ -1,0 +1,490 @@
+// Package server is the HTTP/JSON front end over a upidb.DB: the
+// network face of the shard-per-core engine. It exposes the uncertain
+// tables of one database as REST-ish resources:
+//
+//	POST /v1/tables/{table}/query    run a PTQ or top-k, stream NDJSON
+//	POST /v1/tables/{table}/insert   upsert one tuple
+//	POST /v1/tables/{table}/delete   delete by tuple ID
+//	GET  /v1/tables/{table}/stats    statistics-catalog + table state
+//	GET  /healthz                    liveness (503 while draining)
+//
+// Three serving disciplines, all built on machinery the engine already
+// has:
+//
+//   - Admission by concurrency: a channel-of-tokens bucket caps
+//     in-flight requests at Config.MaxInflight. An exhausted bucket
+//     answers 429 + Retry-After immediately instead of queueing
+//     unboundedly — overload sheds at the door, the worker-token
+//     pattern.
+//   - Admission by deadline: every request runs under a context
+//     deadline (per-request timeout_ms, else Config.DefaultTimeout),
+//     which flows into the engine's deadline admission — a query whose
+//     modeled cost exceeds the remaining deadline is refused with 504
+//     before any partition is pinned.
+//   - Graceful drain: BeginDrain flips the server to refusing new work
+//     (503, and healthz goes unhealthy so load balancers steer away)
+//     while Drain waits for in-flight requests to finish. SIGTERM in
+//     cmd/upiserve triggers exactly this, then closes the DB.
+//
+// Query responses stream as NDJSON riding Results.All: one
+// {"id","confidence"} object per result as the globally merged stream
+// yields it, then one trailer object carrying counts, the plan and
+// aggregated statistics. Mid-stream failures surface as an {"error"}
+// line — the status code is already on the wire.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"upidb"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// MaxInflight caps concurrently served requests (the token-bucket
+	// size). 0 defaults to 64.
+	MaxInflight int
+	// DefaultTimeout bounds requests that carry no timeout_ms of their
+	// own. 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// Logf, when set, receives one line per served request (method,
+	// path, status, duration, trace counters). nil disables request
+	// logging.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one upidb.DB over HTTP. Create with New, expose with
+// Handler, shut down with BeginDrain + Drain.
+type Server struct {
+	db  *upidb.DB
+	cfg Config
+	mux *http.ServeMux
+
+	// tokens is the admission bucket: a request must take a token to be
+	// served and returns it when done. Buffered to MaxInflight.
+	tokens   chan struct{}
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server over db.
+func New(db *upidb.DB, cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	s := &Server{db: db, cfg: cfg, tokens: make(chan struct{}, cfg.MaxInflight)}
+	for i := 0; i < cfg.MaxInflight; i++ {
+		s.tokens <- struct{}{}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/tables/{table}/query", s.limited(s.handleQuery))
+	s.mux.HandleFunc("POST /v1/tables/{table}/insert", s.limited(s.handleInsert))
+	s.mux.HandleFunc("POST /v1/tables/{table}/delete", s.limited(s.handleDelete))
+	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.limited(s.handleStats))
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into drain mode: every subsequent
+// request (healthz included) is refused with 503 while in-flight ones
+// run to completion. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every in-flight request has finished. Call after
+// BeginDrain (and typically after http.Server.Shutdown, which waits
+// for connections; Drain additionally covers handlers still running).
+func (s *Server) Drain() { s.inflight.Wait() }
+
+// errorBody writes a JSON error document with the given status.
+func errorBody(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// limited wraps a handler with the serving disciplines: drain check,
+// token-bucket admission (429 + Retry-After on an empty bucket), and
+// request logging.
+func (s *Server) limited(h func(http.ResponseWriter, *http.Request) (status int, note string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Count the request in before checking the drain flag: BeginDrain
+		// happens-before Drain's Wait, so a request that saw draining ==
+		// false is either inside the WaitGroup (Drain waits for it) or
+		// already answered 503.
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		if s.draining.Load() {
+			errorBody(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		select {
+		case <-s.tokens:
+		default:
+			// Bucket empty: shed immediately rather than queue. The client
+			// owns the retry policy; Retry-After is a hint.
+			w.Header().Set("Retry-After", "1")
+			errorBody(w, http.StatusTooManyRequests, "server at max in-flight requests")
+			return
+		}
+		defer func() { s.tokens <- struct{}{} }()
+		start := time.Now()
+		status, note := h(w, r)
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("%s %s -> %d in %v%s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), note)
+		}
+	}
+}
+
+// handleHealthz answers liveness probes: 200 while serving, 503 while
+// draining so load balancers stop routing here before the listener
+// closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		errorBody(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// table resolves the {table} path value, answering 404 through the
+// returned status when unknown.
+func (s *Server) table(w http.ResponseWriter, r *http.Request) (*upidb.Table, int) {
+	name := r.PathValue("table")
+	t := s.db.Table(name)
+	if t == nil {
+		errorBody(w, http.StatusNotFound, "unknown table %q", name)
+		return nil, http.StatusNotFound
+	}
+	return t, 0
+}
+
+// queryRequest is the wire form of one query.
+type queryRequest struct {
+	// Kind is "ptq" (default) or "topk".
+	Kind  string  `json:"kind"`
+	Attr  string  `json:"attr"`
+	Value string  `json:"value"`
+	QT    float64 `json:"qt"`
+	K     int     `json:"k"`
+	// TimeoutMS bounds this request; it feeds the context deadline and
+	// therefore the engine's deadline admission. 0 uses the server
+	// default.
+	TimeoutMS int `json:"timeout_ms"`
+	// Route forces "planner" or "heuristic" routing ("" = automatic).
+	Route string `json:"route"`
+}
+
+// resultLine is one streamed NDJSON result.
+type resultLine struct {
+	ID         uint64  `json:"id"`
+	Confidence float64 `json:"confidence"`
+}
+
+// trailerLine closes a successful query stream.
+type trailerLine struct {
+	Done       bool   `json:"done"`
+	Count      int    `json:"count"`
+	Plan       string `json:"plan,omitempty"`
+	PlanSource string `json:"plan_source,omitempty"`
+	Partitions int    `json:"partitions"`
+	Shards     int    `json:"shards"`
+	Dispatches int64  `json:"dispatches"`
+	Scans      int64  `json:"scans"`
+	Yields     int64  `json:"yields"`
+	ModeledMS  int64  `json:"modeled_ms"`
+}
+
+// queryStatus maps an engine error onto an HTTP status.
+func queryStatus(err error) int {
+	switch {
+	case errors.Is(err, upidb.ErrUnknownAttr):
+		return http.StatusBadRequest
+	case errors.Is(err, upidb.ErrCanceled):
+		// Deadline admission refusal or mid-flight cancellation: the
+		// deadline budget was the limiting factor either way.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, upidb.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleQuery runs one PTQ/top-k and streams its results as NDJSON.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, string) {
+	t, status := s.table(w, r)
+	if t == nil {
+		return status, ""
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		errorBody(w, http.StatusBadRequest, "bad query body: %v", err)
+		return http.StatusBadRequest, ""
+	}
+
+	var q upidb.Query
+	kind := strings.ToLower(req.Kind)
+	if kind == "" {
+		kind = "ptq"
+	}
+	switch kind {
+	case "ptq":
+		q = upidb.PTQ(req.Attr, req.Value, req.QT)
+	case "topk":
+		if req.K <= 0 {
+			errorBody(w, http.StatusBadRequest, "topk requires k >= 1")
+			return http.StatusBadRequest, ""
+		}
+		q = upidb.TopKQuery(req.Value, req.K)
+	default:
+		errorBody(w, http.StatusBadRequest, "unknown query kind %q (want \"ptq\" or \"topk\")", req.Kind)
+		return http.StatusBadRequest, ""
+	}
+	switch strings.ToLower(req.Route) {
+	case "":
+	case "planner":
+		q = q.WithPlanner()
+	case "heuristic":
+		q = q.WithHeuristic()
+	default:
+		errorBody(w, http.StatusBadRequest, "unknown route %q (want \"planner\" or \"heuristic\")", req.Route)
+		return http.StatusBadRequest, ""
+	}
+
+	// Per-request span counters from the engine's trace hooks — the
+	// substrate for the request log line.
+	var dispatches, scans, yields atomic.Int64
+	var admission atomic.Pointer[string]
+	q = q.WithStats().WithTrace(func(ev upidb.TraceEvent) {
+		switch ev.Kind {
+		case upidb.TraceDispatch:
+			dispatches.Add(1)
+		case upidb.TraceScanStart:
+			scans.Add(1)
+		case upidb.TraceYield:
+			yields.Add(1)
+		case upidb.TraceAdmission:
+			d := ev.Detail
+			admission.Store(&d)
+		}
+	})
+
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	note := func() string {
+		line := fmt.Sprintf(" table=%s kind=%s dispatches=%d scans=%d yields=%d",
+			t.Name(), kind, dispatches.Load(), scans.Load(), yields.Load())
+		if a := admission.Load(); a != nil {
+			line += " admission=" + strconv.Quote(*a)
+		}
+		return line
+	}
+
+	res, err := t.Run(ctx, q)
+	if err != nil {
+		status := queryStatus(err)
+		errorBody(w, status, "%v", err)
+		return status, note()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	count := 0
+	for result, err := range res.All() {
+		if err != nil {
+			// The 200 is already on the wire; the error line is the
+			// in-band failure contract NDJSON consumers check for.
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+			return http.StatusOK, note() + " streamerr"
+		}
+		_ = enc.Encode(resultLine{ID: result.Tuple.ID, Confidence: result.Confidence})
+		count++
+		if flusher != nil && count%64 == 0 {
+			flusher.Flush()
+		}
+	}
+	info := res.Info()
+	_ = enc.Encode(trailerLine{
+		Done:       true,
+		Count:      count,
+		Plan:       info.Plan,
+		PlanSource: info.PlanSource,
+		Partitions: info.Partitions,
+		Shards:     t.NumShards(),
+		Dispatches: dispatches.Load(),
+		Scans:      scans.Load(),
+		Yields:     yields.Load(),
+		ModeledMS:  info.ModeledTime.Milliseconds(),
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return http.StatusOK, note()
+}
+
+// wireTuple is the JSON form of one uncertain tuple.
+type wireTuple struct {
+	ID        uint64  `json:"id"`
+	Existence float64 `json:"existence"` // 0 defaults to 1
+	Det       []struct {
+		Name  string `json:"name"`
+		Value string `json:"value"`
+	} `json:"det"`
+	Unc []struct {
+		Name string `json:"name"`
+		Alts []struct {
+			Value string  `json:"value"`
+			Prob  float64 `json:"prob"`
+		} `json:"alts"`
+	} `json:"unc"`
+	Payload string `json:"payload"`
+}
+
+// toTuple validates and converts the wire form.
+func (wt wireTuple) toTuple() (*upidb.Tuple, error) {
+	if wt.ID == 0 {
+		return nil, fmt.Errorf("tuple id must be >= 1")
+	}
+	tup := &upidb.Tuple{ID: wt.ID, Existence: wt.Existence}
+	if tup.Existence == 0 {
+		tup.Existence = 1
+	}
+	for _, d := range wt.Det {
+		tup.Det = append(tup.Det, upidb.DetField{Name: d.Name, Value: d.Value})
+	}
+	for _, u := range wt.Unc {
+		alts := make([]upidb.Alternative, 0, len(u.Alts))
+		for _, a := range u.Alts {
+			alts = append(alts, upidb.Alternative{Value: a.Value, Prob: a.Prob})
+		}
+		dist, err := upidb.NewDiscrete(alts)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", u.Name, err)
+		}
+		tup.Unc = append(tup.Unc, upidb.UncField{Name: u.Name, Dist: dist})
+	}
+	if wt.Payload != "" {
+		tup.Payload = []byte(wt.Payload)
+	}
+	return tup, nil
+}
+
+// handleInsert upserts one tuple into the table (routed to its owning
+// shard).
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, string) {
+	t, status := s.table(w, r)
+	if t == nil {
+		return status, ""
+	}
+	var wt wireTuple
+	if err := json.NewDecoder(r.Body).Decode(&wt); err != nil {
+		errorBody(w, http.StatusBadRequest, "bad tuple body: %v", err)
+		return http.StatusBadRequest, ""
+	}
+	tup, err := wt.toTuple()
+	if err != nil {
+		errorBody(w, http.StatusBadRequest, "invalid tuple: %v", err)
+		return http.StatusBadRequest, ""
+	}
+	if err := t.Insert(tup); err != nil {
+		status := queryStatus(err)
+		errorBody(w, status, "%v", err)
+		return status, ""
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": tup.ID})
+	return http.StatusOK, fmt.Sprintf(" table=%s id=%d", t.Name(), tup.ID)
+}
+
+// handleDelete removes one tuple by ID.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, string) {
+	t, status := s.table(w, r)
+	if t == nil {
+		return status, ""
+	}
+	var body struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		errorBody(w, http.StatusBadRequest, "bad delete body: %v", err)
+		return http.StatusBadRequest, ""
+	}
+	if body.ID == 0 {
+		errorBody(w, http.StatusBadRequest, "delete requires id >= 1")
+		return http.StatusBadRequest, ""
+	}
+	if err := t.Delete(body.ID); err != nil {
+		status := queryStatus(err)
+		errorBody(w, status, "%v", err)
+		return status, ""
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": body.ID})
+	return http.StatusOK, fmt.Sprintf(" table=%s id=%d", t.Name(), body.ID)
+}
+
+// statsResponse is the wire form of GET /stats.
+type statsResponse struct {
+	Table         string   `json:"table"`
+	PrimaryAttr   string   `json:"primary_attr"`
+	Secondary     []string `json:"secondary_attrs"`
+	Shards        int      `json:"shards"`
+	Fractures     int      `json:"fractures"`
+	SizeBytes     int64    `json:"size_bytes"`
+	Seeded        bool     `json:"stats_seeded"`
+	Staleness     float64  `json:"stats_staleness"`
+	Threshold     float64  `json:"stats_threshold"`
+	Rebuilds      int      `json:"stats_rebuilds"`
+	TrackedTuples int64    `json:"tracked_tuples"`
+	Unabsorbed    int64    `json:"unabsorbed_deltas"`
+}
+
+// handleStats reports table and statistics-catalog state, aggregated
+// over shards.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int, string) {
+	t, status := s.table(w, r)
+	if t == nil {
+		return status, ""
+	}
+	si := t.StatsInfo()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(statsResponse{
+		Table:         t.Name(),
+		PrimaryAttr:   t.PrimaryAttr(),
+		Secondary:     t.SecondaryAttrs(),
+		Shards:        t.NumShards(),
+		Fractures:     t.NumFractures(),
+		SizeBytes:     t.SizeBytes(),
+		Seeded:        si.Seeded,
+		Staleness:     si.Staleness,
+		Threshold:     si.Threshold,
+		Rebuilds:      si.Rebuilds,
+		TrackedTuples: si.TrackedTuples,
+		Unabsorbed:    si.Unabsorbed,
+	})
+	return http.StatusOK, " table=" + t.Name()
+}

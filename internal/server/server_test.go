@@ -1,0 +1,372 @@
+package server
+
+// httptest suite for the HTTP front end: NDJSON query streaming with a
+// well-formed trailer, token-bucket overload (429 + Retry-After, never
+// a 5xx), deadline propagation into the engine's admission (504),
+// graceful drain (503 everywhere, healthz included, and Drain returns
+// with zero requests in flight), and the 400/404 rejection surface.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"upidb"
+)
+
+// newTestServer builds an in-memory DB with one sharded table holding
+// n tuples (primary X over 16 values, secondary Y over 8), flushed and
+// merged so statistics are fresh and planner routing works.
+func newTestServer(t *testing.T, cfg Config, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	db, err := upidb.Create("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	tab, err := db.CreateTable("authors", "X", []string{"Y"}, upidb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x, err := upidb.NewDiscrete([]upidb.Alternative{
+			{Value: fmt.Sprintf("v%d", i%16), Prob: 0.7},
+			{Value: fmt.Sprintf("v%d", (i+5)%16), Prob: 0.3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := upidb.NewDiscrete([]upidb.Alternative{{Value: fmt.Sprintf("w%d", i%8), Prob: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tup := &upidb.Tuple{ID: uint64(i + 1), Existence: 1,
+			Unc: []upidb.UncField{{Name: "X", Dist: x}, {Name: "Y", Dist: y}}}
+		if err := tab.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n > 0 {
+		if err := tab.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Merge(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(db, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// queryNDJSON posts a query and parses the NDJSON stream into result
+// lines and the trailer.
+func queryNDJSON(t *testing.T, ts *httptest.Server, body any) ([]resultLine, trailerLine) {
+	t.Helper()
+	resp := post(t, ts.URL+"/v1/tables/authors/query", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("query: %s: %s", resp.Status, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var results []resultLine
+	var trailer trailerLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe map[string]any
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case probe["error"] != nil:
+			t.Fatalf("mid-stream error: %s", line)
+		case probe["done"] != nil:
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			var r resultLine
+			if err := json.Unmarshal(line, &r); err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !trailer.Done {
+		t.Fatal("stream ended without a done trailer")
+	}
+	return results, trailer
+}
+
+// TestQueryStream: a PTQ streams results in confidence order with a
+// trailer whose counters agree with the stream, and inserts/deletes
+// round-trip through their endpoints.
+func TestQueryStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, 400)
+
+	results, trailer := queryNDJSON(t, ts, map[string]any{"value": "v3", "qt": 0.2})
+	if len(results) == 0 {
+		t.Fatal("PTQ returned nothing")
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Confidence > results[i-1].Confidence {
+			t.Fatalf("stream out of confidence order at %d", i)
+		}
+	}
+	if trailer.Count != len(results) {
+		t.Fatalf("trailer count %d, streamed %d", trailer.Count, len(results))
+	}
+	if trailer.Shards != 2 {
+		t.Fatalf("trailer shards %d, want 2", trailer.Shards)
+	}
+	if trailer.Dispatches != 2 {
+		t.Fatalf("trailer dispatches %d, want one per shard", trailer.Dispatches)
+	}
+	if trailer.Yields != int64(len(results)) {
+		t.Fatalf("trailer yields %d for %d results", trailer.Yields, len(results))
+	}
+
+	// Top-k bounds the stream.
+	results, trailer = queryNDJSON(t, ts, map[string]any{"kind": "topk", "value": "v3", "k": 5})
+	if len(results) != 5 || trailer.Count != 5 {
+		t.Fatalf("top-5: %d results, trailer %d", len(results), trailer.Count)
+	}
+
+	// Insert a recognizable tuple, see it in a query, delete it, see it
+	// gone.
+	resp := post(t, ts.URL+"/v1/tables/authors/insert", map[string]any{
+		"id": 999_999, "unc": []any{map[string]any{"name": "X", "alts": []any{
+			map[string]any{"value": "v3", "prob": 0.99},
+		}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert: %s", resp.Status)
+	}
+	resp.Body.Close()
+	results, _ = queryNDJSON(t, ts, map[string]any{"value": "v3", "qt": 0.9})
+	found := false
+	for _, r := range results {
+		if r.ID == 999_999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted tuple missing from query")
+	}
+	resp = post(t, ts.URL+"/v1/tables/authors/delete", map[string]any{"id": 999_999})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %s", resp.Status)
+	}
+	resp.Body.Close()
+	results, _ = queryNDJSON(t, ts, map[string]any{"value": "v3", "qt": 0.9})
+	for _, r := range results {
+		if r.ID == 999_999 {
+			t.Fatal("deleted tuple still served")
+		}
+	}
+
+	// Stats endpoint reflects the table.
+	resp, err := http.Get(ts.URL + "/v1/tables/authors/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Table != "authors" || stats.PrimaryAttr != "X" || stats.Shards != 2 || !stats.Seeded {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+// TestRejections: the 400/404 surface — malformed bodies, invalid
+// parameters and unknown tables are refused before touching the
+// engine.
+func TestRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, 40)
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"bad json", "/v1/tables/authors/query", "{not json", http.StatusBadRequest},
+		{"bad kind", "/v1/tables/authors/query", `{"kind":"scan"}`, http.StatusBadRequest},
+		{"topk without k", "/v1/tables/authors/query", `{"kind":"topk","value":"v1"}`, http.StatusBadRequest},
+		{"bad route", "/v1/tables/authors/query", `{"value":"v1","route":"warp"}`, http.StatusBadRequest},
+		{"unknown attr", "/v1/tables/authors/query", `{"attr":"Z","value":"v1"}`, http.StatusBadRequest},
+		{"unknown table", "/v1/tables/nosuch/query", `{"value":"v1"}`, http.StatusNotFound},
+		{"insert id 0", "/v1/tables/authors/insert", `{"id":0}`, http.StatusBadRequest},
+		{"insert bad dist", "/v1/tables/authors/insert",
+			`{"id":5,"unc":[{"name":"X","alts":[{"value":"a","prob":1.7}]}]}`, http.StatusBadRequest},
+		{"delete id 0", "/v1/tables/authors/delete", `{"id":0}`, http.StatusBadRequest},
+		{"delete unknown table", "/v1/tables/nosuch/delete", `{"id":3}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: got %s (%s), want %d", tc.name, resp.Status, raw, tc.status)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(raw, &body); err != nil || body["error"] == "" {
+			t.Errorf("%s: error body %q not a JSON error document", tc.name, raw)
+		}
+	}
+}
+
+// TestOverload: with a single admission token and many concurrent
+// queries, the excess sheds as 429 + Retry-After — and nothing ever
+// surfaces as a 5xx.
+func TestOverload(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflight: 1}, 3000)
+
+	const clients = 16
+	var ok200, shed429, other atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				resp := post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v1", "qt": 0.1})
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					shed429.Add(1)
+				default:
+					other.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Fatalf("%d responses were neither 200 nor 429", other.Load())
+	}
+	if ok200.Load() == 0 {
+		t.Fatal("no request was served at all")
+	}
+	if shed429.Load() == 0 {
+		t.Fatal("16 clients against max-inflight 1 never shed a 429")
+	}
+}
+
+// TestDeadlinePropagation: a microscopic timeout_ms flows into the
+// engine's deadline admission; the planner-routed query is refused (or
+// canceled mid-flight) and surfaces as 504, not 500.
+func TestDeadlinePropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, 3000)
+	// Warm nothing: modeled scan cost for 3000 tuples far exceeds 1ms.
+	resp := post(t, ts.URL+"/v1/tables/authors/query",
+		map[string]any{"value": "v1", "qt": 0.1, "timeout_ms": 1, "route": "planner"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("want 504, got %s: %s", resp.Status, raw)
+	}
+}
+
+// TestGracefulDrain: BeginDrain turns every endpoint (healthz
+// included) into 503 while an in-flight request runs to completion;
+// Drain returns once it has.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts := newTestServer(t, Config{}, 3000)
+
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz before drain: %s", resp.Status)
+		}
+	}
+
+	// Hold one request in flight across the drain flip: start a query,
+	// read its first byte so the handler is definitely past admission,
+	// then BeginDrain, then finish reading.
+	resp := post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v1", "qt": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight query: %s", resp.Status)
+	}
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadByte(); err != nil {
+		t.Fatal(err)
+	}
+	srv.BeginDrain()
+
+	// New work is refused everywhere.
+	if resp2 := post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v1"}); resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query during drain: %s", resp2.Status)
+	} else {
+		resp2.Body.Close()
+	}
+	if resp2, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("healthz during drain: %s", resp2.Status)
+		}
+	}
+
+	// The in-flight stream still completes.
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !bytes.Contains(rest, []byte(`"done":true`)) {
+		t.Fatal("in-flight stream was cut off before its trailer")
+	}
+
+	// Drain returns promptly now that nothing is in flight.
+	done := make(chan struct{})
+	go func() { srv.Drain(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+}

@@ -1,0 +1,514 @@
+// Package shard hash-partitions one logical uncertain table across N
+// independent fracture.Stores — the shard-per-core architecture. Each
+// shard owns a full vertical slice of the engine: its own RAM insert
+// buffer, fracture set, merge pipeline, WAL+manifest (when durable),
+// statistics catalog and planner, so shards share no locks and scale
+// writes and merges with cores.
+//
+// Tuples are routed by a fixed hash of the primary ID: Insert and
+// Delete touch exactly one shard, while queries scatter to every shard
+// and gather their per-shard streams through a k-way merge into one
+// globally confidence-ordered stream (see Prepared). A table with one
+// shard is byte-identical to an unsharded fracture.Store — same file
+// names, same modeled costs — so sharding is strictly opt-in.
+//
+// Shard i of table "name" stores its partitions under the store name
+// "name.shard<i>" (a single-shard table uses plain "name"), which
+// gives every shard its own WAL ("name.shard<i>.wal") and manifest for
+// free: crash recovery is the unsharded machinery applied per shard.
+// The shard count itself is persisted in a sideband "name.shards"
+// file, so Open rediscovers the layout without being told.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+
+	"upidb/internal/fracture"
+	"upidb/internal/planner"
+	"upidb/internal/sim"
+	"upidb/internal/stats"
+	"upidb/internal/storage"
+	"upidb/internal/tuple"
+)
+
+// Table is one logical table hash-partitioned across independent
+// fracture stores. It is safe for concurrent use to exactly the degree
+// its shards are: mutations lock only the owning shard, queries
+// snapshot every shard independently.
+type Table struct {
+	fs       *storage.FS
+	name     string
+	disk     sim.Params
+	stores   []*fracture.Store
+	cats     []*stats.Catalog
+	planners []*planner.Planner
+}
+
+// shardsFile is the sideband file persisting the shard count of one
+// table (absent for single-shard tables, so legacy layouts reopen
+// unchanged).
+func shardsFile(name string) string { return name + ".shards" }
+
+// storeName returns the fracture-store name of shard i. A single-shard
+// table keeps the plain table name: its on-disk layout (and therefore
+// its modeled costs, WAL name and manifest) is byte-identical to an
+// unsharded store's.
+func storeName(name string, i, n int) string {
+	if n == 1 {
+		return name
+	}
+	return fmt.Sprintf("%s.shard%d", name, i)
+}
+
+// shardOf routes a tuple ID to its owning shard: a splitmix64-style
+// finalizer over the ID, reduced mod n. IDs are often sequential;
+// the mixer spreads them uniformly regardless.
+func shardOf(id uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	x := id
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// resolveNew resolves the shard count for a fresh table: n >= 1 is
+// explicit, anything else defaults to GOMAXPROCS (shard-per-core).
+func resolveNew(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// writeShardsFile persists the shard count (multi-shard tables only).
+// The file is sideband: never routed, never charged.
+func writeShardsFile(fs *storage.FS, name string, n int, durable bool) error {
+	if n == 1 {
+		return nil
+	}
+	file := shardsFile(name)
+	fs.Sideband(file)
+	f := fs.Create(file)
+	if err := f.WriteAt([]byte(fmt.Sprintf("shards %d\n", n)), 0); err != nil {
+		return err
+	}
+	if durable {
+		return f.Sync()
+	}
+	return nil
+}
+
+// readShardsFile returns the persisted shard count, or 0 when the
+// table has none recorded (legacy / single-shard layout).
+func readShardsFile(fs *storage.FS, name string) (int, error) {
+	file := shardsFile(name)
+	fs.Sideband(file)
+	if !fs.Exists(file) {
+		return 0, nil
+	}
+	f, err := fs.Open(file)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, f.Size())
+	if err := f.ReadAt(buf, 0); err != nil {
+		return 0, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(buf)), "shards %d", &n); err != nil || n < 1 {
+		return 0, fmt.Errorf("shard: corrupt shards file %q: %q", file, string(buf))
+	}
+	return n, nil
+}
+
+// newTable assembles the Table around per-shard stores, giving each
+// shard its own statistics catalog (wired into the store's delta and
+// merge-rebuild hooks) and planner. A shared catalog would not work:
+// each shard's merge atomically replaces its catalog's content from
+// that merge's own heap stream, which must only ever describe that
+// shard's tuples.
+func newTable(fs *storage.FS, name string, disk sim.Params, stores []*fracture.Store, cfg fracture.Config, known bool) *Table {
+	t := &Table{
+		fs:       fs,
+		name:     name,
+		disk:     disk,
+		stores:   stores,
+		cats:     make([]*stats.Catalog, len(stores)),
+		planners: make([]*planner.Planner, len(stores)),
+	}
+	for i, s := range stores {
+		cat := stats.NewCatalog(s.Main().Attr(), s.Main().SecondaryAttrs(), cfg.StatsStaleness, known)
+		s.SetStats(cat)
+		t.cats[i] = cat
+		t.planners[i] = planner.New(s, cat, disk)
+	}
+	return t
+}
+
+// closeAll closes stores built so far when a constructor fails midway.
+func closeAll(stores []*fracture.Store) {
+	for _, s := range stores {
+		if s != nil {
+			_ = s.Close()
+		}
+	}
+}
+
+// New creates an empty sharded table with n shards (n < 1 defaults to
+// GOMAXPROCS). Every shard starts with complete (empty) statistics, so
+// planner routing works from the first query, matching the unsharded
+// create path.
+func New(fs *storage.FS, name, attr string, secAttrs []string, cfg fracture.Config, n int, disk sim.Params) (*Table, error) {
+	n = resolveNew(n)
+	if err := writeShardsFile(fs, name, n, cfg.Durable); err != nil {
+		return nil, err
+	}
+	stores := make([]*fracture.Store, n)
+	for i := range stores {
+		s, err := fracture.NewStore(fs, storeName(name, i, n), attr, secAttrs, cfg)
+		if err != nil {
+			closeAll(stores)
+			return nil, err
+		}
+		stores[i] = s
+	}
+	return newTable(fs, name, disk, stores, cfg, true), nil
+}
+
+// BulkLoad creates a sharded table whose shards are bulk-built from
+// the tuples owned by each (sequential I/O only, per shard). Each
+// shard's catalog is seeded from its own slice, so the table owns
+// complete cardinality knowledge immediately.
+func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, cfg fracture.Config, n int, disk sim.Params, tuples []*tuple.Tuple) (*Table, error) {
+	n = resolveNew(n)
+	if err := writeShardsFile(fs, name, n, cfg.Durable); err != nil {
+		return nil, err
+	}
+	parts := partition(tuples, n)
+	stores := make([]*fracture.Store, n)
+	for i := range stores {
+		s, err := fracture.BulkLoad(fs, storeName(name, i, n), attr, secAttrs, cfg, parts[i])
+		if err != nil {
+			closeAll(stores)
+			return nil, err
+		}
+		stores[i] = s
+	}
+	t := newTable(fs, name, disk, stores, cfg, false)
+	for i, cat := range t.cats {
+		if err := cat.Seed(parts[i]); err != nil {
+			closeAll(stores)
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Open reloads a sharded table from storage. The persisted shard count
+// is authoritative: passing n < 1 accepts whatever the table was
+// created with (1 when nothing is recorded — the legacy unsharded
+// layout), while an explicit n that contradicts the persisted count is
+// an error rather than a silent resharding. Recovery is the unsharded
+// machinery applied shard by shard: each shard replays its own WAL
+// against its own manifest.
+func Open(fs *storage.FS, name, attr string, secAttrs []string, cfg fracture.Config, n int, disk sim.Params) (*Table, error) {
+	persisted, err := readShardsFile(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case persisted == 0 && n < 1:
+		n = 1
+	case persisted == 0:
+		if n != 1 {
+			return nil, fmt.Errorf("shard: table %q was created with 1 shard; cannot open with %d (resharding is not supported)", name, n)
+		}
+	case n >= 1 && n != persisted:
+		return nil, fmt.Errorf("shard: table %q was created with %d shards; cannot open with %d (resharding is not supported)", name, persisted, n)
+	default:
+		n = persisted
+	}
+	stores := make([]*fracture.Store, n)
+	for i := range stores {
+		s, err := fracture.Open(fs, storeName(name, i, n), attr, secAttrs, cfg)
+		if err != nil {
+			closeAll(stores)
+			return nil, err
+		}
+		stores[i] = s
+	}
+	return newTable(fs, name, disk, stores, cfg, false), nil
+}
+
+// partition splits tuples by owning shard, preserving order within
+// each shard.
+func partition(tuples []*tuple.Tuple, n int) [][]*tuple.Tuple {
+	parts := make([][]*tuple.Tuple, n)
+	for _, tup := range tuples {
+		i := shardOf(tup.ID, n)
+		parts[i] = append(parts[i], tup)
+	}
+	return parts
+}
+
+// Name returns the logical table name.
+func (t *Table) Name() string { return t.name }
+
+// NumShards returns the shard count.
+func (t *Table) NumShards() int { return len(t.stores) }
+
+// Attr returns the primary (clustered) uncertain attribute.
+func (t *Table) Attr() string { return t.stores[0].Main().Attr() }
+
+// SecondaryAttrs returns the secondary-indexed attributes.
+func (t *Table) SecondaryAttrs() []string { return t.stores[0].Main().SecondaryAttrs() }
+
+// Catalog exposes shard i's statistics catalog (tests and diagnostics;
+// shard 0 of a single-shard table is the whole table).
+func (t *Table) Catalog(i int) *stats.Catalog { return t.cats[i] }
+
+// Insert routes the tuple to its owning shard (buffered there; an
+// upsert exactly like the unsharded store's).
+func (t *Table) Insert(tup *tuple.Tuple) error {
+	return t.stores[shardOf(tup.ID, len(t.stores))].Insert(tup)
+}
+
+// Delete routes the tombstone to the owning shard.
+func (t *Table) Delete(id uint64) error {
+	return t.stores[shardOf(id, len(t.stores))].Delete(id)
+}
+
+// each runs f over every shard and returns the first error, by shard
+// index.
+func (t *Table) each(f func(*fracture.Store) error) error {
+	var first error
+	for _, s := range t.stores {
+		if err := f(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush flushes every shard's RAM buffer into a new fracture.
+func (t *Table) Flush() error { return t.each((*fracture.Store).Flush) }
+
+// Merge folds every shard's fractures back into its main UPI. Shards
+// merge independently; with background merging each shard triggers on
+// its own thresholds.
+func (t *Table) Merge() error { return t.each((*fracture.Store).Merge) }
+
+// Close closes every shard; the first error wins. Closing twice is
+// safe.
+func (t *Table) Close() error { return t.each((*fracture.Store).Close) }
+
+// DropCaches empties every shard's buffer pools.
+func (t *Table) DropCaches() error { return t.each((*fracture.Store).DropCaches) }
+
+// SetParallelism sets the per-query partition fan-out width on every
+// shard.
+func (t *Table) SetParallelism(n int) {
+	for _, s := range t.stores {
+		s.SetParallelism(n)
+	}
+}
+
+// StartAutoMerge starts one background merger per shard.
+func (t *Table) StartAutoMerge(opts fracture.AutoMergeOptions) error {
+	return t.each(func(s *fracture.Store) error { return s.StartAutoMerge(opts) })
+}
+
+// StopAutoMerge stops every shard's background merger, returning the
+// first background-merge error.
+func (t *Table) StopAutoMerge() error { return t.each((*fracture.Store).StopAutoMerge) }
+
+// NumFractures returns the fracture count summed over shards.
+func (t *Table) NumFractures() int {
+	n := 0
+	for _, s := range t.stores {
+		n += s.NumFractures()
+	}
+	return n
+}
+
+// SizeBytes returns the on-disk size summed over shards.
+func (t *Table) SizeBytes() int64 {
+	var n int64
+	for _, s := range t.stores {
+		n += s.SizeBytes()
+	}
+	return n
+}
+
+// BufferedInserts returns the RAM-buffered tuple count summed over
+// shards.
+func (t *Table) BufferedInserts() int {
+	n := 0
+	for _, s := range t.stores {
+		n += s.BufferedInserts()
+	}
+	return n
+}
+
+// Seed seeds every shard's statistics catalog from the sample tuples
+// it owns (the BuildStats path). Every shard is seeded, including
+// shards the sample happens to leave empty — a sample is a statement
+// about the whole table.
+func (t *Table) Seed(sample []*tuple.Tuple, attrs ...string) error {
+	parts := partition(sample, len(t.stores))
+	for i, cat := range t.cats {
+		if err := cat.Seed(parts[i], attrs...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fresh reports whether every shard's statistics for attr are complete
+// and within the staleness threshold — the gate for automatic planner
+// routing. One stale shard degrades the whole table to heuristic
+// routing: a cost estimate summed over shards is only as good as its
+// worst input.
+func (t *Table) Fresh(attr string) bool {
+	for _, cat := range t.cats {
+		if !cat.Fresh(attr) {
+			return false
+		}
+	}
+	return true
+}
+
+// StatsSummary aggregates the per-shard catalog states: counts sum,
+// Seeded requires every shard, staleness is the pooled unabsorbed
+// ratio, and the threshold is shared (all shards inherit the same
+// configuration).
+type StatsSummary struct {
+	Seeded     bool
+	Staleness  float64
+	Threshold  float64
+	Rebuilds   int
+	Tracked    int64
+	Unabsorbed int64
+}
+
+// StatsSummary reports the aggregated statistics-catalog state.
+func (t *Table) StatsSummary() StatsSummary {
+	sum := StatsSummary{Seeded: true, Threshold: t.cats[0].Threshold()}
+	for _, cat := range t.cats {
+		if !cat.Seeded(t.Attr()) {
+			sum.Seeded = false
+		}
+		sum.Rebuilds += cat.Rebuilds()
+		sum.Tracked += cat.TotalTuples()
+		sum.Unabsorbed += cat.Unabsorbed()
+	}
+	if sum.Unabsorbed > 0 {
+		sum.Staleness = float64(sum.Unabsorbed) / float64(sum.Tracked+sum.Unabsorbed)
+	}
+	return sum
+}
+
+// PlanPTQ costs the candidate plans for "attr = value AND confidence
+// >= qt" across every shard and returns the summed plans, cheapest
+// first. Every shard offers the same plan kinds (the kind set depends
+// only on whether attr is primary), so per-kind summation is exact:
+// the scatter executes the same physical plan on every shard, and the
+// table-level cost of a plan is the sum of its per-shard costs. Fails
+// with the planner's ErrNoStats if any shard lacks a histogram for
+// attr.
+func (t *Table) PlanPTQ(attr, value string, qt float64) ([]planner.Plan, error) {
+	first, err := t.planners[0].PlanPTQ(attr, value, qt)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.planners) == 1 {
+		return first, nil
+	}
+	// Sum by kind across shards, keeping shard 0's detail as the
+	// exemplar.
+	byKind := make(map[planner.PlanKind]*planner.Plan, len(first))
+	plans := make([]planner.Plan, len(first))
+	copy(plans, first)
+	for i := range plans {
+		plans[i].Detail = fmt.Sprintf("sum over %d shards; shard0: %s", len(t.planners), plans[i].Detail)
+		byKind[plans[i].Kind] = &plans[i]
+	}
+	for _, p := range t.planners[1:] {
+		more, err := p.PlanPTQ(attr, value, qt)
+		if err != nil {
+			return nil, err
+		}
+		for _, pl := range more {
+			agg, ok := byKind[pl.Kind]
+			if !ok { // defensive: kind sets are identical by construction
+				return nil, fmt.Errorf("shard: plan kind %v missing on shard 0", pl.Kind)
+			}
+			agg.EstimatedCost += pl.EstimatedCost
+			agg.EstimatedRows += pl.EstimatedRows
+		}
+	}
+	// Cheapest first (insertion sort; the slice has 2 entries).
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].EstimatedCost < plans[j-1].EstimatedCost; j-- {
+			plans[j-1], plans[j] = plans[j], plans[j-1]
+		}
+	}
+	return plans, nil
+}
+
+// HasHistogram reports whether every shard can cost plans for attr.
+func (t *Table) HasHistogram(attr string) bool {
+	for _, p := range t.planners {
+		if !p.HasHistogram(attr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prepare compiles req and pins a consistent snapshot on every shard
+// (the scatter half of scatter-gather). Each shard receives the same
+// request; per-shard trace events are stamped with the shard index and
+// a dispatch event is emitted per shard. On any failure the already
+// pinned shards are released and the error returned. The gather half
+// is the returned Prepared's Collect or Stream.
+func (t *Table) Prepare(ctx context.Context, req fracture.Req) (*Prepared, error) {
+	trace := req.Trace
+	preps := make([]*fracture.Prepared, len(t.stores))
+	for i, s := range t.stores {
+		sub := req
+		sub.Trace = stampShard(trace, i)
+		if trace != nil {
+			trace(fracture.TraceEvent{Kind: fracture.TraceDispatch, Shard: i, Detail: storeName(t.name, i, len(t.stores))})
+		}
+		p, err := s.Prepare(ctx, sub)
+		if err != nil {
+			for _, done := range preps[:i] {
+				done.Release()
+			}
+			return nil, err
+		}
+		preps[i] = p
+	}
+	return &Prepared{table: t, preps: preps, k: req.K, trace: trace}, nil
+}
+
+// stampShard wraps a trace function so every event the shard's engine
+// emits carries the shard index.
+func stampShard(fn fracture.TraceFunc, i int) fracture.TraceFunc {
+	if fn == nil {
+		return nil
+	}
+	return func(ev fracture.TraceEvent) {
+		ev.Shard = i
+		fn(ev)
+	}
+}

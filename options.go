@@ -26,6 +26,7 @@ type config struct {
 	table      fracture.Config
 	durable    *bool
 	autoMerge  *fracture.AutoMergeOptions
+	shards     int
 	tableScope bool
 	err        error
 }
@@ -142,6 +143,28 @@ func WithStatsStaleness(r float64) Option {
 	return func(c *config) { c.table.StatsStaleness = r }
 }
 
+// WithShards hash-partitions each table the option reaches across n
+// independent stores, shard-per-core style: every shard owns its own
+// RAM buffer, fracture set, merge pipeline, statistics catalog and —
+// when durable — WAL and manifest, so mutations and merges scale with
+// cores while queries scatter-gather one globally confidence-ordered
+// stream. At database scope it sets the default every table inherits;
+// at table scope it overrides that default for one table. n must be
+// at least 1 (1 = the unsharded engine, byte-identical layout and
+// modeled costs); anything lower is rejected with ErrInvalidShards
+// when the option list is resolved. On OpenTable the persisted shard
+// count is authoritative — an explicit n that contradicts it errors
+// rather than silently resharding.
+func WithShards(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			c.setErr(fmt.Errorf("%w: got %d", ErrInvalidShards, n))
+			return
+		}
+		c.shards = n
+	}
+}
+
 // WithAutoMerge starts the background merger on every table the
 // option reaches: fractures are folded into the main UPI whenever
 // their count or total size crosses the given thresholds.
@@ -239,26 +262,29 @@ func newDB(dir string, create bool, opts []Option) (*DB, error) {
 		return nil, fmt.Errorf("upidb: no database at %q; use Create", dir)
 	}
 	return &DB{
-		disk:      disk,
-		fs:        fs,
-		backend:   backend,
-		defaults:  cfg.table,
-		autoMerge: cfg.autoMerge,
+		disk:          disk,
+		fs:            fs,
+		backend:       backend,
+		defaults:      cfg.table,
+		autoMerge:     cfg.autoMerge,
+		defaultShards: cfg.shards,
 	}, nil
 }
 
 // tableConfig resolves the effective configuration of one table: the
-// database defaults overridden by the per-table options.
-func (db *DB) tableConfig(opts []Option) (fracture.Config, *fracture.AutoMergeOptions, error) {
-	cfg := config{table: db.defaults, autoMerge: db.autoMerge, tableScope: true}
+// database defaults overridden by the per-table options. The returned
+// shard count is 0 when neither scope set one (callers treat that as
+// unsharded, or as accept-what-is-persisted on OpenTable).
+func (db *DB) tableConfig(opts []Option) (fracture.Config, *fracture.AutoMergeOptions, int, error) {
+	cfg := config{table: db.defaults, autoMerge: db.autoMerge, shards: db.defaultShards, tableScope: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.err != nil {
-		return fracture.Config{}, nil, cfg.err
+		return fracture.Config{}, nil, 0, cfg.err
 	}
 	if cfg.durable != nil {
 		cfg.table.Durable = *cfg.durable
 	}
-	return cfg.table, cfg.autoMerge, nil
+	return cfg.table, cfg.autoMerge, cfg.shards, nil
 }

@@ -24,8 +24,10 @@ const (
 // table before its first merge, or to replace them with a curated
 // sample. With explicit attrs only those attributes are seeded; the
 // rest are reset to unseeded.
+// On a sharded table the sample is partitioned by owning shard and
+// each shard's catalog seeded from its own slice.
 func (t *Table) BuildStats(sample []*Tuple, attrs ...string) error {
-	return t.catalog.Seed(sample, attrs...)
+	return t.shards.Seed(sample, attrs...)
 }
 
 // StatsInfo is a snapshot of a table's statistics-catalog state — the
@@ -52,14 +54,17 @@ type StatsInfo struct {
 }
 
 // StatsInfo reports the current state of the table's statistics
-// catalog.
+// catalogs. On a sharded table the per-shard catalogs aggregate:
+// counts sum, Seeded requires every shard, Staleness is the pooled
+// unabsorbed ratio.
 func (t *Table) StatsInfo() StatsInfo {
+	sum := t.shards.StatsSummary()
 	return StatsInfo{
-		Seeded:        t.catalog.Seeded(t.store.Main().Attr()),
-		Staleness:     t.catalog.Staleness(),
-		Threshold:     t.catalog.Threshold(),
-		Rebuilds:      t.catalog.Rebuilds(),
-		TrackedTuples: t.catalog.TotalTuples(),
-		Unabsorbed:    t.catalog.Unabsorbed(),
+		Seeded:        sum.Seeded,
+		Staleness:     sum.Staleness,
+		Threshold:     sum.Threshold,
+		Rebuilds:      sum.Rebuilds,
+		TrackedTuples: sum.Tracked,
+		Unabsorbed:    sum.Unabsorbed,
 	}
 }

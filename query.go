@@ -11,6 +11,7 @@ import (
 
 	"upidb/internal/fracture"
 	"upidb/internal/planner"
+	"upidb/internal/shard"
 	"upidb/internal/upi"
 )
 
@@ -74,6 +75,7 @@ type Query struct {
 	heuristic   bool
 	wantStats   bool
 	explainOnly bool
+	trace       TraceFunc
 }
 
 // PTQ describes a probabilistic threshold query "attr = value AND
@@ -160,6 +162,17 @@ func (q Query) WithExplain() Query {
 	return q
 }
 
+// WithTrace attaches a span-event callback to the query: fn receives
+// one TraceEvent per execution milestone — the admission verdict, each
+// shard dispatch, each partition scan start/end, and (on the streaming
+// path) each merged-stream yield. fn may be called from concurrent
+// scan workers, so it must be safe for concurrent use and fast; see
+// TraceFunc. Tracing never alters results, routing or modeled costs.
+func (q Query) WithTrace(fn TraceFunc) Query {
+	q.trace = fn
+	return q
+}
+
 // resState tracks how far a Results handle has been consumed.
 type resState int
 
@@ -205,7 +218,7 @@ const (
 // garbage-collected (or on Close).
 type Results struct {
 	ctx       context.Context
-	prep      *fracture.Prepared
+	prep      *shard.Prepared
 	wantStats bool
 
 	state   resState
@@ -217,7 +230,7 @@ type Results struct {
 // newLazyResults wraps a prepared query into an unconsumed handle and
 // arranges for its partition pins to be dropped if the handle is
 // garbage-collected without ever being consumed.
-func newLazyResults(ctx context.Context, prep *fracture.Prepared, q Query, plan, source string) *Results {
+func newLazyResults(ctx context.Context, prep *shard.Prepared, q Query, plan, source string) *Results {
 	r := &Results{
 		ctx:       ctx,
 		prep:      prep,
@@ -226,7 +239,7 @@ func newLazyResults(ctx context.Context, prep *fracture.Prepared, q Query, plan,
 	}
 	// The cleanup must not capture r, and Release is idempotent, so a
 	// normally-consumed handle's cleanup is a no-op.
-	runtime.AddCleanup(r, func(p *fracture.Prepared) { p.Release() }, prep)
+	runtime.AddCleanup(r, func(p *shard.Prepared) { p.Release() }, prep)
 	return r
 }
 
@@ -417,15 +430,14 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 	if q.kind.spatial() {
 		return nil, fmt.Errorf("upidb: %v is a spatial query; run it with SpatialTable.Run", q.kind)
 	}
-	main := t.store.Main()
-	primary := main.Attr()
+	primary := t.shards.Attr()
 	attr := q.attr
 	if attr == "" {
 		attr = primary
 	}
-	if attr != primary && !slices.Contains(main.SecondaryAttrs(), attr) {
+	if attr != primary && !slices.Contains(t.shards.SecondaryAttrs(), attr) {
 		return nil, fmt.Errorf("%w: %q (primary %q, secondary %v)",
-			ErrUnknownAttr, attr, primary, main.SecondaryAttrs())
+			ErrUnknownAttr, attr, primary, t.shards.SecondaryAttrs())
 	}
 	if q.explainOnly && q.kind != KindPTQ {
 		// Explain is plan-only by contract; never fall through to a
@@ -459,7 +471,7 @@ func (t *Table) routeSource(attr string, q Query) string {
 		return PlanSourceForced
 	case q.heuristic:
 		return PlanSourceHeuristic
-	case t.catalog.Fresh(attr):
+	case t.shards.Fresh(attr):
 		return PlanSourceStats
 	default:
 		return PlanSourceHeuristic
@@ -472,7 +484,7 @@ func (t *Table) routeSource(attr string, q Query) string {
 // set is pinned, but no scan happens until All streams it or
 // Collect/Len materialize it.
 func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string) (*Results, error) {
-	req := fracture.Req{Value: q.value, Parallelism: q.parallelism}
+	req := fracture.Req{Value: q.value, Parallelism: q.parallelism, Trace: fracture.TraceFunc(q.trace)}
 	switch {
 	case q.kind == KindTopK:
 		req.Kind = fracture.KindTopK
@@ -486,17 +498,26 @@ func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string)
 		req.QT = q.qt
 		req.Tailored = true
 	}
-	prep, err := t.store.Prepare(ctx, req)
+	q.emitAdmission("admitted: heuristic route, not cost-priced")
+	prep, err := t.shards.Prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
 	return newLazyResults(ctx, prep, q, "", PlanSourceHeuristic), nil
 }
 
+// emitAdmission emits the admission-verdict trace event (table-scoped,
+// shard 0).
+func (q Query) emitAdmission(detail string) {
+	if q.trace != nil {
+		q.trace(TraceEvent{Kind: TraceAdmission, Detail: detail})
+	}
+}
+
 // runPlanned costs a PTQ through the cost-based planner and — unless
 // the query is explain-only — admits and executes the cheapest plan.
 func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*Results, error) {
-	plans, err := t.planner.PlanPTQ(attr, q.value, q.qt)
+	plans, err := t.shards.PlanPTQ(attr, q.value, q.qt)
 	if err != nil {
 		return nil, err
 	}
@@ -516,17 +537,26 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 	// ratio for real deployments is a ROADMAP follow-on.
 	if dl, ok := ctx.Deadline(); ok {
 		if remain := time.Until(dl); remain < best.EstimatedCost {
+			q.emitAdmission(fmt.Sprintf("refused: remaining deadline %v below modeled cost %v (%v)",
+				remain.Round(time.Millisecond), best.EstimatedCost.Round(time.Millisecond), best.Kind))
 			return nil, fmt.Errorf(
 				"%w: admission refused: remaining deadline %v is below the cheapest plan's modeled cost %v (%v on %q)",
 				ErrCanceled, remain.Round(time.Millisecond),
 				best.EstimatedCost.Round(time.Millisecond), best.Kind, best.Attr)
+		} else {
+			q.emitAdmission(fmt.Sprintf("admitted: remaining deadline %v covers modeled cost %v (%v)",
+				remain.Round(time.Millisecond), best.EstimatedCost.Round(time.Millisecond), best.Kind))
 		}
+	} else {
+		q.emitAdmission(fmt.Sprintf("admitted: no deadline, modeled cost %v (%v)",
+			best.EstimatedCost.Round(time.Millisecond), best.Kind))
 	}
 	req, err := planner.PlanReq(best, q.value, q.qt, q.parallelism)
 	if err != nil {
 		return nil, err
 	}
-	prep, err := t.store.Prepare(ctx, req)
+	req.Trace = fracture.TraceFunc(q.trace)
+	prep, err := t.shards.Prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}

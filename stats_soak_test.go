@@ -140,7 +140,7 @@ func TestSoakStatsFreshness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := tab.catalog.Histogram(attr)
+		got := tab.shards.Catalog(0).Histogram(attr)
 		if got == nil {
 			t.Fatalf("no seeded histogram for %q after merges", attr)
 		}

@@ -1,0 +1,39 @@
+package upidb
+
+import "upidb/internal/fracture"
+
+// TraceEvent is one span event of a traced query — see Query.WithTrace.
+// It is an alias of the engine-internal event type, so values flow
+// through every layer unchanged.
+type TraceEvent = fracture.TraceEvent
+
+// TraceFunc receives span events. Partition scans fan out across a
+// worker pool and shards prime concurrently, so implementations must
+// be safe for concurrent use (atomic counters or a locked sink) and
+// fast — scan workers block on the call.
+type TraceFunc = fracture.TraceFunc
+
+// The trace event kinds Run emits, in the order a typical query
+// produces them.
+const (
+	// TraceAdmission is the admission verdict: admitted (with the
+	// modeled cost and remaining deadline), refused (deadline below the
+	// cheapest plan's modeled cost), or admitted-unpriced (heuristic
+	// route). Emitted exactly once per Run, before any shard is
+	// touched.
+	TraceAdmission = fracture.TraceAdmission
+	// TraceDispatch marks one shard receiving its per-shard request
+	// during scatter (Shard identifies it; Detail is the shard's store
+	// name).
+	TraceDispatch = fracture.TraceDispatch
+	// TraceScanStart marks one partition scan or cursor starting
+	// (Shard + Part identify the partition; Detail is its table name).
+	TraceScanStart = fracture.TraceScanStart
+	// TraceScanEnd marks one partition finishing — scanned to
+	// completion, exhausted, or cancelled.
+	TraceScanEnd = fracture.TraceScanEnd
+	// TraceYield marks the merged stream yielding one result (Shard is
+	// the producing shard). Streaming consumption only; a materialized
+	// Collect has no per-result milestone.
+	TraceYield = fracture.TraceYield
+)

@@ -117,6 +117,7 @@ import (
 	"upidb/internal/fracture"
 	"upidb/internal/planner"
 	"upidb/internal/prob"
+	"upidb/internal/shard"
 	"upidb/internal/sim"
 	"upidb/internal/stats"
 	"upidb/internal/storage"
@@ -200,13 +201,16 @@ type DB struct {
 	// defaults is the table configuration every CreateTable /
 	// BulkLoadTable / OpenTable starts from, as resolved from the
 	// database-level options; autoMerge, when set, starts the
-	// background merger on every table.
-	defaults  fracture.Config
-	autoMerge *fracture.AutoMergeOptions
+	// background merger on every table; defaultShards is the shard
+	// count tables inherit (0 = unsharded).
+	defaults      fracture.Config
+	autoMerge     *fracture.AutoMergeOptions
+	defaultShards int
 
 	mu       sync.Mutex
 	closed   bool
 	tables   []*Table
+	byName   map[string]*Table
 	spatials []*SpatialTable
 }
 
@@ -253,31 +257,14 @@ func (db *DB) checkOpen() error {
 	return nil
 }
 
-// attachTable wires the statistics catalog and planner to a freshly
-// created store and registers the table with the DB. seed, when
-// non-nil, provides the table's complete initial content for the
-// catalog (a bulk load); known marks an empty catalog as complete (a
-// table born empty, where every future change flows through the delta
-// hooks). A table whose on-disk content is unknown (OpenTable) starts
-// unseeded: Run falls back to heuristic routing until the first merge
-// re-derives the statistics.
-func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, cfg fracture.Config, am *AutoMergeOptions) (*Table, error) {
-	cat := stats.NewCatalog(store.Main().Attr(), store.Main().SecondaryAttrs(), cfg.StatsStaleness, known)
-	if seed != nil {
-		if err := cat.Seed(seed); err != nil {
-			return nil, err
-		}
-	}
-	store.SetStats(cat)
-	t := &Table{
-		db:      db,
-		store:   store,
-		catalog: cat,
-		planner: planner.New(store, cat, db.disk.Params()),
-	}
+// attachTable starts the background merger (when configured) on a
+// freshly built sharded table and registers it with the DB under its
+// name.
+func (db *DB) attachTable(shards *shard.Table, am *AutoMergeOptions) (*Table, error) {
+	t := &Table{db: db, shards: shards}
 	if am != nil {
-		if err := store.StartAutoMerge(*am); err != nil {
-			_ = store.Close()
+		if err := shards.StartAutoMerge(*am); err != nil {
+			_ = shards.Close()
 			return nil, err
 		}
 	}
@@ -285,11 +272,25 @@ func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, cfg 
 	defer db.mu.Unlock()
 	if db.closed {
 		// Lost the race against Close: undo and refuse.
-		_ = store.Close()
+		_ = shards.Close()
 		return nil, ErrClosed
 	}
+	if db.byName == nil {
+		db.byName = make(map[string]*Table)
+	}
 	db.tables = append(db.tables, t)
+	db.byName[shards.Name()] = t
 	return t, nil
+}
+
+// Table returns the attached table with the given name, or nil if no
+// table of that name has been created or opened on this DB. When a
+// name was attached more than once (a table closed and reopened), the
+// most recent attachment wins.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.byName[name]
 }
 
 // CreateTable creates an empty fractured-UPI table clustered on the
@@ -297,60 +298,67 @@ func (db *DB) attachTable(store *fracture.Store, seed []*Tuple, known bool, cfg 
 // The table's statistics catalog starts complete (an empty table has
 // nothing unknown) and absorbs every subsequent insert and delete, so
 // Run routes through the cost-based planner from the first query.
+// With WithShards(n) the table is hash-partitioned by tuple ID across
+// n independent stores (shard-per-core); see README "Serving &
+// sharding".
 func (db *DB) CreateTable(name, primaryAttr string, secAttrs []string, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	cfg, am, err := db.tableConfig(opts)
+	cfg, am, shards, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	store, err := fracture.NewStore(db.fs, name, primaryAttr, secAttrs, cfg)
+	st, err := shard.New(db.fs, name, primaryAttr, secAttrs, cfg, max(shards, 1), db.disk.Params())
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, nil, true, cfg, am)
+	return db.attachTable(st, am)
 }
 
-// BulkLoadTable creates a fractured-UPI table whose main partition is
-// bulk-built from tuples with sequential I/O only. The statistics
-// catalog is seeded from the same tuples, so the engine owns complete
-// cardinality knowledge without a separate BuildStats pass.
+// BulkLoadTable creates a fractured-UPI table whose main partitions
+// are bulk-built from tuples with sequential I/O only (each shard
+// receives the tuples it owns). The statistics catalog is seeded from
+// the same tuples, so the engine owns complete cardinality knowledge
+// without a separate BuildStats pass.
 func (db *DB) BulkLoadTable(name, primaryAttr string, secAttrs []string, tuples []*Tuple, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	cfg, am, err := db.tableConfig(opts)
+	cfg, am, shards, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	store, err := fracture.BulkLoad(db.fs, name, primaryAttr, secAttrs, cfg, tuples)
+	st, err := shard.BulkLoad(db.fs, name, primaryAttr, secAttrs, cfg, max(shards, 1), db.disk.Params(), tuples)
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, tuples, false, cfg, am)
+	return db.attachTable(st, am)
 }
 
 // OpenTable reloads a table previously created on this DB's storage.
-// On a durable table every acknowledged write survives: the manifest
-// names the authoritative partitions and the write-ahead log replays
-// the RAM insert buffer and pending deletes. On a non-durable table
-// only flushed state survives. Either way the on-disk content is
+// On a durable table every acknowledged write survives: each shard's
+// manifest names its authoritative partitions and its write-ahead log
+// replays the RAM insert buffer and pending deletes. On a non-durable
+// table only flushed state survives. Either way the on-disk content is
 // unknown to the statistics catalog, so Run uses heuristic routing
-// until BuildStats seeds it or the first merge re-derives it.
+// until BuildStats seeds it or the first merge re-derives it. The
+// persisted shard count is authoritative: omitting WithShards accepts
+// whatever the table was created with, and a contradictory explicit
+// count is an error.
 func (db *DB) OpenTable(name, primaryAttr string, secAttrs []string, opts ...Option) (*Table, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	cfg, am, err := db.tableConfig(opts)
+	cfg, am, shards, err := db.tableConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	store, err := fracture.Open(db.fs, name, primaryAttr, secAttrs, cfg)
+	st, err := shard.Open(db.fs, name, primaryAttr, secAttrs, cfg, shards, db.disk.Params())
 	if err != nil {
 		return nil, err
 	}
-	return db.attachTable(store, nil, false, cfg, am)
+	return db.attachTable(st, am)
 }
 
 // Close closes the database: every table is closed — stopping
@@ -397,66 +405,85 @@ func (db *DB) Close() error {
 // the cost-based planner automatically whenever the catalog is fresh
 // enough (see TableOptions.StatsStaleness and StatsInfo), so callers
 // get planned routing without ever touching BuildStats.
+//
+// A table built WithShards(n) is hash-partitioned by tuple ID across n
+// independent stores: mutations touch only the owning shard, queries
+// scatter to every shard and gather one globally confidence-ordered
+// stream, and per-shard statistics/costs aggregate transparently in
+// StatsInfo and QueryInfo. The default is one shard — the unsharded
+// engine, byte-identical layout and costs.
 type Table struct {
-	db      *DB
-	store   *fracture.Store
-	catalog *stats.Catalog
-	planner *planner.Planner
+	db     *DB
+	shards *shard.Table
 }
 
-// Insert adds or replaces a tuple (buffered). Replacement is a true
-// upsert: an older version of the same ID — buffered or already on
-// disk — is superseded immediately at query time and dropped
-// physically by the next merge.
-func (t *Table) Insert(tup *Tuple) error { return t.store.Insert(tup) }
+// Name returns the table's name, as given at creation.
+func (t *Table) Name() string { return t.shards.Name() }
 
-// Delete removes the tuple with the given ID (buffered). Like Insert,
-// it fails with ErrClosed once the table is closed.
-func (t *Table) Delete(id uint64) error { return t.store.Delete(id) }
+// NumShards returns the number of independent stores the table is
+// hash-partitioned across (1 = unsharded).
+func (t *Table) NumShards() int { return t.shards.NumShards() }
 
-// Flush writes buffered changes out as a new fracture.
-func (t *Table) Flush() error { return t.store.Flush() }
+// PrimaryAttr returns the primary (clustered) uncertain attribute.
+func (t *Table) PrimaryAttr() string { return t.shards.Attr() }
+
+// SecondaryAttrs returns the secondary-indexed attributes.
+func (t *Table) SecondaryAttrs() []string { return t.shards.SecondaryAttrs() }
+
+// Insert adds or replaces a tuple (buffered in the owning shard).
+// Replacement is a true upsert: an older version of the same ID —
+// buffered or already on disk — is superseded immediately at query
+// time and dropped physically by the next merge.
+func (t *Table) Insert(tup *Tuple) error { return t.shards.Insert(tup) }
+
+// Delete removes the tuple with the given ID (buffered in the owning
+// shard). Like Insert, it fails with ErrClosed once the table is
+// closed.
+func (t *Table) Delete(id uint64) error { return t.shards.Delete(id) }
+
+// Flush writes buffered changes out as a new fracture (per shard).
+func (t *Table) Flush() error { return t.shards.Flush() }
 
 // Merge folds all fractures back into the main UPI with one
-// sequential pass, restoring query performance.
-func (t *Table) Merge() error { return t.store.Merge() }
+// sequential pass per shard, restoring query performance.
+func (t *Table) Merge() error { return t.shards.Merge() }
 
-// Close stops the table's background merger (if any) and marks the
+// Close stops the table's background mergers (if any) and marks the
 // table closed: every subsequent query and mutation fails with
 // ErrClosed. In-flight queries finish normally on the snapshot they
 // hold. Close returns the first background-merge error, like
 // StopAutoMerge; closing twice is safe.
-func (t *Table) Close() error { return t.store.Close() }
+func (t *Table) Close() error { return t.shards.Close() }
 
-// SetParallelism changes the per-query partition fan-out width
-// (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not depend on
-// it; only wall-clock time changes.
-func (t *Table) SetParallelism(n int) { t.store.SetParallelism(n) }
+// SetParallelism changes the per-query partition fan-out width within
+// each shard (0 = GOMAXPROCS, 1 = serial). Modeled query costs do not
+// depend on it; only wall-clock time changes.
+func (t *Table) SetParallelism(n int) { t.shards.SetParallelism(n) }
 
 // AutoMergeOptions tune the background merger of a table.
 type AutoMergeOptions = fracture.AutoMergeOptions
 
-// StartAutoMerge launches a background goroutine that merges the
-// table whenever the fracture count or total fracture size crosses a
-// threshold. Queries keep running during a background merge; the swap
-// to the merged main is atomic and in-flight queries finish on the
-// generation they started on.
-func (t *Table) StartAutoMerge(opts AutoMergeOptions) error { return t.store.StartAutoMerge(opts) }
+// StartAutoMerge launches one background goroutine per shard that
+// merges the shard whenever its fracture count or total fracture size
+// crosses a threshold. Queries keep running during a background merge;
+// the swap to the merged main is atomic and in-flight queries finish
+// on the generation they started on.
+func (t *Table) StartAutoMerge(opts AutoMergeOptions) error { return t.shards.StartAutoMerge(opts) }
 
-// StopAutoMerge stops the background merger, waiting for an
-// in-progress merge to finish, and returns the first error a
-// background merge hit (nil if none).
-func (t *Table) StopAutoMerge() error { return t.store.StopAutoMerge() }
+// StopAutoMerge stops the background mergers, waiting for in-progress
+// merges to finish, and returns the first error a background merge hit
+// (nil if none).
+func (t *Table) StopAutoMerge() error { return t.shards.StopAutoMerge() }
 
-// NumFractures returns the current fracture count (merge when this
-// grows large; see the cost model).
-func (t *Table) NumFractures() int { return t.store.NumFractures() }
+// NumFractures returns the current fracture count summed over shards
+// (merge when this grows large; see the cost model).
+func (t *Table) NumFractures() int { return t.shards.NumFractures() }
 
-// SizeBytes returns the table's total on-disk size.
-func (t *Table) SizeBytes() int64 { return t.store.SizeBytes() }
+// SizeBytes returns the table's total on-disk size over all shards.
+func (t *Table) SizeBytes() int64 { return t.shards.SizeBytes() }
 
 // DropCaches empties all buffer pools; the next query runs cold.
-func (t *Table) DropCaches() error { return t.store.DropCaches() }
+func (t *Table) DropCaches() error { return t.shards.DropCaches() }
 
 // QueryInfo reports the modeled cost of one query and what it
 // touched.
