@@ -136,6 +136,51 @@ func discoverPrimary(client *http.Client, base, table string) (string, error) {
 	return "", lastErr
 }
 
+// scrapeServerMetrics pulls the server's /metrics exposition and
+// extracts the server-side admission picture — engine admission
+// verdicts and HTTP refusal counters — so the final report shows the
+// server's view next to the client-side percentiles. Best-effort: any
+// failure returns nil and the report simply omits the section.
+func scrapeServerMetrics(client *http.Client, base string) map[string]float64 {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	want := map[string]string{
+		`upidb_admission_total{verdict="admitted"}`: "admission_admitted",
+		`upidb_admission_total{verdict="refused"}`:  "admission_refused",
+		`upidb_admission_total{verdict="unpriced"}`: "admission_unpriced",
+		"upidb_http_overload_refusals_total":        "http_overload_refusals",
+		"upidb_http_deadline_refusals_total":        "http_deadline_refusals",
+		"upidb_fracture_inserts_total":              "engine_inserts",
+		"upidb_stream_yields_total":                 "engine_yields",
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		key, ok := want[line[:i]]
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err == nil {
+			out[key] = v
+		}
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	var (
@@ -284,6 +329,7 @@ func main() {
 		Errors        map[string]int        `json:"errors"`
 		LatencyMS     map[string]float64    `json:"latency_ms"`
 		ByKind        map[string]kindReport `json:"by_kind"`
+		Server        map[string]float64    `json:"server,omitempty"`
 	}{
 		Requests:      len(all),
 		Succeeded:     len(lat),
@@ -309,6 +355,9 @@ func main() {
 			P99MS:    ms(percentile(ds, 99)),
 		}
 	}
+	// Scrape the server's own counters while it is still up, so the
+	// report pairs its admission/refusal view with the client's.
+	report.Server = scrapeServerMetrics(client, base)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

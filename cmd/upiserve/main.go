@@ -103,6 +103,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 		preloadN    = flag.Int("preload", 0, "synthetic tuples to preload per table")
 		quiet       = flag.Bool("quiet", false, "disable per-request logging")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (operator-only; off by default)")
 	)
 	var specs []tableSpec
 	flag.Func("table", "table spec name:primary[:sec1;sec2] (repeatable)", func(v string) error {
@@ -155,7 +156,7 @@ func main() {
 		}
 	}
 
-	cfg := server.Config{MaxInflight: *maxInflight, DefaultTimeout: *timeout}
+	cfg := server.Config{MaxInflight: *maxInflight, DefaultTimeout: *timeout, EnablePprof: *pprofOn}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}

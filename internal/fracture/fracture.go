@@ -50,6 +50,7 @@ import (
 	"strings"
 	"sync"
 
+	"upidb/internal/obs"
 	"upidb/internal/stats"
 	"upidb/internal/storage"
 	"upidb/internal/tuple"
@@ -94,6 +95,12 @@ type Config struct {
 	// no extra bytes, so modeled costs are byte-identical to earlier
 	// releases.
 	Durable bool
+	// Metrics, when set, receives engine-level observability counters
+	// and histograms (inserts, flushes, merges, WAL fsync timing, pin
+	// releases, ...). nil disables instrumentation at zero cost; the
+	// metrics never touch the I/O tapes, so modeled query costs are
+	// identical either way.
+	Metrics *obs.EngineMetrics
 }
 
 // Options is the former name of Config.
@@ -250,6 +257,12 @@ func BulkLoad(fs *storage.FS, name, attr string, secAttrs []string, opts Config,
 
 // newShell builds a Store with everything but the main partition.
 func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Config) *Store {
+	if opts.Metrics == nil {
+		// A zero EngineMetrics is an all-no-op sink (every metric
+		// method is nil-safe), so instrumentation sites stay
+		// unconditional.
+		opts.Metrics = &obs.EngineMetrics{}
+	}
 	return &Store{
 		fs: fs, name: name, attr: attr,
 		secAttrs:   append([]string(nil), secAttrs...),
@@ -276,7 +289,7 @@ func (s *Store) initDurable() error {
 	if err := writeManifest(s.fs, s.name, s.mainGen, nil); err != nil {
 		return err
 	}
-	w, err := createWAL(s.fs, s.name)
+	w, err := createWAL(s.fs, s.name, s.opts.Metrics)
 	if err != nil {
 		return err
 	}
@@ -407,7 +420,15 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 			return err
 		}
 	}
+	_, replacing := s.bufTuples[tup.ID]
 	s.applyInsertLocked(tup)
+	s.opts.Metrics.Inserts.Inc()
+	if replacing {
+		// An upsert of an on-disk version is only visible as statistics
+		// staleness; this counts the detectable kind — a replaced
+		// still-buffered version.
+		s.opts.Metrics.Upserts.Inc()
+	}
 	var err error
 	flushed := false
 	if s.opts.BufferTuples > 0 && len(s.bufTuples) >= s.opts.BufferTuples {
@@ -458,6 +479,7 @@ func (s *Store) Delete(id uint64) error {
 		}
 	}
 	s.applyDeleteLocked(id)
+	s.opts.Metrics.Deletes.Inc()
 	return nil
 }
 
@@ -567,6 +589,7 @@ func (s *Store) flushLocked() error {
 	}
 	s.fractures = append(s.fractures, &fract{table: tab, deleted: deleted, ref: newPartRef(s.fs)})
 	s.fracGens = append(s.fracGens, id)
+	s.opts.Metrics.Flushes.Inc()
 	s.bufTuples = make(map[uint64]*tuple.Tuple)
 	s.bufOrder = nil
 	s.bufDeletes = make(map[uint64]bool)

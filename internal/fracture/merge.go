@@ -2,6 +2,7 @@ package fracture
 
 import (
 	"bytes"
+	"time"
 
 	"upidb/internal/btree"
 	"upidb/internal/stats"
@@ -52,6 +53,7 @@ func (s *Store) Merge() error {
 	// waits rather than building a competing generation.
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
+	mergeStart := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
@@ -111,6 +113,8 @@ func (s *Store) Merge() error {
 		return err
 	}
 	rb.Commit()
+	s.opts.Metrics.Merges.Inc()
+	s.opts.Metrics.MergeSeconds.Observe(time.Since(mergeStart).Seconds())
 	return nil
 }
 

@@ -77,7 +77,7 @@ func Open(fs *storage.FS, name, attr string, secAttrs []string, opts Config) (*S
 // keep (or gain) a live WAL and manifest, non-durable ones shed both.
 func (s *Store) recoverWAL(hadManifest bool) error {
 	if s.fs.Exists(walName(s.name)) {
-		w, err := openWAL(s.fs, s.name, func(recType byte, payload []byte) error {
+		w, err := openWAL(s.fs, s.name, s.opts.Metrics, func(recType byte, payload []byte) error {
 			switch recType {
 			case walRecInsert:
 				tup, err := tuple.Decode(payload)
@@ -100,7 +100,7 @@ func (s *Store) recoverWAL(hadManifest bool) error {
 			s.wal = w
 		}
 	} else if s.opts.Durable {
-		w, err := createWAL(s.fs, s.name)
+		w, err := createWAL(s.fs, s.name, s.opts.Metrics)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"upidb/internal/obs"
 	"upidb/internal/sim"
 	"upidb/internal/tuple"
 	"upidb/internal/upi"
@@ -83,6 +84,7 @@ type snapshot struct {
 	pins        []*partRef
 	bufResults  []upi.Result
 	parallelism int
+	met         *obs.EngineMetrics
 
 	// mu guards pinned. Pins are normally released by the single
 	// consumer (collect, or the merged stream partition by partition),
@@ -120,6 +122,7 @@ func (s *Store) snapshotFor(parallelism int, match func(*tuple.Tuple) (float64, 
 		killers:     make([][]map[uint64]bool, n),
 		pins:        make([]*partRef, n),
 		parallelism: s.parallelismLocked(),
+		met:         s.opts.Metrics,
 	}
 	if parallelism > 0 {
 		snap.parallelism = parallelism
@@ -171,6 +174,7 @@ func (snap *snapshot) unpinPart(i int) {
 	snap.mu.Unlock()
 	if wasPinned {
 		snap.pins[i].unpin()
+		snap.met.PinReleases.Inc()
 	}
 }
 

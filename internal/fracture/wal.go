@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"time"
 
+	"upidb/internal/obs"
 	"upidb/internal/storage"
 	"upidb/internal/tuple"
 )
@@ -48,31 +50,38 @@ const (
 type wal struct {
 	f    *storage.File
 	size int64 // bytes of valid, fsynced records
+	met  *obs.EngineMetrics
 }
 
 func walName(store string) string { return store + ".wal" }
 
 // createWAL creates an empty WAL (truncating any leftover).
-func createWAL(fs *storage.FS, store string) (*wal, error) {
+func createWAL(fs *storage.FS, store string, met *obs.EngineMetrics) (*wal, error) {
+	if met == nil {
+		met = &obs.EngineMetrics{}
+	}
 	name := walName(store)
 	fs.Sideband(name)
 	f := fs.Create(name)
 	if err := f.Sync(); err != nil {
 		return nil, fmt.Errorf("fracture: create wal: %w", err)
 	}
-	return &wal{f: f}, nil
+	return &wal{f: f, met: met}, nil
 }
 
 // openWAL opens an existing WAL and replays its records through apply,
 // self-healing a torn tail. Records are applied in append order.
-func openWAL(fs *storage.FS, store string, apply func(recType byte, payload []byte) error) (*wal, error) {
+func openWAL(fs *storage.FS, store string, met *obs.EngineMetrics, apply func(recType byte, payload []byte) error) (*wal, error) {
+	if met == nil {
+		met = &obs.EngineMetrics{}
+	}
 	name := walName(store)
 	fs.Sideband(name)
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{f: f}
+	w := &wal{f: f, met: met}
 	size := f.Size()
 	data := make([]byte, size)
 	if size > 0 {
@@ -137,10 +146,13 @@ func (w *wal) append(recType byte, payload []byte) error {
 		w.heal()
 		return fmt.Errorf("fracture: wal append: %w", err)
 	}
+	fsyncStart := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.heal()
 		return fmt.Errorf("fracture: wal sync: %w", err)
 	}
+	w.met.WALFsyncSeconds.Observe(time.Since(fsyncStart).Seconds())
+	w.met.WALAppends.Inc()
 	w.size += int64(len(rec))
 	return nil
 }

@@ -5,8 +5,11 @@
 //	POST /v1/tables/{table}/query    run a PTQ or top-k, stream NDJSON
 //	POST /v1/tables/{table}/insert   upsert one tuple
 //	POST /v1/tables/{table}/delete   delete by tuple ID
-//	GET  /v1/tables/{table}/stats    statistics-catalog + table state
+//	GET  /v1/tables/{table}/stats    statistics-catalog + table state,
+//	                                 with a per-shard breakdown
+//	GET  /metrics                    Prometheus text exposition
 //	GET  /healthz                    liveness (503 while draining)
+//	GET  /debug/pprof/...            profiling (Config.EnablePprof only)
 //
 // Three serving disciplines, all built on machinery the engine already
 // has:
@@ -39,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -46,6 +50,7 @@ import (
 	"time"
 
 	"upidb"
+	"upidb/internal/obs"
 )
 
 // Config tunes a Server.
@@ -56,10 +61,34 @@ type Config struct {
 	// DefaultTimeout bounds requests that carry no timeout_ms of their
 	// own. 0 means no default deadline.
 	DefaultTimeout time.Duration
-	// Logf, when set, receives one line per served request (method,
-	// path, status, duration, trace counters). nil disables request
-	// logging.
+	// Logf, when set, receives one structured JSON line per served
+	// request (endpoint, status, shard count, trace counters,
+	// wall-clock). nil disables request logging.
 	Logf func(format string, args ...any)
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and should only
+	// face operators, not the open network.
+	EnablePprof bool
+}
+
+// serverMetrics is the server-level metric bundle, registered on the
+// DB's registry so one scrape covers engine and server families alike.
+type serverMetrics struct {
+	requests *obs.CounterVec   // {endpoint,status}
+	latency  *obs.HistogramVec // {endpoint}: end-to-end service time
+	inflight *obs.Gauge        // requests currently being served
+	overload *obs.Counter      // 429s shed by the token bucket
+	deadline *obs.Counter      // 504s (deadline admission or mid-flight)
+}
+
+func newServerMetrics(r *upidb.MetricsRegistry) *serverMetrics {
+	return &serverMetrics{
+		requests: r.CounterVec("upidb_http_requests_total", "HTTP requests served, by endpoint and status.", "endpoint", "status"),
+		latency:  r.HistogramVec("upidb_http_request_seconds", "End-to-end request service time, by endpoint.", obs.WallBuckets, "endpoint"),
+		inflight: r.Gauge("upidb_http_inflight", "Requests currently being served."),
+		overload: r.Counter("upidb_http_overload_refusals_total", "Requests shed with 429 by the admission token bucket."),
+		deadline: r.Counter("upidb_http_deadline_refusals_total", "Requests answered 504: deadline admission or mid-flight deadline."),
+	}
 }
 
 // Server serves one upidb.DB over HTTP. Create with New, expose with
@@ -68,6 +97,7 @@ type Server struct {
 	db  *upidb.DB
 	cfg Config
 	mux *http.ServeMux
+	met *serverMetrics
 
 	// tokens is the admission bucket: a request must take a token to be
 	// served and returns it when done. Buffered to MaxInflight.
@@ -85,12 +115,24 @@ func New(db *upidb.DB, cfg Config) *Server {
 	for i := 0; i < cfg.MaxInflight; i++ {
 		s.tokens <- struct{}{}
 	}
+	s.met = newServerMetrics(db.MetricsRegistry())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/tables/{table}/query", s.limited(s.handleQuery))
-	s.mux.HandleFunc("POST /v1/tables/{table}/insert", s.limited(s.handleInsert))
-	s.mux.HandleFunc("POST /v1/tables/{table}/delete", s.limited(s.handleDelete))
-	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.limited(s.handleStats))
+	// /metrics bypasses the admission bucket and the drain check:
+	// operators need telemetry most exactly when the server is
+	// overloaded or draining.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/tables/{table}/query", s.limited("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/tables/{table}/insert", s.limited("insert", s.handleInsert))
+	s.mux.HandleFunc("POST /v1/tables/{table}/delete", s.limited("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /v1/tables/{table}/stats", s.limited("stats", s.handleStats))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -115,9 +157,9 @@ func errorBody(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 // limited wraps a handler with the serving disciplines: drain check,
-// token-bucket admission (429 + Retry-After on an empty bucket), and
-// request logging.
-func (s *Server) limited(h func(http.ResponseWriter, *http.Request) (status int, note string)) http.HandlerFunc {
+// token-bucket admission (429 + Retry-After on an empty bucket),
+// metrics, and one structured JSON log line per request.
+func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request) (status int, fields map[string]any)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// Count the request in before checking the drain flag: BeginDrain
 		// happens-before Drain's Wait, so a request that saw draining ==
@@ -127,6 +169,7 @@ func (s *Server) limited(h func(http.ResponseWriter, *http.Request) (status int,
 		defer s.inflight.Done()
 		if s.draining.Load() {
 			errorBody(w, http.StatusServiceUnavailable, "server is draining")
+			s.record(endpoint, http.StatusServiceUnavailable, 0, r, map[string]any{"refused": "draining"})
 			return
 		}
 		select {
@@ -136,15 +179,57 @@ func (s *Server) limited(h func(http.ResponseWriter, *http.Request) (status int,
 			// owns the retry policy; Retry-After is a hint.
 			w.Header().Set("Retry-After", "1")
 			errorBody(w, http.StatusTooManyRequests, "server at max in-flight requests")
+			s.met.overload.Inc()
+			s.record(endpoint, http.StatusTooManyRequests, 0, r, map[string]any{"refused": "overload"})
 			return
 		}
 		defer func() { s.tokens <- struct{}{} }()
+		s.met.inflight.Add(1)
 		start := time.Now()
-		status, note := h(w, r)
-		if s.cfg.Logf != nil {
-			s.cfg.Logf("%s %s -> %d in %v%s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), note)
+		status, fields := h(w, r)
+		elapsed := time.Since(start)
+		s.met.inflight.Add(-1)
+		if status == http.StatusGatewayTimeout {
+			s.met.deadline.Inc()
 		}
+		s.met.latency.With(endpoint).Observe(elapsed.Seconds())
+		s.record(endpoint, status, elapsed, r, fields)
 	}
+}
+
+// record counts one answered request into the metrics families and,
+// when logging is on, emits its one-JSON-line request log (endpoint,
+// status, wall-clock, plus whatever handler-specific fields the
+// handler contributed — table, shard count, trace counters, ...).
+func (s *Server) record(endpoint string, status int, elapsed time.Duration, r *http.Request, fields map[string]any) {
+	s.met.requests.With(endpoint, strconv.Itoa(status)).Inc()
+	if s.cfg.Logf == nil {
+		return
+	}
+	entry := map[string]any{
+		"endpoint":    endpoint,
+		"method":      r.Method,
+		"path":        r.URL.Path,
+		"status":      status,
+		"duration_ms": float64(elapsed.Microseconds()) / 1000,
+	}
+	for k, v := range fields {
+		entry[k] = v
+	}
+	line, err := json.Marshal(entry)
+	if err != nil { // unreachable for the field types handlers emit
+		s.cfg.Logf(`{"endpoint":%q,"status":%d,"log_error":%q}`, endpoint, status, err.Error())
+		return
+	}
+	s.cfg.Logf("%s", line)
+}
+
+// handleMetrics serves the Prometheus text exposition of every metric
+// family — engine (fracture/WAL/merge), shard, planner/admission and
+// server alike, since they share the DB's registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.db.WritePrometheus(w)
 }
 
 // handleHealthz answers liveness probes: 200 while serving, 503 while
@@ -224,15 +309,15 @@ func queryStatus(err error) int {
 }
 
 // handleQuery runs one PTQ/top-k and streams its results as NDJSON.
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, string) {
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, map[string]any) {
 	t, status := s.table(w, r)
 	if t == nil {
-		return status, ""
+		return status, nil
 	}
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		errorBody(w, http.StatusBadRequest, "bad query body: %v", err)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 
 	var q upidb.Query
@@ -246,12 +331,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, strin
 	case "topk":
 		if req.K <= 0 {
 			errorBody(w, http.StatusBadRequest, "topk requires k >= 1")
-			return http.StatusBadRequest, ""
+			return http.StatusBadRequest, nil
 		}
 		q = upidb.TopKQuery(req.Value, req.K)
 	default:
 		errorBody(w, http.StatusBadRequest, "unknown query kind %q (want \"ptq\" or \"topk\")", req.Kind)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 	switch strings.ToLower(req.Route) {
 	case "":
@@ -261,7 +346,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, strin
 		q = q.WithHeuristic()
 	default:
 		errorBody(w, http.StatusBadRequest, "unknown route %q (want \"planner\" or \"heuristic\")", req.Route)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 
 	// Per-request span counters from the engine's trace hooks — the
@@ -293,20 +378,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, strin
 		defer cancel()
 	}
 
-	note := func() string {
-		line := fmt.Sprintf(" table=%s kind=%s dispatches=%d scans=%d yields=%d",
-			t.Name(), kind, dispatches.Load(), scans.Load(), yields.Load())
-		if a := admission.Load(); a != nil {
-			line += " admission=" + strconv.Quote(*a)
+	fields := func() map[string]any {
+		f := map[string]any{
+			"table":      t.Name(),
+			"kind":       kind,
+			"shards":     t.NumShards(),
+			"dispatches": dispatches.Load(),
+			"scans":      scans.Load(),
+			"yields":     yields.Load(),
 		}
-		return line
+		if a := admission.Load(); a != nil {
+			f["admission"] = *a
+		}
+		return f
 	}
 
 	res, err := t.Run(ctx, q)
 	if err != nil {
 		status := queryStatus(err)
 		errorBody(w, status, "%v", err)
-		return status, note()
+		f := fields()
+		f["error"] = err.Error()
+		return status, f
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -319,7 +412,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, strin
 			// The 200 is already on the wire; the error line is the
 			// in-band failure contract NDJSON consumers check for.
 			_ = enc.Encode(map[string]string{"error": err.Error()})
-			return http.StatusOK, note() + " streamerr"
+			f := fields()
+			f["stream_error"] = err.Error()
+			return http.StatusOK, f
 		}
 		_ = enc.Encode(resultLine{ID: result.Tuple.ID, Confidence: result.Confidence})
 		count++
@@ -343,7 +438,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, strin
 	if flusher != nil {
 		flusher.Flush()
 	}
-	return http.StatusOK, note()
+	f := fields()
+	f["count"] = count
+	if info.Plan != "" {
+		f["plan"] = info.Plan
+	}
+	if info.PlanSource != "" {
+		f["plan_source"] = info.PlanSource
+	}
+	return http.StatusOK, f
 }
 
 // wireTuple is the JSON form of one uncertain tuple.
@@ -395,82 +498,108 @@ func (wt wireTuple) toTuple() (*upidb.Tuple, error) {
 
 // handleInsert upserts one tuple into the table (routed to its owning
 // shard).
-func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, string) {
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) (int, map[string]any) {
 	t, status := s.table(w, r)
 	if t == nil {
-		return status, ""
+		return status, nil
 	}
 	var wt wireTuple
 	if err := json.NewDecoder(r.Body).Decode(&wt); err != nil {
 		errorBody(w, http.StatusBadRequest, "bad tuple body: %v", err)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 	tup, err := wt.toTuple()
 	if err != nil {
 		errorBody(w, http.StatusBadRequest, "invalid tuple: %v", err)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 	if err := t.Insert(tup); err != nil {
 		status := queryStatus(err)
 		errorBody(w, status, "%v", err)
-		return status, ""
+		return status, map[string]any{"table": t.Name(), "id": tup.ID, "error": err.Error()}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": tup.ID})
-	return http.StatusOK, fmt.Sprintf(" table=%s id=%d", t.Name(), tup.ID)
+	return http.StatusOK, map[string]any{"table": t.Name(), "id": tup.ID}
 }
 
 // handleDelete removes one tuple by ID.
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, string) {
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) (int, map[string]any) {
 	t, status := s.table(w, r)
 	if t == nil {
-		return status, ""
+		return status, nil
 	}
 	var body struct {
 		ID uint64 `json:"id"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		errorBody(w, http.StatusBadRequest, "bad delete body: %v", err)
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 	if body.ID == 0 {
 		errorBody(w, http.StatusBadRequest, "delete requires id >= 1")
-		return http.StatusBadRequest, ""
+		return http.StatusBadRequest, nil
 	}
 	if err := t.Delete(body.ID); err != nil {
 		status := queryStatus(err)
 		errorBody(w, status, "%v", err)
-		return status, ""
+		return status, map[string]any{"table": t.Name(), "id": body.ID, "error": err.Error()}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "id": body.ID})
-	return http.StatusOK, fmt.Sprintf(" table=%s id=%d", t.Name(), body.ID)
+	return http.StatusOK, map[string]any{"table": t.Name(), "id": body.ID}
+}
+
+// shardStatsLine is one shard's slice in the stats response — the
+// skew view: a hot shard shows up as an outlier tuple count, a
+// lagging merge as an outlier fracture count or staleness.
+type shardStatsLine struct {
+	Shard           int     `json:"shard"`
+	Tuples          int64   `json:"tuples"`
+	Fractures       int     `json:"fractures"`
+	BufferedInserts int     `json:"buffered_inserts"`
+	SizeBytes       int64   `json:"size_bytes"`
+	Staleness       float64 `json:"staleness"`
+	Unabsorbed      int64   `json:"unabsorbed_deltas"`
 }
 
 // statsResponse is the wire form of GET /stats.
 type statsResponse struct {
-	Table         string   `json:"table"`
-	PrimaryAttr   string   `json:"primary_attr"`
-	Secondary     []string `json:"secondary_attrs"`
-	Shards        int      `json:"shards"`
-	Fractures     int      `json:"fractures"`
-	SizeBytes     int64    `json:"size_bytes"`
-	Seeded        bool     `json:"stats_seeded"`
-	Staleness     float64  `json:"stats_staleness"`
-	Threshold     float64  `json:"stats_threshold"`
-	Rebuilds      int      `json:"stats_rebuilds"`
-	TrackedTuples int64    `json:"tracked_tuples"`
-	Unabsorbed    int64    `json:"unabsorbed_deltas"`
+	Table         string           `json:"table"`
+	PrimaryAttr   string           `json:"primary_attr"`
+	Secondary     []string         `json:"secondary_attrs"`
+	Shards        int              `json:"shards"`
+	Fractures     int              `json:"fractures"`
+	SizeBytes     int64            `json:"size_bytes"`
+	Seeded        bool             `json:"stats_seeded"`
+	Staleness     float64          `json:"stats_staleness"`
+	Threshold     float64          `json:"stats_threshold"`
+	Rebuilds      int              `json:"stats_rebuilds"`
+	TrackedTuples int64            `json:"tracked_tuples"`
+	Unabsorbed    int64            `json:"unabsorbed_deltas"`
+	PerShard      []shardStatsLine `json:"per_shard"`
 }
 
-// handleStats reports table and statistics-catalog state, aggregated
-// over shards.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int, string) {
+// handleStats reports table and statistics-catalog state: the
+// aggregates over shards plus the per-shard breakdown.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int, map[string]any) {
 	t, status := s.table(w, r)
 	if t == nil {
-		return status, ""
+		return status, nil
 	}
 	si := t.StatsInfo()
+	perShard := make([]shardStatsLine, len(si.Shards))
+	for i, sh := range si.Shards {
+		perShard[i] = shardStatsLine{
+			Shard:           sh.Shard,
+			Tuples:          sh.Tuples,
+			Fractures:       sh.Fractures,
+			BufferedInserts: sh.BufferedInserts,
+			SizeBytes:       sh.SizeBytes,
+			Staleness:       sh.Staleness,
+			Unabsorbed:      sh.Unabsorbed,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(statsResponse{
 		Table:         t.Name(),
@@ -485,6 +614,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) (int, strin
 		Rebuilds:      si.Rebuilds,
 		TrackedTuples: si.TrackedTuples,
 		Unabsorbed:    si.Unabsorbed,
+		PerShard:      perShard,
 	})
-	return http.StatusOK, " table=" + t.Name()
+	return http.StatusOK, map[string]any{"table": t.Name(), "shards": t.NumShards()}
 }

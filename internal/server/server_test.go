@@ -370,3 +370,155 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal("Drain did not return")
 	}
 }
+
+// TestMetricsEndpoint: /metrics serves the whole registry — engine,
+// facade and server families — in Prometheus text format, stays up
+// during drain, and counts the requests it observed.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{}, 200)
+
+	// Generate some traffic so the counters are nonzero.
+	resp := post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v3", "qt": 0.2})
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics: %s", resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+			t.Fatalf("/metrics content type %q", ct)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	out := scrape()
+	for _, want := range []string{
+		"# TYPE upidb_fracture_inserts_total counter",
+		"# TYPE upidb_shard_scatters_total counter",
+		"# TYPE upidb_planner_route_total counter",
+		"# TYPE upidb_http_requests_total counter",
+		"# TYPE upidb_http_request_seconds histogram",
+		"# TYPE upidb_http_inflight gauge",
+		`upidb_http_requests_total{endpoint="query",status="200"} 1`,
+		`upidb_shard_tuples{`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// Operators keep their telemetry while the server drains.
+	srv.BeginDrain()
+	if !strings.Contains(scrape(), "upidb_http_requests_total") {
+		t.Error("scrape during drain lost the server families")
+	}
+}
+
+// TestPprofGating: the profiling endpoints are absent by default and
+// mounted only under Config.EnablePprof.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Config{}, 0)
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without opt-in: %s, want 404", resp.Status)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true}, 0)
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(raw, []byte("goroutine")) {
+		t.Fatalf("pprof index with opt-in: %s (%d bytes)", resp.Status, len(raw))
+	}
+}
+
+// TestStructuredRequestLogs: every served (and refused) request emits
+// exactly one parseable JSON log line carrying endpoint, status,
+// wall-clock and the handler's own fields.
+func TestStructuredRequestLogs(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	cfg := Config{Logf: func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}}
+	srv, ts := newTestServer(t, cfg, 200)
+
+	resp := post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v3", "qt": 0.2})
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	srv.BeginDrain()
+	resp = post(t, ts.URL+"/v1/tables/authors/query", map[string]any{"value": "v3"})
+	resp.Body.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2: %q", len(lines), lines)
+	}
+	var served, refused map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &served); err != nil {
+		t.Fatalf("log line not JSON: %q: %v", lines[0], err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &refused); err != nil {
+		t.Fatalf("log line not JSON: %q: %v", lines[1], err)
+	}
+	if served["endpoint"] != "query" || served["status"] != float64(200) {
+		t.Errorf("served line: %v", served)
+	}
+	for _, key := range []string{"duration_ms", "shards", "dispatches", "yields", "count", "table"} {
+		if _, ok := served[key]; !ok {
+			t.Errorf("served line missing %q: %v", key, served)
+		}
+	}
+	if refused["status"] != float64(503) || refused["refused"] != "draining" {
+		t.Errorf("drain refusal line: %v", refused)
+	}
+}
+
+// TestStatsPerShard: the stats endpoint carries the per-shard
+// breakdown, one entry per shard, summing to the table totals.
+func TestStatsPerShard(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, 200)
+	resp, err := http.Get(ts.URL + "/v1/tables/authors/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.PerShard) != stats.Shards || stats.Shards != 2 {
+		t.Fatalf("per_shard has %d entries for %d shards", len(stats.PerShard), stats.Shards)
+	}
+	var tuples int64
+	for i, s := range stats.PerShard {
+		if s.Shard != i {
+			t.Errorf("entry %d is shard %d", i, s.Shard)
+		}
+		tuples += s.Tuples
+	}
+	if tuples != stats.TrackedTuples {
+		t.Errorf("per-shard tuples sum %d != tracked %d", tuples, stats.TrackedTuples)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"upidb/internal/fracture"
+	"upidb/internal/obs"
 	"upidb/internal/planner"
 	"upidb/internal/sim"
 	"upidb/internal/stats"
@@ -45,6 +46,7 @@ type Table struct {
 	stores   []*fracture.Store
 	cats     []*stats.Catalog
 	planners []*planner.Planner
+	met      *obs.EngineMetrics
 }
 
 // shardsFile is the sideband file persisting the shard count of one
@@ -136,6 +138,10 @@ func readShardsFile(fs *storage.FS, name string) (int, error) {
 // that merge's own heap stream, which must only ever describe that
 // shard's tuples.
 func newTable(fs *storage.FS, name string, disk sim.Params, stores []*fracture.Store, cfg fracture.Config, known bool) *Table {
+	met := cfg.Metrics
+	if met == nil {
+		met = &obs.EngineMetrics{}
+	}
 	t := &Table{
 		fs:       fs,
 		name:     name,
@@ -143,6 +149,7 @@ func newTable(fs *storage.FS, name string, disk sim.Params, stores []*fracture.S
 		stores:   stores,
 		cats:     make([]*stats.Catalog, len(stores)),
 		planners: make([]*planner.Planner, len(stores)),
+		met:      met,
 	}
 	for i, s := range stores {
 		cat := stats.NewCatalog(s.Main().Attr(), s.Main().SecondaryAttrs(), cfg.StatsStaleness, known)
@@ -386,6 +393,46 @@ func (t *Table) Fresh(attr string) bool {
 	return true
 }
 
+// ShardStats is one shard's slice of the table: the per-shard
+// breakdown operators read to spot skew (hot shards, lagging merges,
+// stale statistics) that the table-level sums hide.
+type ShardStats struct {
+	Shard           int
+	Tuples          int64
+	Fractures       int
+	BufferedInserts int
+	SizeBytes       int64
+	Staleness       float64
+	Unabsorbed      int64
+}
+
+// PerShardStats reports every shard's individual state, in shard
+// order. Each shard is read independently (no cross-shard lock), so
+// the breakdown is approximate under concurrent writes — exactly as
+// approximate as each per-shard counter already is.
+func (t *Table) PerShardStats() []ShardStats {
+	out := make([]ShardStats, len(t.stores))
+	for i, s := range t.stores {
+		out[i] = ShardStats{
+			Shard:           i,
+			Tuples:          t.cats[i].TotalTuples(),
+			Fractures:       s.NumFractures(),
+			BufferedInserts: s.BufferedInserts(),
+			SizeBytes:       s.SizeBytes(),
+			Staleness:       t.cats[i].Staleness(),
+			Unabsorbed:      t.cats[i].Unabsorbed(),
+		}
+	}
+	return out
+}
+
+// ShardTuples returns the tuple count tracked by shard i's catalog
+// (cheap: one atomic read — suitable for scrape-time gauges).
+func (t *Table) ShardTuples(i int) int64 { return t.cats[i].TotalTuples() }
+
+// ShardFractures returns shard i's current fracture count.
+func (t *Table) ShardFractures(i int) int { return t.stores[i].NumFractures() }
+
 // StatsSummary aggregates the per-shard catalog states: counts sum,
 // Seeded requires every shard, staleness is the pooled unabsorbed
 // ratio, and the threshold is shared (all shards inherit the same
@@ -498,7 +545,7 @@ func (t *Table) Prepare(ctx context.Context, req fracture.Req) (*Prepared, error
 		}
 		preps[i] = p
 	}
-	return &Prepared{table: t, preps: preps, k: req.K, trace: trace}, nil
+	return &Prepared{table: t, preps: preps, k: req.K, trace: trace, met: t.met}, nil
 }
 
 // stampShard wraps a trace function so every event the shard's engine

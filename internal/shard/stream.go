@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"upidb/internal/fracture"
+	"upidb/internal/obs"
 	"upidb/internal/upi"
 )
 
@@ -21,6 +22,7 @@ type Prepared struct {
 	preps []*fracture.Prepared
 	k     int
 	trace fracture.TraceFunc
+	met   *obs.EngineMetrics
 	used  bool
 }
 
@@ -116,7 +118,7 @@ func (p *Prepared) Stream(ctx context.Context) *Stream {
 		return &Stream{done: true, err: errConsumed}
 	}
 	p.used = true
-	st := &Stream{ctx: ctx, k: p.k, trace: p.trace, subs: make([]*subStream, len(p.preps))}
+	st := &Stream{ctx: ctx, k: p.k, trace: p.trace, met: p.met, subs: make([]*subStream, len(p.preps))}
 	for i, sub := range p.preps {
 		st.subs[i] = &subStream{shard: i, st: sub.Stream(ctx)}
 	}
@@ -146,6 +148,7 @@ type Stream struct {
 	subs  []*subStream
 	k     int
 	trace fracture.TraceFunc
+	met   *obs.EngineMetrics
 
 	primed  bool
 	last    *subStream // sub whose head was yielded by the previous Next
@@ -221,6 +224,15 @@ func (st *Stream) Next() (r upi.Result, ok bool, err error) {
 	// shard is pulled again, so — exactly like an unsharded stream —
 	// pages beyond the k-th result are never read and never charged.
 	if st.k > 0 && st.yielded >= st.k {
+		// An early termination only counts when it actually cut work
+		// short: some shard still held an unconsumed head whose scans
+		// the finish below cancels.
+		for _, sub := range st.subs {
+			if sub.hasHead {
+				st.met.TopKEarlyTerm.Inc()
+				break
+			}
+		}
 		st.finish(nil)
 		return upi.Result{}, false, nil
 	}

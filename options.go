@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"upidb/internal/fracture"
+	"upidb/internal/obs"
 	"upidb/internal/sim"
 	"upidb/internal/storage"
 )
@@ -261,14 +262,25 @@ func newDB(dir string, create bool, opts []Option) (*DB, error) {
 	} else if !fs.Exists(markerFile) {
 		return nil, fmt.Errorf("upidb: no database at %q; use Create", dir)
 	}
-	return &DB{
+	// One registry per DB: every table's engine metrics (inherited via
+	// the defaults config) and the facade's routing/admission/query
+	// metrics report into it.
+	reg := obs.NewRegistry()
+	cfg.table.Metrics = obs.NewEngineMetrics(reg)
+	db := &DB{
 		disk:          disk,
 		fs:            fs,
 		backend:       backend,
 		defaults:      cfg.table,
 		autoMerge:     cfg.autoMerge,
 		defaultShards: cfg.shards,
-	}, nil
+		reg:           reg,
+		met:           newDBMetrics(reg),
+	}
+	reg.GaugeFunc("upidb_fracture_partitions",
+		"Partitions (main UPI + fractures, per shard) across attached tables.",
+		db.totalPartitions)
+	return db, nil
 }
 
 // tableConfig resolves the effective configuration of one table: the

@@ -1,5 +1,7 @@
 package upidb
 
+import "upidb/internal/shard"
+
 // How a query was routed, reported as QueryInfo.PlanSource and in the
 // first line of Explain output.
 const (
@@ -51,7 +53,15 @@ type StatsInfo struct {
 	// summarizes; Unabsorbed is the raw unabsorbed-delta count.
 	TrackedTuples int64
 	Unabsorbed    int64
+	// Shards is the per-shard breakdown (tuples, fractures, buffered
+	// inserts, size, staleness per shard), in shard order — the view
+	// that exposes skew the table-level sums above hide. A one-shard
+	// table reports one entry describing the whole table.
+	Shards []ShardStatsInfo
 }
+
+// ShardStatsInfo is one shard's slice of a table's state.
+type ShardStatsInfo = shard.ShardStats
 
 // StatsInfo reports the current state of the table's statistics
 // catalogs. On a sharded table the per-shard catalogs aggregate:
@@ -66,5 +76,6 @@ func (t *Table) StatsInfo() StatsInfo {
 		Rebuilds:      sum.Rebuilds,
 		TrackedTuples: sum.Tracked,
 		Unabsorbed:    sum.Unabsorbed,
+		Shards:        t.shards.PerShardStats(),
 	}
 }

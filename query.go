@@ -221,6 +221,14 @@ type Results struct {
 	prep      *shard.Prepared
 	wantStats bool
 
+	// met, kindLabel and started feed the observed-wall-clock vs
+	// modeled-cost histograms once, at the handle's terminal
+	// transition (recorded guards the once).
+	met       *dbMetrics
+	kindLabel string
+	started   time.Time
+	recorded  bool
+
 	state   resState
 	results []Result
 	info    QueryInfo
@@ -230,12 +238,15 @@ type Results struct {
 // newLazyResults wraps a prepared query into an unconsumed handle and
 // arranges for its partition pins to be dropped if the handle is
 // garbage-collected without ever being consumed.
-func newLazyResults(ctx context.Context, prep *shard.Prepared, q Query, plan, source string) *Results {
+func newLazyResults(ctx context.Context, prep *shard.Prepared, q Query, plan, source string, met *dbMetrics, kindLabel string, started time.Time) *Results {
 	r := &Results{
 		ctx:       ctx,
 		prep:      prep,
 		wantStats: q.wantStats,
 		info:      QueryInfo{Plan: plan, PlanSource: source},
+		met:       met,
+		kindLabel: kindLabel,
+		started:   started,
 	}
 	// The cleanup must not capture r, and Release is idempotent, so a
 	// normally-consumed handle's cleanup is a no-op.
@@ -268,6 +279,15 @@ func (r *Results) fillInfo(st fracture.Stats) {
 	r.info.BufferHits = st.BufferHits
 	if r.wantStats {
 		r.info.ModeledTime = st.ModeledTime
+	}
+	// fillInfo is every execution path's terminal funnel, so the
+	// observed-vs-modeled pair is recorded here — for streaming and
+	// materialized drains alike, and regardless of WithStats (the
+	// engine always computes ModeledTime).
+	if r.met != nil && !r.recorded {
+		r.recorded = true
+		r.met.queryWall.With(r.kindLabel).Observe(time.Since(r.started).Seconds())
+		r.met.queryModeled.With(r.kindLabel).Observe(st.ModeledTime.Seconds())
 	}
 }
 
@@ -322,6 +342,9 @@ func (r *Results) All() iter.Seq2[Result, error] {
 					r.err = ErrStreamConsumed
 					r.results = nil
 					r.fillInfo(st.Stats())
+					if r.met != nil {
+						r.met.partialDrains.Inc()
+					}
 					return
 				}
 			}
@@ -444,13 +467,18 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 		// full execution for a query class the planner can't cost.
 		return nil, fmt.Errorf("upidb: WithExplain supports PTQ queries only")
 	}
+	// The metrics trace sink is chained unconditionally — traced and
+	// untraced queries report identical scatter/scan/yield counters;
+	// started anchors the observed-wall-clock histogram.
+	q.trace = t.db.met.chainTrace(q.trace)
+	started := time.Now()
 	if q.kind == KindPTQ {
 		source := t.routeSource(attr, q)
 		if q.explainOnly || source == PlanSourceForced {
-			return t.runPlanned(ctx, q, attr, source)
+			return t.runPlanned(ctx, q, attr, source, started)
 		}
 		if source == PlanSourceStats {
-			res, err := t.runPlanned(ctx, q, attr, source)
+			res, err := t.runPlanned(ctx, q, attr, source, started)
 			if err == nil || !errors.Is(err, ErrNoStats) {
 				return res, err
 			}
@@ -459,7 +487,7 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 			// degrade to the heuristic route like any stale catalog.
 		}
 	}
-	return t.runHeuristic(ctx, q, attr, primary)
+	return t.runHeuristic(ctx, q, attr, primary, started)
 }
 
 // routeSource decides how Run will route a PTQ, without executing
@@ -483,7 +511,7 @@ func (t *Table) routeSource(attr string, q Query) string {
 // secondary access. The returned handle is unconsumed — the partition
 // set is pinned, but no scan happens until All streams it or
 // Collect/Len materialize it.
-func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string) (*Results, error) {
+func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string, started time.Time) (*Results, error) {
 	req := fracture.Req{Value: q.value, Parallelism: q.parallelism, Trace: fracture.TraceFunc(q.trace)}
 	switch {
 	case q.kind == KindTopK:
@@ -499,11 +527,13 @@ func (t *Table) runHeuristic(ctx context.Context, q Query, attr, primary string)
 		req.Tailored = true
 	}
 	q.emitAdmission("admitted: heuristic route, not cost-priced")
+	t.db.met.admissions.With("unpriced").Inc()
+	t.db.met.routes.With(PlanSourceHeuristic).Inc()
 	prep, err := t.shards.Prepare(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	return newLazyResults(ctx, prep, q, "", PlanSourceHeuristic), nil
+	return newLazyResults(ctx, prep, q, "", PlanSourceHeuristic, t.db.met, q.kind.String(), started), nil
 }
 
 // emitAdmission emits the admission-verdict trace event (table-scoped,
@@ -516,7 +546,7 @@ func (q Query) emitAdmission(detail string) {
 
 // runPlanned costs a PTQ through the cost-based planner and — unless
 // the query is explain-only — admits and executes the cheapest plan.
-func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*Results, error) {
+func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string, started time.Time) (*Results, error) {
 	plans, err := t.shards.PlanPTQ(attr, q.value, q.qt)
 	if err != nil {
 		return nil, err
@@ -527,6 +557,7 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 		info.Explain = t.explainRouting(source, q.heuristic) + planner.Explain(plans)
 		return &Results{state: stateDrained, info: info}, nil
 	}
+	t.db.met.plannedCost.Observe(best.EstimatedCost.Seconds())
 	// Deadline-aware admission: if the remaining deadline cannot cover
 	// even the cheapest plan's modeled service time, refuse up front —
 	// before any partition is pinned or any modeled I/O charged —
@@ -539,6 +570,7 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 		if remain := time.Until(dl); remain < best.EstimatedCost {
 			q.emitAdmission(fmt.Sprintf("refused: remaining deadline %v below modeled cost %v (%v)",
 				remain.Round(time.Millisecond), best.EstimatedCost.Round(time.Millisecond), best.Kind))
+			t.db.met.admissions.With("refused").Inc()
 			return nil, fmt.Errorf(
 				"%w: admission refused: remaining deadline %v is below the cheapest plan's modeled cost %v (%v on %q)",
 				ErrCanceled, remain.Round(time.Millisecond),
@@ -551,6 +583,8 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 		q.emitAdmission(fmt.Sprintf("admitted: no deadline, modeled cost %v (%v)",
 			best.EstimatedCost.Round(time.Millisecond), best.Kind))
 	}
+	t.db.met.admissions.With("admitted").Inc()
+	t.db.met.routes.With(source).Inc()
 	req, err := planner.PlanReq(best, q.value, q.qt, q.parallelism)
 	if err != nil {
 		return nil, err
@@ -560,7 +594,7 @@ func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string) (*
 	if err != nil {
 		return nil, err
 	}
-	return newLazyResults(ctx, prep, q, best.Kind.String(), source), nil
+	return newLazyResults(ctx, prep, q, best.Kind.String(), source, t.db.met, best.Kind.String(), started), nil
 }
 
 // explainRouting renders the routing line heading Explain output.

@@ -207,6 +207,13 @@ type DB struct {
 	autoMerge     *fracture.AutoMergeOptions
 	defaultShards int
 
+	// reg is the database's metrics registry; every table's engine
+	// metrics and the facade's routing/admission/query metrics report
+	// into it (see Metrics, WritePrometheus). met holds the
+	// pre-resolved facade handles.
+	reg *MetricsRegistry
+	met *dbMetrics
+
 	mu       sync.Mutex
 	closed   bool
 	tables   []*Table
@@ -280,6 +287,7 @@ func (db *DB) attachTable(shards *shard.Table, am *AutoMergeOptions) (*Table, er
 	}
 	db.tables = append(db.tables, t)
 	db.byName[shards.Name()] = t
+	db.met.registerShardGauges(shards)
 	return t, nil
 }
 
