@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cars, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
+	cars, err := db.BulkLoadSpatial("cars", c.Observations)
 	if err != nil {
 		log.Fatal(err)
 	}

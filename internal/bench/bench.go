@@ -218,6 +218,7 @@ func Registered() []struct {
 		{"ablation-pointers", AblationMaxPointers},
 		{"ablation-size", AblationCutoffSize},
 		{"wallclock-disk", WallclockDisk},
+		{"plan-cache", PlanCache},
 	}
 }
 

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	upidb "upidb"
+	"upidb/internal/dataset"
+)
+
+// planCacheReps is how many times each query shape repeats per timing
+// mode; planning is pure CPU, so the per-op average stabilizes fast.
+const planCacheReps = 40
+
+// PlanCache measures what the generation-guarded plan cache saves on
+// repeated query shapes: per-repetition planning time with the cache
+// cold (DropCaches before every repetition forces a fresh costing)
+// against warm repeats of the same shape. Planning is isolated with
+// explain-only runs — no execution, no modeled I/O — so the delta is
+// the costing work itself. The experiment also executes each shape
+// once cold and once warm and fails unless the two executions return
+// the identical result set with the identical modeled cost: the cache
+// must be invisible to everything except provenance and wall-clock.
+// Timing columns are wall-clock and so not regression-gated; the
+// Modeled column is deterministic per scale/seed.
+func PlanCache(e *Env) (*Experiment, error) {
+	d, err := e.DBLP()
+	if err != nil {
+		return nil, err
+	}
+	db, err := upidb.Create("")
+	if err != nil {
+		return nil, err
+	}
+	tab, err := db.BulkLoadTable("authors", dataset.AttrInstitution,
+		[]string{dataset.AttrCountry}, d.Authors,
+		upidb.WithCutoff(fig9QT), upidb.WithParallelism(e.cfg.Parallelism))
+	if err != nil {
+		return nil, err
+	}
+	w := newBatchWorkload(e.cfg.Seed+900, d.Authors)
+	for b := 0; b < routingBatches; b++ {
+		deletes, inserts := w.next()
+		for _, t := range deletes {
+			if err := tab.Delete(t.ID); err != nil {
+				return nil, err
+			}
+		}
+		for _, t := range inserts {
+			if err := tab.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+		if err := tab.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	exp := &Experiment{
+		ID:      "plan-cache",
+		Title:   fmt.Sprintf("Plan cache on repeated query shapes (%d fractures, %d reps)", tab.NumFractures(), planCacheReps),
+		XLabel:  "query",
+		Columns: []string{"Cold plan Wall [µs/op]", "Cached plan Wall [µs/op]", "Modeled [s]", "Results"},
+		Notes:   "cold = DropCaches before every repetition (fresh costing); cached = warm repeats served by the generation-guarded plan cache; both modes are asserted to return identical result sets at identical modeled cost",
+	}
+	queries := []struct {
+		label string
+		q     upidb.Query
+	}{
+		{"Q1 Inst=MIT qt=0.3", upidb.PTQ("", dataset.MITInstitution, 0.3)},
+		{fmt.Sprintf("Q1 Inst=MIT qt=%.2f", fig9QT/2), upidb.PTQ("", dataset.MITInstitution, fig9QT/2)},
+		{"Q3 Country=Japan qt=0.3", upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3)},
+	}
+	ctx := context.Background()
+	collect := func(q upidb.Query) ([][2]float64, upidb.QueryInfo, error) {
+		res, err := tab.Run(ctx, q.WithStats())
+		if err != nil {
+			return nil, upidb.QueryInfo{}, err
+		}
+		var out [][2]float64
+		for r, err := range res.All() {
+			if err != nil {
+				return nil, upidb.QueryInfo{}, err
+			}
+			out = append(out, [2]float64{float64(r.Tuple.ID), r.Confidence})
+		}
+		return out, res.Info(), nil
+	}
+	for _, qc := range queries {
+		// Parity gate: a stats-planned execution and a cached-plan
+		// execution, both against a cold buffer pool, must be
+		// indistinguishable except for plan provenance. The cache is
+		// seeded with an explain-only run, which plans without
+		// executing and so leaves the buffer pool cold.
+		if err := tab.DropCaches(); err != nil {
+			return nil, err
+		}
+		coldRes, coldInfo, err := collect(qc.q)
+		if err != nil {
+			return nil, err
+		}
+		if coldInfo.PlanSource != upidb.PlanSourceStats {
+			return nil, fmt.Errorf("bench: %s cold run source %q", qc.label, coldInfo.PlanSource)
+		}
+		if err := tab.DropCaches(); err != nil {
+			return nil, err
+		}
+		if _, err := tab.Run(ctx, qc.q.WithExplain()); err != nil {
+			return nil, err
+		}
+		warmRes, warmInfo, err := collect(qc.q)
+		if err != nil {
+			return nil, err
+		}
+		if warmInfo.PlanSource != upidb.PlanSourceCached {
+			return nil, fmt.Errorf("bench: %s warm run source %q (plan cache missed)", qc.label, warmInfo.PlanSource)
+		}
+		if len(coldRes) != len(warmRes) {
+			return nil, fmt.Errorf("bench: %s: cold %d results vs cached %d", qc.label, len(coldRes), len(warmRes))
+		}
+		for i := range coldRes {
+			if coldRes[i] != warmRes[i] {
+				return nil, fmt.Errorf("bench: %s: result %d diverges under the plan cache", qc.label, i)
+			}
+		}
+		if coldInfo.ModeledTime != warmInfo.ModeledTime {
+			return nil, fmt.Errorf("bench: %s: modeled cost diverges under the plan cache: %v vs %v",
+				qc.label, coldInfo.ModeledTime, warmInfo.ModeledTime)
+		}
+
+		// Timing: explain-only runs isolate the costing work.
+		explain := qc.q.WithExplain()
+		var coldWall time.Duration
+		for r := 0; r < planCacheReps; r++ {
+			if err := tab.DropCaches(); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := tab.Run(ctx, explain); err != nil {
+				return nil, err
+			}
+			coldWall += time.Since(start)
+		}
+		if err := tab.DropCaches(); err != nil {
+			return nil, err
+		}
+		if _, err := tab.Run(ctx, explain); err != nil { // re-seed the cache
+			return nil, err
+		}
+		var warmWall time.Duration
+		for r := 0; r < planCacheReps; r++ {
+			start := time.Now()
+			if _, err := tab.Run(ctx, explain); err != nil {
+				return nil, err
+			}
+			warmWall += time.Since(start)
+		}
+		exp.Rows = append(exp.Rows, Row{
+			Label: fmt.Sprintf("%s [%s]", qc.label, coldInfo.Plan),
+			Values: []float64{
+				float64(coldWall.Microseconds()) / planCacheReps,
+				float64(warmWall.Microseconds()) / planCacheReps,
+				seconds(coldInfo.ModeledTime),
+				float64(len(coldRes)),
+			},
+		})
+	}
+	return exp, nil
+}

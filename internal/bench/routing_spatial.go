@@ -27,7 +27,7 @@ func SpatialRouting(e *Env) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := db.BulkLoadSpatial("cars", c.Observations, upidb.SpatialOptions{})
+	tab, err := db.BulkLoadSpatial("cars", c.Observations)
 	if err != nil {
 		return nil, err
 	}

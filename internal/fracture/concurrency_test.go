@@ -55,7 +55,7 @@ func buildConcStore(t testing.TB, nFrac, batch int) (*Store, *sim.Disk) {
 		base = append(base, concTuple(id, int(id)))
 		id++
 	}
-	s, err := BulkLoad(fs, "conc", "X", []string{"Y"}, Options{UPI: upi.Options{Cutoff: 0.15}}, base)
+	s, err := BulkLoad(fs, "conc", "X", []string{"Y"}, Config{UPI: upi.Options{Cutoff: 0.15}}, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestConcurrentQueriesAndMerges(t *testing.T) {
 func TestAutoMerge(t *testing.T) {
 	disk := sim.NewDisk(sim.DefaultParams())
 	fs := storage.NewFS(disk)
-	s, err := NewStore(fs, "am", "X", []string{"Y"}, Options{
+	s, err := NewStore(fs, "am", "X", []string{"Y"}, Config{
 		UPI:          upi.Options{Cutoff: 0.15},
 		BufferTuples: 16,
 	})

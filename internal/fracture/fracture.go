@@ -23,7 +23,7 @@
 // momentarily; a Flush (explicit or buffer-triggered) holds the write
 // lock while the new fracture is bulk-built, the paper's one
 // sequential write. Queries fan the per-partition scans out across a bounded
-// worker pool (Options.Parallelism); each partition records its I/O on
+// worker pool (Config.Parallelism); each partition records its I/O on
 // a private sim.Tape that is replayed in partition order afterwards,
 // so the modeled cost is identical to a serial scan regardless of how
 // the goroutines interleave.
@@ -101,12 +101,13 @@ type Config struct {
 	// metrics never touch the I/O tapes, so modeled query costs are
 	// identical either way.
 	Metrics *obs.EngineMetrics
+	// ResultCache, when positive, caches up to that many point-query
+	// result sets (PTQ and secondary-PTQ) per store, invalidated
+	// wholesale by any write to the store — see rescache.go. A hit
+	// replays the stored results and statistics without pinning a
+	// snapshot or touching the modeled-I/O tapes. 0 disables caching.
+	ResultCache int
 }
-
-// Options is the former name of Config.
-//
-// Deprecated: use Config.
-type Options = Config
 
 // Store is a fractured UPI. It is safe for concurrent use: any number
 // of concurrent readers (Query, QuerySecondary, TopK) may run alongside
@@ -156,6 +157,10 @@ type Store struct {
 	// mergeMu serializes whole merges (manual and background) so at
 	// most one new main generation is under construction at a time.
 	mergeMu sync.Mutex
+
+	// rc is the opt-in point-result cache (Config.ResultCache > 0);
+	// nil when disabled. It carries its own synchronization.
+	rc *resultCache
 }
 
 // fract is one on-disk fracture: an independent UPI and the delete set
@@ -263,7 +268,7 @@ func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Config)
 		// unconditional.
 		opts.Metrics = &obs.EngineMetrics{}
 	}
-	return &Store{
+	s := &Store{
 		fs: fs, name: name, attr: attr,
 		secAttrs:   append([]string(nil), secAttrs...),
 		opts:       opts,
@@ -271,6 +276,10 @@ func newShell(fs *storage.FS, name, attr string, secAttrs []string, opts Config)
 		bufTuples:  make(map[uint64]*tuple.Tuple),
 		bufDeletes: make(map[uint64]bool),
 	}
+	if opts.ResultCache > 0 {
+		s.rc = newResultCache(opts.ResultCache, opts.Metrics)
+	}
+	return s
 }
 
 // initDurable brings a freshly created durable store to a recoverable
@@ -446,6 +455,7 @@ func (s *Store) Insert(tup *tuple.Tuple) error {
 // applyInsertLocked is the buffer mutation of Insert, shared with WAL
 // replay. Callers must hold mu.
 func (s *Store) applyInsertLocked(tup *tuple.Tuple) {
+	s.rc.invalidate()
 	if s.cat != nil {
 		// Absorb the delta: the new version counts immediately; a
 		// replaced buffered version is subtracted exactly. (A replaced
@@ -486,6 +496,7 @@ func (s *Store) Delete(id uint64) error {
 // applyDeleteLocked is the buffer mutation of Delete, shared with WAL
 // replay. Callers must hold mu.
 func (s *Store) applyDeleteLocked(id uint64) {
+	s.rc.invalidate()
 	if old, buffered := s.bufTuples[id]; buffered {
 		// The buffered version never reached disk; cancel it and
 		// subtract its statistics delta exactly, since the content is
@@ -551,6 +562,10 @@ func (s *Store) flushLocked() error {
 	if len(s.bufTuples) == 0 && len(s.bufDeletes) == 0 {
 		return nil
 	}
+	// A flush moves content between partitions without changing it, but
+	// cached statistics (partition counts, buffer hits) would no longer
+	// match a fresh execution — retire them.
+	s.rc.invalidate()
 	s.gen++
 	id := s.gen
 	tuples := make([]*tuple.Tuple, 0, len(s.bufTuples))
@@ -685,8 +700,10 @@ func (s *Store) FlushPages() error {
 	return nil
 }
 
-// DropCaches empties every partition's buffer pools.
+// DropCaches empties every partition's buffer pools and the store's
+// result cache, so the next query of any shape cold-starts.
 func (s *Store) DropCaches() error {
+	s.rc.purge()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := s.main.DropCaches(); err != nil {

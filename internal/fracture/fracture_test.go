@@ -31,8 +31,8 @@ func mkTuple(t *testing.T, id uint64, exist float64, alts ...prob.Alternative) *
 	}}
 }
 
-func defaultOpts() Options {
-	return Options{UPI: upi.Options{Cutoff: 0.1, PageSize: 512}}
+func defaultOpts() Config {
+	return Config{UPI: upi.Options{Cutoff: 0.1, PageSize: 512}}
 }
 
 func randomTuples(t *testing.T, rng *rand.Rand, startID uint64, n int) []*tuple.Tuple {

@@ -389,11 +389,28 @@ type Prepared struct {
 	snap  *snapshot // nil for trivially empty queries
 	trace TraceFunc
 	used  bool
+
+	// Result-cache plumbing. On a hit, cached carries the stored
+	// result set (cachedOK distinguishes a hit from a trivially empty
+	// query) and no snapshot exists; on a cacheable miss, ckey/cepoch
+	// identify the entry a fully drained execution commits.
+	cached      []upi.Result
+	cachedStats Stats
+	cachedOK    bool
+	ckey        resKey
+	cepoch      uint64
+	commitable  bool
 }
 
 // Prepare compiles req, evaluates the RAM buffer and pins the current
 // partition set. A done context fails fast with ErrCanceled before
 // any partition is pinned or any modeled I/O charged.
+//
+// With a result cache enabled, a cacheable req whose shape is cached
+// skips the snapshot entirely: the returned Prepared replays the
+// stored results and statistics. A cacheable miss records the cache
+// epoch before pinning, so the drain can commit its result set only
+// if no write intervened.
 func (s *Store) Prepare(ctx context.Context, req Req) (*Prepared, error) {
 	if err := upi.CtxErr(ctx); err != nil {
 		return nil, err
@@ -405,6 +422,21 @@ func (s *Store) Prepare(ctx context.Context, req Req) (*Prepared, error) {
 	p := &Prepared{s: s, plan: plan, trace: req.Trace}
 	if plan.empty {
 		return p, nil
+	}
+	if s.rc != nil && cacheable(req) {
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		p.ckey = reqKey(req)
+		rs, st, epoch, ok := s.rc.lookup(p.ckey)
+		if ok {
+			p.cached, p.cachedStats, p.cachedOK = rs, st, true
+			return p, nil
+		}
+		p.cepoch, p.commitable = epoch, true
 	}
 	snap, err := s.snapshotFor(req.Parallelism, plan.match)
 	if err != nil {
@@ -424,6 +456,12 @@ func (p *Prepared) Collect(ctx context.Context) ([]upi.Result, Stats, error) {
 		return nil, Stats{}, errConsumed
 	}
 	p.used = true
+	if p.cachedOK {
+		if err := upi.CtxErr(ctx); err != nil {
+			return nil, Stats{}, err
+		}
+		return p.cached, p.cachedStats, nil
+	}
 	if p.snap == nil {
 		return nil, Stats{}, nil
 	}
@@ -434,6 +472,9 @@ func (p *Prepared) Collect(ctx context.Context) ([]upi.Result, Stats, error) {
 	}
 	if p.plan.k > 0 && len(results) > p.plan.k {
 		results = results[:p.plan.k]
+	}
+	if p.commitable {
+		p.s.rc.commit(p.ckey, p.cepoch, results, stats)
 	}
 	return results, stats, nil
 }

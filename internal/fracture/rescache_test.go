@@ -1,0 +1,270 @@
+package fracture
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"upidb/internal/obs"
+	"upidb/internal/prob"
+)
+
+// cachedStore builds a store with the result cache enabled and a
+// readable metrics bundle.
+func cachedStore(t *testing.T, capacity int) (*Store, *obs.EngineMetrics) {
+	t.Helper()
+	met := obs.NewEngineMetrics(obs.NewRegistry())
+	opts := defaultOpts()
+	opts.ResultCache = capacity
+	opts.Metrics = met
+	rng := rand.New(rand.NewSource(7))
+	s, err := BulkLoad(newFS(), "rc", "X", []string{"Y"}, opts, randomTuples(t, rng, 1, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, met
+}
+
+// TestResultCacheHitReplaysExecution: a repeated PTQ is served from the
+// cache with byte-identical results and statistics — modeled cost
+// included — and the hit/miss counters account for it.
+func TestResultCacheHitReplaysExecution(t *testing.T) {
+	s, met := cachedStore(t, 8)
+	defer s.Close()
+	ctx := context.Background()
+
+	r1, st1, err := s.Query(ctx, "v03", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheMisses.Value() != 1 || met.ResultCacheHits.Value() != 0 {
+		t.Fatalf("after first run: hits %d misses %d",
+			met.ResultCacheHits.Value(), met.ResultCacheMisses.Value())
+	}
+	r2, st2, err := s.Query(ctx, "v03", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheHits.Value() != 1 {
+		t.Fatalf("second run did not hit: hits %d", met.ResultCacheHits.Value())
+	}
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("cached replay diverged:\n %v %+v\nvs %v %+v", r1, st1, r2, st2)
+	}
+	if st2.ModeledTime == 0 {
+		t.Fatal("cached stats lost the modeled cost")
+	}
+
+	// Secondary PTQs are cacheable too.
+	sr1, sst1, err := s.QuerySecondary(ctx, "Y", "cv05", 0.3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr2, sst2, err := s.QuerySecondary(ctx, "Y", "cv05", 0.3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr1, sr2) || !reflect.DeepEqual(sst1, sst2) {
+		t.Fatal("secondary cached replay diverged")
+	}
+
+	// Top-k is not cacheable: repeats never hit beyond the two PTQ hits.
+	hits := met.ResultCacheHits.Value()
+	if _, _, err := s.TopK(ctx, "v03", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.TopK(ctx, "v03", 5); err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheHits.Value() != hits {
+		t.Fatal("top-k repeat was served from the result cache")
+	}
+}
+
+// TestResultCacheInvalidation: every write class — insert, delete,
+// flush, merge — invalidates, and DropCaches purges.
+func TestResultCacheInvalidation(t *testing.T) {
+	s, met := cachedStore(t, 8)
+	defer s.Close()
+	ctx := context.Background()
+	run := func() ([]uint64, int64) {
+		t.Helper()
+		rs, _, err := s.Query(ctx, "v03", 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, 0, len(rs))
+		for _, r := range rs {
+			ids = append(ids, r.Tuple.ID)
+		}
+		return ids, met.ResultCacheHits.Value()
+	}
+
+	run() // populate
+	if _, h := run(); h != 1 {
+		t.Fatalf("warm hit count: %d", h)
+	}
+
+	// Insert a new match: the cache must not serve the stale set.
+	if err := s.Insert(mkTuple(t, 999, 1.0, prob.Alternative{Value: "v03", Prob: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	before := len(mustQuery(t, s, "v03", 0.2))
+	if met.ResultCacheInvalidations.Value() == 0 {
+		t.Fatal("insert did not invalidate")
+	}
+	if _, h := run(); h != 2 {
+		t.Fatalf("re-populated entry did not hit: %d", h)
+	}
+
+	// Delete invalidates.
+	if err := s.Delete(999); err != nil {
+		t.Fatal(err)
+	}
+	after := len(mustQuery(t, s, "v03", 0.2))
+	if after != before-1 {
+		t.Fatalf("delete not visible through cache: %d vs %d", after, before)
+	}
+
+	// Flush invalidates even though content is unchanged: a fresh
+	// execution reads one more partition, and the cached statistics
+	// must never diverge from what a fresh run reports.
+	mustQuery(t, s, "v03", 0.2) // populate
+	inv := met.ResultCacheInvalidations.Value()
+	if err := s.Insert(mkTuple(t, 1000, 1.0, prob.Alternative{Value: "zzz", Prob: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheInvalidations.Value() <= inv {
+		t.Fatal("flush did not invalidate")
+	}
+	_, stFresh, err := s.Query(ctx, "v03", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stFresh.PartitionsRead != 1+s.NumFractures() {
+		t.Fatalf("post-flush stats stale: read %d partitions, have %d",
+			stFresh.PartitionsRead, 1+s.NumFractures())
+	}
+
+	// Merge invalidates (epoch bumps under the swap lock).
+	inv = met.ResultCacheInvalidations.Value()
+	if err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheInvalidations.Value() <= inv {
+		t.Fatal("merge did not invalidate")
+	}
+
+	// DropCaches purges: the next repeat is a miss again.
+	mustQuery(t, s, "v03", 0.2)
+	hits := met.ResultCacheHits.Value()
+	s.DropCaches()
+	mustQuery(t, s, "v03", 0.2)
+	if met.ResultCacheHits.Value() != hits {
+		t.Fatal("DropCaches left the result cache warm")
+	}
+}
+
+// TestResultCacheEpochProtection: a write that lands between Prepare
+// and the drain's completion must keep that drain's result set out of
+// the cache — the set reflects the pre-write snapshot.
+func TestResultCacheEpochProtection(t *testing.T) {
+	s, met := cachedStore(t, 8)
+	defer s.Close()
+	ctx := context.Background()
+
+	p, err := s.Prepare(ctx, Req{Kind: KindPTQ, Value: "v03", QT: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write intervenes while the query is in flight.
+	if err := s.Insert(mkTuple(t, 999, 1.0, prob.Alternative{Value: "v03", Prob: 0.9})); err != nil {
+		t.Fatal(err)
+	}
+	stale, _, err := p.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The drained set is pre-insert; committing it would poison the
+	// cache. The next run must miss and see the insert.
+	fresh := mustQuery(t, s, "v03", 0.2)
+	if met.ResultCacheHits.Value() != 0 {
+		t.Fatal("post-write query hit an entry the stale drain committed")
+	}
+	if len(fresh) != len(stale)+1 {
+		t.Fatalf("fresh run missing the insert: %d vs stale %d", len(fresh), len(stale))
+	}
+}
+
+// TestResultCacheStreamCommit: only a naturally exhausted stream
+// commits; an early Close proves nothing about the full set and must
+// not.
+func TestResultCacheStreamCommit(t *testing.T) {
+	s, met := cachedStore(t, 8)
+	defer s.Close()
+	ctx := context.Background()
+
+	// Early close: no commit.
+	p, err := s.Prepare(ctx, Req{Kind: KindPTQ, Value: "v03", QT: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stream(ctx)
+	if _, ok, err := st.Next(); err != nil || !ok {
+		t.Fatalf("first pull: %v %v", ok, err)
+	}
+	st.Close()
+	mustQuery(t, s, "v03", 0.2)
+	if met.ResultCacheHits.Value() != 0 {
+		t.Fatal("partially drained stream committed a result set")
+	}
+
+	// The materialized run above committed; a full stream drain now
+	// replays it, and a fresh shape drained to exhaustion commits too.
+	p, err = s.Prepare(ctx, Req{Kind: KindPTQ, Value: "v05", QT: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stream(ctx)
+	var streamed []uint64
+	for {
+		r, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		streamed = append(streamed, r.Tuple.ID)
+	}
+	streamStats := st.Stats()
+	hits := met.ResultCacheHits.Value()
+	rs, stMat, err := s.Query(ctx, "v05", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.ResultCacheHits.Value() != hits+1 {
+		t.Fatal("exhausted stream did not commit its result set")
+	}
+	if len(rs) != len(streamed) || !reflect.DeepEqual(stMat, streamStats) {
+		t.Fatalf("stream-committed entry diverges: %d vs %d results, %+v vs %+v",
+			len(rs), len(streamed), stMat, streamStats)
+	}
+}
+
+func mustQuery(t *testing.T, s *Store, value string, qt float64) []uint64 {
+	t.Helper()
+	rs, _, err := s.Query(context.Background(), value, qt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]uint64, 0, len(rs))
+	for _, r := range rs {
+		ids = append(ids, r.Tuple.ID)
+	}
+	return ids
+}

@@ -53,6 +53,19 @@ type Stream struct {
 	stats   Stats
 	done    bool
 	err     error
+
+	// Result-cache plumbing: a cache-hit stream replays cached instead
+	// of merging partitions (stats are the stored execution's, final
+	// from the start); a cacheable miss accumulates its yields in acc
+	// and commits them on natural exhaustion — the only termination
+	// that proves the set is complete.
+	fromCache  bool
+	cached     []upi.Result
+	cachedIdx  int
+	acc        []upi.Result
+	ckey       resKey
+	cepoch     uint64
+	commitable bool
 }
 
 // streamPart is one partition's side of the merge.
@@ -77,6 +90,14 @@ func (p *Prepared) Stream(ctx context.Context) *Stream {
 	}
 	p.used = true
 	st := &Stream{ctx: ctx, s: p.s, snap: p.snap, cursor: p.plan.cursor, trace: p.trace, k: p.plan.k}
+	if p.cachedOK {
+		st.fromCache = true
+		st.cached = p.cached
+		st.stats = p.cachedStats
+		st.primed = true
+		return st
+	}
+	st.ckey, st.cepoch, st.commitable = p.ckey, p.cepoch, p.commitable
 	if p.snap == nil {
 		st.done = true
 	}
@@ -227,6 +248,16 @@ func (st *Stream) Next() (r upi.Result, ok bool, err error) {
 		st.finish(err)
 		return upi.Result{}, false, err
 	}
+	if st.fromCache {
+		if st.cachedIdx >= len(st.cached) {
+			st.finish(nil)
+			return upi.Result{}, false, nil
+		}
+		r = st.cached[st.cachedIdx]
+		st.cachedIdx++
+		st.yielded++
+		return r, true, nil
+	}
 	if !st.primed {
 		if err := st.prime(); err != nil {
 			st.finish(err)
@@ -272,10 +303,19 @@ func (st *Stream) Next() (r upi.Result, ok bool, err error) {
 			st.finalizePart(best)
 		}
 	default:
+		// Natural exhaustion: every source drained, so the accumulated
+		// yields are the complete result set — the one termination a
+		// cacheable drain may commit from.
+		if st.commitable {
+			st.s.rc.commit(st.ckey, st.cepoch, st.acc, st.stats)
+		}
 		st.finish(nil)
 		return upi.Result{}, false, nil
 	}
 	st.yielded++
+	if st.commitable {
+		st.acc = append(st.acc, r)
+	}
 	return r, true, nil
 }
 

@@ -162,7 +162,7 @@ func TestStreamTopKEarlyTermination(t *testing.T) {
 		base = append(base, hot(id, 0.5+float64(i)*0.008))
 		id++
 	}
-	s, err := BulkLoad(fs, "topk", "X", nil, Options{UPI: upi.Options{Cutoff: 0.15}}, base)
+	s, err := BulkLoad(fs, "topk", "X", nil, Config{UPI: upi.Options{Cutoff: 0.15}}, base)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,127 @@
+package planner
+
+import (
+	"slices"
+	"sync"
+)
+
+// GenSource is a StatsSource whose content changes are summarized by a
+// monotonically increasing generation number: wholesale statistics
+// replacements (seeding, merge re-derivations) and freshness-threshold
+// transitions advance it, incremental deltas that keep the catalog on
+// the same side of the threshold do not. The plan cache keys its
+// validity on it — a plan costed at generation g is served only while
+// the source still reports g. stats.Catalog is the production
+// implementation.
+type GenSource interface {
+	Generation() uint64
+}
+
+// maxPlanCacheEntries bounds one planner's cache. Shapes beyond the
+// bound reset the map wholesale — production traffic is a handful of
+// hot shapes, so an LRU would be bookkeeping for a case that means the
+// cache is mis-sized anyway.
+const maxPlanCacheEntries = 1024
+
+// planKey identifies one query shape against one physical table
+// layout. The fracture count is part of the key because plan costs
+// price per-fracture lookups: a flush changes them without touching
+// the statistics (no generation bump), and keying on the count retires
+// those entries naturally.
+type planKey struct {
+	attr      string
+	value     string
+	qt        float64
+	fractures int
+}
+
+// planCache memoizes costed plans for one planner (one shard). The
+// whole map belongs to a single generation; the first access at a
+// newer generation clears it. Safe for concurrent use.
+type planCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[planKey][]Plan
+}
+
+// syncGenLocked retires the cached content when the source generation
+// moved past the cache's. It reports whether gen is current — a stale
+// reader (one that loaded its generation before a concurrent bump)
+// must neither read nor store.
+func (c *planCache) syncGenLocked(gen uint64) bool {
+	if gen > c.gen {
+		c.gen = gen
+		clear(c.entries)
+	}
+	return gen == c.gen
+}
+
+// get returns a copy of the plans cached for k at generation gen.
+func (c *planCache) get(gen uint64, k planKey) ([]Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.syncGenLocked(gen) {
+		return nil, false
+	}
+	plans, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	// Callers rewrite Plan details when aggregating across shards;
+	// hand them their own copy so the cached one stays pristine.
+	return slices.Clone(plans), true
+}
+
+// put stores plans costed at generation gen, unless the cache has
+// already moved on.
+func (c *planCache) put(gen uint64, k planKey, plans []Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.syncGenLocked(gen) {
+		return
+	}
+	if len(c.entries) >= maxPlanCacheEntries {
+		clear(c.entries)
+	}
+	c.entries[k] = slices.Clone(plans)
+}
+
+// drop empties the cache (DropCaches); the generation is kept so
+// in-flight stores against the old content still land consistently.
+func (c *planCache) drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.entries)
+}
+
+// PlanPTQCached is PlanPTQ plus provenance: cached reports whether the
+// plans were served from the generation-guarded cache rather than
+// costed fresh. Planners without a GenSource always cost fresh.
+func (p *Planner) PlanPTQCached(attr, value string, qt float64) (plans []Plan, cached bool, err error) {
+	if p.cache == nil {
+		plans, err = p.planPTQ(attr, value, qt)
+		return plans, false, err
+	}
+	gen := p.gen.Generation()
+	key := planKey{attr: attr, value: value, qt: qt, fractures: p.store.NumFractures()}
+	if plans, ok := p.cache.get(gen, key); ok {
+		p.met.PlanCacheHits.Inc()
+		return plans, true, nil
+	}
+	p.met.PlanCacheMisses.Inc()
+	plans, err = p.planPTQ(attr, value, qt)
+	if err != nil {
+		return nil, false, err
+	}
+	p.cache.put(gen, key, plans)
+	return plans, false, nil
+}
+
+// DropPlanCache empties the plan cache, forcing the next request of
+// every shape to cost fresh — the Table.DropCaches hook that keeps
+// cold-cache benchmark runs deterministic. No-op without a cache.
+func (p *Planner) DropPlanCache() {
+	if p.cache != nil {
+		p.cache.drop()
+	}
+}

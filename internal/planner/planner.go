@@ -27,6 +27,7 @@ import (
 	"upidb/internal/costmodel"
 	"upidb/internal/fracture"
 	"upidb/internal/histogram"
+	"upidb/internal/obs"
 	"upidb/internal/sim"
 	"upidb/internal/upi"
 )
@@ -102,13 +103,40 @@ type Planner struct {
 	store *fracture.Store
 	src   StatsSource
 	disk  sim.Params
+
+	// gen and cache are set when src carries a generation number
+	// (GenSource); they let repeated query shapes reuse costed plans —
+	// see cache.go. met is nil-safe and defaults to a no-op sink.
+	gen   GenSource
+	cache *planCache
+	met   *obs.EngineMetrics
 }
 
 // New creates a planner for a fractured-UPI table reading statistics
 // from src. Attribute coverage is checked per query: PlanPTQ fails
 // with ErrNoStats for attributes src has no histogram for.
+//
+// When src also implements GenSource (stats.Catalog does), the planner
+// caches costed plans keyed on the query shape and serves them back
+// while the source's generation and the table's partition layout are
+// unchanged. A plain StatsSource gets no cache: without a generation
+// number there is no safe invalidation signal.
 func New(store *fracture.Store, src StatsSource, disk sim.Params) *Planner {
-	return &Planner{store: store, src: src, disk: disk}
+	p := &Planner{store: store, src: src, disk: disk, met: &obs.EngineMetrics{}}
+	if gs, ok := src.(GenSource); ok {
+		p.gen = gs
+		p.cache = &planCache{entries: make(map[planKey][]Plan)}
+	}
+	return p
+}
+
+// SetMetrics wires the counters plan-cache traffic reports into. Must
+// be called before the planner is shared; nil restores the no-op sink.
+func (p *Planner) SetMetrics(met *obs.EngineMetrics) {
+	if met == nil {
+		met = &obs.EngineMetrics{}
+	}
+	p.met = met
 }
 
 // params assembles cost-model parameters from the live table state.
@@ -125,8 +153,16 @@ func (p *Planner) params() costmodel.Params {
 
 // PlanPTQ costs the available plans for "attr = value AND confidence
 // >= qt" and returns them all, cheapest first. attr may be the primary
-// attribute or any secondary attribute with a histogram.
+// attribute or any secondary attribute with a histogram. Repeated
+// shapes are served from the plan cache when one is enabled; use
+// PlanPTQCached to learn whether a result came from it.
 func (p *Planner) PlanPTQ(attr, value string, qt float64) ([]Plan, error) {
+	plans, _, err := p.PlanPTQCached(attr, value, qt)
+	return plans, err
+}
+
+// planPTQ is the uncached costing pass.
+func (p *Planner) planPTQ(attr, value string, qt float64) ([]Plan, error) {
 	main := p.store.Main()
 	cm := p.params()
 	cutoff := main.Options().Cutoff

@@ -104,6 +104,55 @@ type Server struct {
 	tokens   chan struct{}
 	draining atomic.Bool
 	inflight sync.WaitGroup
+
+	// prepared caches one upidb.Prepared handle per query shape the
+	// server has seen, so repeated traffic skips per-request descriptor
+	// validation and attribute resolution and rides the engine's
+	// generation-guarded plan cache. Handles are immutable and stay
+	// valid across inserts, flushes and merges; per-request trace sinks
+	// are derived (Prepared.WithTrace), never shared.
+	prepMu   sync.Mutex
+	prepared map[prepKey]*upidb.Prepared
+}
+
+// prepKey identifies one query shape on one table. The *Table pointer
+// (not the name) keys it, so a handle can never outlive its table.
+type prepKey struct {
+	t     *upidb.Table
+	kind  string
+	attr  string
+	value string
+	qt    float64
+	k     int
+	route string
+}
+
+// maxPreparedHandles bounds the server's prepared-handle cache; at
+// capacity the map is cleared wholesale (the shapes re-prepare on
+// next use — a cheap validation, not a re-plan).
+const maxPreparedHandles = 256
+
+// prepare returns the cached handle for key, preparing and caching it
+// on first sight. Handles are prepared WithStats so every execution
+// measures modeled time for the request log.
+func (s *Server) prepare(t *upidb.Table, key prepKey, q upidb.Query) (*upidb.Prepared, error) {
+	s.prepMu.Lock()
+	p, ok := s.prepared[key]
+	s.prepMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := t.Prepare(q.WithStats())
+	if err != nil {
+		return nil, err
+	}
+	s.prepMu.Lock()
+	if len(s.prepared) >= maxPreparedHandles {
+		clear(s.prepared)
+	}
+	s.prepared[key] = p
+	s.prepMu.Unlock()
+	return p, nil
 }
 
 // New builds a Server over db.
@@ -111,7 +160,8 @@ func New(db *upidb.DB, cfg Config) *Server {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 64
 	}
-	s := &Server{db: db, cfg: cfg, tokens: make(chan struct{}, cfg.MaxInflight)}
+	s := &Server{db: db, cfg: cfg, tokens: make(chan struct{}, cfg.MaxInflight),
+		prepared: make(map[prepKey]*upidb.Prepared)}
 	for i := 0; i < cfg.MaxInflight; i++ {
 		s.tokens <- struct{}{}
 	}
@@ -349,11 +399,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, map[s
 		return http.StatusBadRequest, nil
 	}
 
+	// One prepared handle per query shape, validated once and reused
+	// across requests; per-request state (trace sink, context) is
+	// derived below, never written into the shared handle.
+	prep, err := s.prepare(t, prepKey{
+		t: t, kind: kind, attr: req.Attr, value: req.Value,
+		qt: req.QT, k: req.K, route: strings.ToLower(req.Route),
+	}, q)
+	if err != nil {
+		status := queryStatus(err)
+		errorBody(w, status, "%v", err)
+		return status, map[string]any{"table": t.Name(), "kind": kind, "error": err.Error()}
+	}
+
 	// Per-request span counters from the engine's trace hooks — the
 	// substrate for the request log line.
 	var dispatches, scans, yields atomic.Int64
 	var admission atomic.Pointer[string]
-	q = q.WithStats().WithTrace(func(ev upidb.TraceEvent) {
+	traced := prep.WithTrace(func(ev upidb.TraceEvent) {
 		switch ev.Kind {
 		case upidb.TraceDispatch:
 			dispatches.Add(1)
@@ -393,7 +456,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) (int, map[s
 		return f
 	}
 
-	res, err := t.Run(ctx, q)
+	res, err := traced.Run(ctx)
 	if err != nil {
 		status := queryStatus(err)
 		errorBody(w, status, "%v", err)

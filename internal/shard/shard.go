@@ -156,6 +156,7 @@ func newTable(fs *storage.FS, name string, disk sim.Params, stores []*fracture.S
 		s.SetStats(cat)
 		t.cats[i] = cat
 		t.planners[i] = planner.New(s, cat, disk)
+		t.planners[i].SetMetrics(met)
 	}
 	return t
 }
@@ -317,8 +318,16 @@ func (t *Table) Merge() error { return t.each((*fracture.Store).Merge) }
 // safe.
 func (t *Table) Close() error { return t.each((*fracture.Store).Close) }
 
-// DropCaches empties every shard's buffer pools.
-func (t *Table) DropCaches() error { return t.each((*fracture.Store).DropCaches) }
+// DropCaches empties every shard's buffer pools, plan cache and result
+// cache — after it, every query cold-starts: pages re-read, plans
+// re-costed, point results re-executed. This is what keeps upibench's
+// cold-cache modeled runs deterministic even with caching layered on.
+func (t *Table) DropCaches() error {
+	for _, p := range t.planners {
+		p.DropPlanCache()
+	}
+	return t.each((*fracture.Store).DropCaches)
+}
 
 // SetParallelism sets the per-query partition fan-out width on every
 // shard.
@@ -472,12 +481,21 @@ func (t *Table) StatsSummary() StatsSummary {
 // with the planner's ErrNoStats if any shard lacks a histogram for
 // attr.
 func (t *Table) PlanPTQ(attr, value string, qt float64) ([]planner.Plan, error) {
-	first, err := t.planners[0].PlanPTQ(attr, value, qt)
+	plans, _, err := t.PlanPTQCached(attr, value, qt)
+	return plans, err
+}
+
+// PlanPTQCached is PlanPTQ plus provenance: cached reports whether
+// every shard served its plans from its generation-guarded plan cache.
+// A single fresh costing anywhere makes the whole answer fresh — the
+// summed costs then reflect at least one re-read of live statistics.
+func (t *Table) PlanPTQCached(attr, value string, qt float64) ([]planner.Plan, bool, error) {
+	first, cached, err := t.planners[0].PlanPTQCached(attr, value, qt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if len(t.planners) == 1 {
-		return first, nil
+		return first, cached, nil
 	}
 	// Sum by kind across shards, keeping shard 0's detail as the
 	// exemplar.
@@ -489,14 +507,15 @@ func (t *Table) PlanPTQ(attr, value string, qt float64) ([]planner.Plan, error) 
 		byKind[plans[i].Kind] = &plans[i]
 	}
 	for _, p := range t.planners[1:] {
-		more, err := p.PlanPTQ(attr, value, qt)
+		more, hit, err := p.PlanPTQCached(attr, value, qt)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
+		cached = cached && hit
 		for _, pl := range more {
 			agg, ok := byKind[pl.Kind]
 			if !ok { // defensive: kind sets are identical by construction
-				return nil, fmt.Errorf("shard: plan kind %v missing on shard 0", pl.Kind)
+				return nil, false, fmt.Errorf("shard: plan kind %v missing on shard 0", pl.Kind)
 			}
 			agg.EstimatedCost += pl.EstimatedCost
 			agg.EstimatedRows += pl.EstimatedRows
@@ -508,7 +527,19 @@ func (t *Table) PlanPTQ(attr, value string, qt float64) ([]planner.Plan, error) 
 			plans[j-1], plans[j] = plans[j], plans[j-1]
 		}
 	}
-	return plans, nil
+	return plans, cached, nil
+}
+
+// Generation sums the per-shard catalog generations. Each shard's
+// number is monotonically nondecreasing, so any statistics transition
+// anywhere strictly increases the sum — a cheap freshness token for
+// table-level consumers (prepared handles, tests).
+func (t *Table) Generation() uint64 {
+	var g uint64
+	for _, cat := range t.cats {
+		g += cat.Generation()
+	}
+	return g
 }
 
 // HasHistogram reports whether every shard can cost plans for attr.

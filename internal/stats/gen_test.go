@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"testing"
+
+	"upidb/internal/tuple"
+)
+
+// TestGenerationSemantics: the catalog generation advances exactly on
+// wholesale replacement (Seed, committed rebuild) and on staleness
+// crossings of the freshness threshold — never on deltas that keep the
+// catalog on the same side.
+func TestGenerationSemantics(t *testing.T) {
+	c := NewCatalog("X", []string{"Y"}, 0.1, true)
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("new catalog generation: %d", g)
+	}
+
+	// Plain inserts: fresh before, fresh after — no bump.
+	for i := 1; i <= 20; i++ {
+		c.AddTuple(mkTuple(t, uint64(i), "a", "b", 0.8))
+	}
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("generation after 20 fresh inserts: %d", g)
+	}
+
+	// Removing a still-buffered insert is an exact subtraction: no
+	// staleness, no bump.
+	c.RemoveTuple(mkTuple(t, 20, "a", "b", 0.8))
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("generation after exact removal: %d", g)
+	}
+
+	// Two on-disk deletes: staleness 2/21 ≈ 9.5% stays under the 10%
+	// threshold — no crossing, no bump.
+	c.NoteDeleteID(1)
+	c.NoteDeleteID(2)
+	if g, s := c.Generation(), c.Staleness(); g != 0 || s > 0.1 {
+		t.Fatalf("below threshold: gen %d staleness %v", g, s)
+	}
+
+	// The delete that pushes staleness past the threshold bumps once.
+	c.NoteDeleteID(3)
+	if g, s := c.Generation(), c.Staleness(); g != 1 || s <= 0.1 {
+		t.Fatalf("threshold crossing: gen %d staleness %v", g, s)
+	}
+
+	// Further deltas on the stale side: no additional bumps.
+	c.NoteDeleteID(4)
+	c.AddTuple(mkTuple(t, 100, "a", "b", 0.8))
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("generation while staying stale: %d", g)
+	}
+
+	// Enough fresh inserts dilute staleness back under the threshold:
+	// the crossing back bumps once more.
+	for i := 101; i <= 140; i++ {
+		c.AddTuple(mkTuple(t, uint64(i), "a", "b", 0.8))
+	}
+	if g, s := c.Generation(), c.Staleness(); g != 2 || s > 0.1 {
+		t.Fatalf("re-crossing to fresh: gen %d staleness %v", g, s)
+	}
+
+	// An aborted rebuild leaves the generation alone; a committed one
+	// advances it.
+	c.BeginRebuild().Abort()
+	if g := c.Generation(); g != 2 {
+		t.Fatalf("generation after aborted rebuild: %d", g)
+	}
+	rb := c.BeginRebuild()
+	rb.FeedTuple(mkTuple(t, 1, "a", "b", 0.8))
+	rb.Commit()
+	if g := c.Generation(); g != 3 {
+		t.Fatalf("generation after committed rebuild: %d", g)
+	}
+
+	// Seed is a wholesale replacement too.
+	if err := c.Seed([]*tuple.Tuple{mkTuple(t, 1, "a", "b", 0.8)}); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Generation(); g != 4 {
+		t.Fatalf("generation after Seed: %d", g)
+	}
+}
+
+// TestGenerationDisabledThreshold: with freshness disabled (negative
+// threshold) the catalog is never on the fresh side, so no delta can
+// cross — only Seed and rebuilds advance the generation.
+func TestGenerationDisabledThreshold(t *testing.T) {
+	c := NewCatalog("X", nil, -1, true)
+	for i := 1; i <= 10; i++ {
+		c.AddTuple(mkTuple(t, uint64(i), "a", "b", 0.8))
+	}
+	for i := 1; i <= 9; i++ {
+		c.NoteDeleteID(uint64(i))
+	}
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("disabled threshold: generation %d after heavy staleness", g)
+	}
+	if err := c.Seed(nil); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Generation(); g != 1 {
+		t.Fatalf("disabled threshold: generation %d after Seed", g)
+	}
+}

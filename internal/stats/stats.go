@@ -67,6 +67,13 @@ type Catalog struct {
 	rebuilds int
 	// rb is the in-flight merge re-derivation, if any.
 	rb *Rebuild
+	// gen is the catalog generation: it advances whenever the
+	// statistics are wholesale replaced (Seed, merge re-derivation) or
+	// the staleness ratio crosses the freshness threshold in either
+	// direction. Incremental deltas that keep the catalog on the same
+	// side of the threshold do not advance it — a plan costed from this
+	// catalog stays valid for exactly one generation.
+	gen uint64
 }
 
 // NewCatalog creates a catalog for a table clustered on primary with
@@ -143,7 +150,26 @@ func (c *Catalog) Seed(sample []*tuple.Tuple, attrs ...string) error {
 		c.ids[t.ID] = true
 	}
 	c.unabsorbed = 0
+	c.gen++
 	return nil
+}
+
+// Generation returns the catalog generation number. It is monotonic:
+// it advances on Seed, on every committed merge re-derivation, and
+// whenever an incremental delta moves the staleness ratio across the
+// freshness threshold. A consumer that costed a plan at generation g
+// may keep serving it while Generation() == g; any other value means
+// the statistics the plan was derived from are gone.
+func (c *Catalog) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// freshSideLocked reports which side of the freshness threshold the
+// catalog is on; deltas that flip it advance the generation.
+func (c *Catalog) freshSideLocked() bool {
+	return c.threshold >= 0 && c.stalenessLocked() <= c.threshold
 }
 
 // Histogram returns the live histogram for attr, or nil when the
@@ -171,6 +197,8 @@ func (c *Catalog) AddTuple(t *tuple.Tuple) {
 	enc := encodedLen(t)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	wasFresh := c.freshSideLocked()
+	defer c.noteThresholdLocked(wasFresh)
 	if c.ids[t.ID] {
 		c.unabsorbed++
 		if c.rb != nil {
@@ -205,6 +233,8 @@ func (c *Catalog) RemoveTuple(t *tuple.Tuple) {
 	if !c.ids[t.ID] {
 		return
 	}
+	wasFresh := c.freshSideLocked()
+	defer c.noteThresholdLocked(wasFresh)
 	delete(c.ids, t.ID)
 	for _, a := range c.attrs {
 		c.hists[a].AddSized(t, enc, -1)
@@ -231,6 +261,8 @@ func (c *Catalog) NoteDeleteID(id uint64) {
 	if !c.ids[id] {
 		return
 	}
+	wasFresh := c.freshSideLocked()
+	defer c.noteThresholdLocked(wasFresh)
 	delete(c.ids, id)
 	c.unabsorbed++
 	if c.rb != nil {
@@ -238,6 +270,14 @@ func (c *Catalog) NoteDeleteID(id uint64) {
 		// the rebuilt histograms carry the same phantom.
 		delete(c.rb.ids, id)
 		c.rb.unabsorbed++
+	}
+}
+
+// noteThresholdLocked advances the generation when a delta moved the
+// staleness ratio across the freshness threshold, in either direction.
+func (c *Catalog) noteThresholdLocked(wasFresh bool) {
+	if c.freshSideLocked() != wasFresh {
+		c.gen++
 	}
 }
 
@@ -396,6 +436,7 @@ func (r *Rebuild) Commit() {
 	r.c.ids = r.seen
 	r.c.unabsorbed = r.unabsorbed
 	r.c.rebuilds++
+	r.c.gen++
 }
 
 // Abort discards the rebuild (the merge failed); the live histograms

@@ -3,38 +3,72 @@ package upidb
 import (
 	"fmt"
 
+	"upidb/internal/cupi"
 	"upidb/internal/fracture"
 	"upidb/internal/obs"
 	"upidb/internal/sim"
 	"upidb/internal/storage"
 )
 
-// Option configures a database at Open/Create time or a single table
-// at CreateTable/BulkLoadTable/OpenTable time. Database-level options
-// (backend selection, disk cost constants) are rejected at table
+// Option configures a database at Open/Create time, a single discrete
+// table at CreateTable/BulkLoadTable/OpenTable time, or a spatial
+// table at BulkLoadSpatial time. Database-level options (backend
+// selection, disk cost constants) are rejected at table and spatial
 // scope; table-tuning options given at database scope become the
-// defaults every table inherits.
+// defaults every table inherits, and are rejected at spatial scope;
+// spatial options (page sizes) are valid only at spatial scope.
 type Option func(*config)
 
+// optionScope is where a list of Options is being resolved. Every
+// option validates the scope it is applied at, so a misplaced option
+// fails loudly at resolution time instead of being silently ignored.
+type optionScope int
+
+const (
+	scopeDB optionScope = iota
+	scopeTable
+	scopeSpatial
+)
+
 // config accumulates the effect of a list of Options. table holds the
-// one canonical per-table configuration (fracture.Config); nothing is
-// duplicated beside it.
+// one canonical per-table configuration (fracture.Config) and spatial
+// the continuous-UPI configuration; nothing is duplicated beside them.
 type config struct {
-	params     sim.Params
-	dir        string
-	mem        bool
-	backend    storage.Backend
-	table      fracture.Config
-	durable    *bool
-	autoMerge  *fracture.AutoMergeOptions
-	shards     int
-	tableScope bool
-	err        error
+	params    sim.Params
+	dir       string
+	mem       bool
+	backend   storage.Backend
+	table     fracture.Config
+	spatial   cupi.Options
+	durable   *bool
+	autoMerge *fracture.AutoMergeOptions
+	shards    int
+	scope     optionScope
+	err       error
 }
 
 func (c *config) dbOnly(name string) bool {
-	if c.tableScope {
+	if c.scope != scopeDB {
 		c.setErr(fmt.Errorf("upidb: %s is a database-level option; pass it to Open or Create", name))
+		return false
+	}
+	return true
+}
+
+// tableScoped accepts db scope (sets the inherited default) and table
+// scope (per-table override), and rejects spatial scope: a spatial
+// table has no fractures, buffer or statistics catalog to tune.
+func (c *config) tableScoped(name string) bool {
+	if c.scope == scopeSpatial {
+		c.setErr(fmt.Errorf("upidb: %s is a table-level option; pass it to Create, Open or a discrete-table constructor", name))
+		return false
+	}
+	return true
+}
+
+func (c *config) spatialOnly(name string) bool {
+	if c.scope != scopeSpatial {
+		c.setErr(fmt.Errorf("upidb: %s is a spatial-level option; pass it to BulkLoadSpatial", name))
 		return false
 	}
 	return true
@@ -105,26 +139,46 @@ func WithDiskParams(p sim.Params) Option {
 // acknowledging it, commit flushes and merges through an atomically
 // renamed manifest, and recover all acknowledged writes on OpenTable.
 func WithDurability(on bool) Option {
-	return func(c *config) { c.durable = &on }
+	return func(c *config) {
+		if !c.tableScoped("WithDurability") {
+			return
+		}
+		c.durable = &on
+	}
 }
 
 // WithCutoff sets the cutoff threshold C (Section 3.1): alternatives
 // with confidence below C live in the cutoff index instead of being
 // duplicated in the heap file. 0 disables the cutoff index.
 func WithCutoff(c float64) Option {
-	return func(cfg *config) { cfg.table.UPI.Cutoff = c }
+	return func(cfg *config) {
+		if !cfg.tableScoped("WithCutoff") {
+			return
+		}
+		cfg.table.UPI.Cutoff = c
+	}
 }
 
 // WithMaxPointers caps pointers per secondary-index entry
 // (0 = unlimited).
 func WithMaxPointers(n int) Option {
-	return func(c *config) { c.table.UPI.MaxPointers = n }
+	return func(c *config) {
+		if !c.tableScoped("WithMaxPointers") {
+			return
+		}
+		c.table.UPI.MaxPointers = n
+	}
 }
 
 // WithBufferTuples sets the RAM insert-buffer capacity before an
 // automatic flush into a new fracture (0 = manual Flush only).
 func WithBufferTuples(n int) Option {
-	return func(c *config) { c.table.BufferTuples = n }
+	return func(c *config) {
+		if !c.tableScoped("WithBufferTuples") {
+			return
+		}
+		c.table.BufferTuples = n
+	}
 }
 
 // WithParallelism bounds the worker goroutines one query fans out
@@ -132,7 +186,12 @@ func WithBufferTuples(n int) Option {
 // scan). Modeled query costs are identical at every setting; only
 // wall-clock time changes.
 func WithParallelism(n int) Option {
-	return func(c *config) { c.table.Parallelism = n }
+	return func(c *config) {
+		if !c.tableScoped("WithParallelism") {
+			return
+		}
+		c.table.Parallelism = n
+	}
 }
 
 // WithStatsStaleness sets the staleness ratio (unabsorbed statistics
@@ -141,7 +200,12 @@ func WithParallelism(n int) Option {
 // automatically. 0 means the default (10%); a negative value disables
 // automatic planner routing entirely.
 func WithStatsStaleness(r float64) Option {
-	return func(c *config) { c.table.StatsStaleness = r }
+	return func(c *config) {
+		if !c.tableScoped("WithStatsStaleness") {
+			return
+		}
+		c.table.StatsStaleness = r
+	}
 }
 
 // WithShards hash-partitions each table the option reaches across n
@@ -158,6 +222,9 @@ func WithStatsStaleness(r float64) Option {
 // rather than silently resharding.
 func WithShards(n int) Option {
 	return func(c *config) {
+		if !c.tableScoped("WithShards") {
+			return
+		}
 		if n < 1 {
 			c.setErr(fmt.Errorf("%w: got %d", ErrInvalidShards, n))
 			return
@@ -171,22 +238,66 @@ func WithShards(n int) Option {
 // their count or total size crosses the given thresholds.
 func WithAutoMerge(opts AutoMergeOptions) Option {
 	return func(c *config) {
+		if !c.tableScoped("WithAutoMerge") {
+			return
+		}
 		am := opts
 		c.autoMerge = &am
 	}
 }
 
-// WithTableOptions applies a legacy TableOptions struct wholesale.
-//
-// Deprecated: pass the individual options (WithCutoff, WithMaxPointers,
-// WithBufferTuples, WithParallelism, WithStatsStaleness) instead.
-func WithTableOptions(opts TableOptions) Option {
+// WithResultCache enables the opt-in point-query result cache on every
+// table the option reaches, holding up to n materialized result sets
+// per shard. Cached entries replay the original execution's results
+// and statistics byte-for-byte — including modeled cost — and any
+// insert or delete touching a shard invalidates that shard's entries,
+// so a hit is indistinguishable from a re-execution. n = 0 (the
+// default) disables the cache; DropCaches purges it.
+func WithResultCache(n int) Option {
 	return func(c *config) {
-		c.table.UPI.Cutoff = opts.Cutoff
-		c.table.UPI.MaxPointers = opts.MaxPointers
-		c.table.BufferTuples = opts.BufferTuples
-		c.table.Parallelism = opts.Parallelism
-		c.table.StatsStaleness = opts.StatsStaleness
+		if !c.tableScoped("WithResultCache") {
+			return
+		}
+		if n < 0 {
+			c.setErr(fmt.Errorf("upidb: WithResultCache capacity must be non-negative; got %d", n))
+			return
+		}
+		c.table.ResultCache = n
+	}
+}
+
+// WithNodePageSize sets a spatial table's R-Tree node page size
+// (default 4 KiB). Spatial scope only.
+func WithNodePageSize(n int) Option {
+	return func(c *config) {
+		if !c.spatialOnly("WithNodePageSize") {
+			return
+		}
+		c.spatial.NodePageSize = n
+	}
+}
+
+// WithHeapPageSize sets a spatial table's clustered heap page size
+// (default 64 KiB). Spatial scope only.
+func WithHeapPageSize(n int) Option {
+	return func(c *config) {
+		if !c.spatialOnly("WithHeapPageSize") {
+			return
+		}
+		c.spatial.HeapPageSize = n
+	}
+}
+
+// WithSpatialOptions applies a legacy SpatialOptions struct wholesale.
+//
+// Deprecated: pass WithNodePageSize and WithHeapPageSize directly.
+func WithSpatialOptions(o SpatialOptions) Option {
+	return func(c *config) {
+		if !c.spatialOnly("WithSpatialOptions") {
+			return
+		}
+		c.spatial.NodePageSize = o.NodePageSize
+		c.spatial.HeapPageSize = o.HeapPageSize
 	}
 }
 
@@ -288,7 +399,7 @@ func newDB(dir string, create bool, opts []Option) (*DB, error) {
 // shard count is 0 when neither scope set one (callers treat that as
 // unsharded, or as accept-what-is-persisted on OpenTable).
 func (db *DB) tableConfig(opts []Option) (fracture.Config, *fracture.AutoMergeOptions, int, error) {
-	cfg := config{table: db.defaults, autoMerge: db.autoMerge, shards: db.defaultShards, tableScope: true}
+	cfg := config{table: db.defaults, autoMerge: db.autoMerge, shards: db.defaultShards, scope: scopeTable}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -299,4 +410,19 @@ func (db *DB) tableConfig(opts []Option) (fracture.Config, *fracture.AutoMergeOp
 		cfg.table.Durable = *cfg.durable
 	}
 	return cfg.table, cfg.autoMerge, cfg.shards, nil
+}
+
+// spatialConfig resolves the options of one BulkLoadSpatial call.
+// Spatial tables inherit nothing from the database defaults — their
+// only tunables are the page sizes — so resolution starts from zero
+// and rejects every non-spatial option.
+func spatialConfig(opts []Option) (cupi.Options, error) {
+	cfg := config{scope: scopeSpatial}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.err != nil {
+		return cupi.Options{}, cfg.err
+	}
+	return cfg.spatial, nil
 }

@@ -15,6 +15,13 @@ const (
 	// PlanSourceForced marks planner routing demanded by WithPlanner
 	// regardless of catalog freshness.
 	PlanSourceForced = "forced"
+	// PlanSourceCached marks planner routing whose plans were served
+	// from the generation-guarded plan cache: a repeat of a shape the
+	// planner already costed, with the statistics catalogs and
+	// partition layouts unchanged since. The plans — and therefore the
+	// routing, admission verdict, results, statistics and modeled cost —
+	// are identical to a fresh costing; only the provenance differs.
+	PlanSourceCached = "cached-plan"
 )
 
 // BuildStats seeds the table's statistics catalog from a
@@ -53,6 +60,11 @@ type StatsInfo struct {
 	// summarizes; Unabsorbed is the raw unabsorbed-delta count.
 	TrackedTuples int64
 	Unabsorbed    int64
+	// Generation is the summed per-shard catalog generation — the token
+	// the plan cache keys its validity on. Seeding, merge re-derivations
+	// and staleness-threshold transitions advance it; a cached plan is
+	// only ever served while it is unchanged.
+	Generation uint64
 	// Shards is the per-shard breakdown (tuples, fractures, buffered
 	// inserts, size, staleness per shard), in shard order — the view
 	// that exposes skew the table-level sums above hide. A one-shard
@@ -76,6 +88,7 @@ func (t *Table) StatsInfo() StatsInfo {
 		Rebuilds:      sum.Rebuilds,
 		TrackedTuples: sum.Tracked,
 		Unabsorbed:    sum.Unabsorbed,
+		Generation:    t.shards.Generation(),
 		Shards:        t.shards.PerShardStats(),
 	}
 }

@@ -45,10 +45,16 @@ func TestFacadePlannerByDefault(t *testing.T) {
 	if err != nil || sec.Len() != 1 || sec.Info().PlanSource != PlanSourceStats {
 		t.Fatalf("secondary planned: %v %d %q", err, sec.Len(), sec.Info().PlanSource)
 	}
-	// Forced planner reports its own source.
-	forced, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner())
+	// Forced planner reports its own source on a not-yet-costed shape.
+	forced, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.2).WithPlanner())
 	if err != nil || forced.Info().PlanSource != PlanSourceForced {
 		t.Fatalf("forced planner: %v %q", err, forced.Info().PlanSource)
+	}
+	// Repeating a shape the planner already costed serves the
+	// generation-guarded cached plan — and says so.
+	again, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1))
+	if err != nil || again.Info().PlanSource != PlanSourceCached || again.Len() != res.Len() {
+		t.Fatalf("cached repeat: %v %q %d results", err, again.Info().PlanSource, again.Len())
 	}
 	// Per-query parallelism rides through the planner path.
 	serial, err := authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner().WithParallelism(1))
@@ -89,10 +95,17 @@ func TestFacadeExplain(t *testing.T) {
 	if res.Len() != 0 {
 		t.Fatalf("explain-only run returned results: %+v", res.Collect())
 	}
-	// Forced explain names the force flag.
-	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithPlanner().WithExplain())
+	// Forced explain names the force flag (fresh shape: a repeat of the
+	// costed one would be served — and labeled — from the plan cache).
+	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.25).WithPlanner().WithExplain())
 	if err != nil || !strings.Contains(res.Info().Explain, "forced by WithPlanner") {
 		t.Fatalf("forced explain: %v %q", err, res.Info().Explain)
+	}
+	// Explaining an already-costed shape reports the cached provenance.
+	res, err = authors.Run(ctx, PTQ("Institution", "MIT", 0.1).WithExplain())
+	if err != nil || !strings.Contains(res.Info().Explain, "cached plan") ||
+		res.Info().PlanSource != PlanSourceCached {
+		t.Fatalf("cached explain: %v %q %q", err, res.Info().PlanSource, res.Info().Explain)
 	}
 	// A forced heuristic is reported as the user's choice, not as a
 	// stats failure.

@@ -1,0 +1,80 @@
+package upidb
+
+import "context"
+
+// Prepared is a query descriptor validated and resolved once, for
+// repeated execution. Prepare pays the per-call fixed costs a single
+// Run re-pays every time — descriptor validation, attribute resolution
+// against the table schema, explain-plannability checks — and Run(ctx)
+// then replays only routing, admission and the snapshot. Planning
+// itself is amortized one layer down: every planner-routed execution
+// consults the per-shard plan cache, so a repeated shape re-costs
+// nothing while the statistics generation and partition layout are
+// unchanged, and Info().PlanSource reports PlanSourceCached for
+// exactly those executions.
+//
+// A Prepared is immutable and safe for concurrent use: any number of
+// goroutines may Run the same handle, each call returning its own
+// Results. Derivation methods (Bind, WithTrace, WithStats) return new
+// handles sharing the resolved state, so a server can keep one handle
+// per hot query shape and derive per-request variants cheaply.
+//
+// The handle stays valid across inserts, flushes and merges — it holds
+// no plan or snapshot of its own, so there is nothing to go stale:
+// each Run sees the table as of that call, exactly like Table.Run.
+type Prepared struct {
+	t       *Table
+	q       Query
+	attr    string // resolved (possibly defaulted) attribute
+	primary string
+}
+
+// Prepare validates q against the table once and returns a reusable
+// execution handle. It fails exactly where Run would: spatial
+// descriptors, unknown attributes (ErrUnknownAttr) and non-PTQ explain
+// requests are rejected up front instead of on every execution.
+func (t *Table) Prepare(q Query) (*Prepared, error) {
+	attr, primary, err := t.resolveQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{t: t, q: q, attr: attr, primary: primary}, nil
+}
+
+// Run executes the prepared query, with Table.Run's exact semantics:
+// the same routing (automatic planner when statistics are fresh),
+// deadline admission, lazy Results handle, and byte-identical results,
+// statistics and modeled cost. Safe to call concurrently.
+func (p *Prepared) Run(ctx context.Context) (*Results, error) {
+	return p.t.runResolved(ctx, p.q, p.attr, p.primary)
+}
+
+// Bind returns a handle for the same query shape with a different
+// predicate value — the parameterized-query idiom: prepare the shape
+// once, bind per request. The receiver is unchanged.
+func (p *Prepared) Bind(value string) *Prepared {
+	cp := *p
+	cp.q.value = value
+	return &cp
+}
+
+// WithTrace returns a handle whose executions invoke fn for every
+// trace event, like Query.WithTrace. The receiver is unchanged, so
+// per-request trace sinks do not serialize a shared handle.
+func (p *Prepared) WithTrace(fn TraceFunc) *Prepared {
+	cp := *p
+	cp.q.trace = fn
+	return &cp
+}
+
+// WithStats returns a handle whose executions measure modeled disk
+// time, like Query.WithStats. The receiver is unchanged.
+func (p *Prepared) WithStats() *Prepared {
+	cp := *p
+	cp.q.wantStats = true
+	return &cp
+}
+
+// Query returns the descriptor the handle was prepared from (with any
+// Bind/WithTrace/WithStats derivations applied).
+func (p *Prepared) Query() Query { return p.q }

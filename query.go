@@ -450,22 +450,42 @@ func (t *Table) Run(ctx context.Context, q Query) (*Results, error) {
 	if err := upi.CtxErr(ctx); err != nil {
 		return nil, err
 	}
-	if q.kind.spatial() {
-		return nil, fmt.Errorf("upidb: %v is a spatial query; run it with SpatialTable.Run", q.kind)
+	attr, primary, err := t.resolveQuery(q)
+	if err != nil {
+		return nil, err
 	}
-	primary := t.shards.Attr()
-	attr := q.attr
+	return t.runResolved(ctx, q, attr, primary)
+}
+
+// resolveQuery is Run's validation pass: spatial descriptors are
+// rejected, the attribute is resolved against the table schema, and
+// explain-only requests are checked for plannability. Table.Prepare
+// runs it once and reuses the outcome on every execution.
+func (t *Table) resolveQuery(q Query) (attr, primary string, err error) {
+	if q.kind.spatial() {
+		return "", "", fmt.Errorf("upidb: %v is a spatial query; run it with SpatialTable.Run", q.kind)
+	}
+	primary = t.shards.Attr()
+	attr = q.attr
 	if attr == "" {
 		attr = primary
 	}
 	if attr != primary && !slices.Contains(t.shards.SecondaryAttrs(), attr) {
-		return nil, fmt.Errorf("%w: %q (primary %q, secondary %v)",
+		return "", "", fmt.Errorf("%w: %q (primary %q, secondary %v)",
 			ErrUnknownAttr, attr, primary, t.shards.SecondaryAttrs())
 	}
 	if q.explainOnly && q.kind != KindPTQ {
 		// Explain is plan-only by contract; never fall through to a
 		// full execution for a query class the planner can't cost.
-		return nil, fmt.Errorf("upidb: WithExplain supports PTQ queries only")
+		return "", "", fmt.Errorf("upidb: WithExplain supports PTQ queries only")
+	}
+	return attr, primary, nil
+}
+
+// runResolved is Run after validation: routing, admission, snapshot.
+func (t *Table) runResolved(ctx context.Context, q Query, attr, primary string) (*Results, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
 	}
 	// The metrics trace sink is chained unconditionally — traced and
 	// untraced queries report identical scatter/scan/yield counters;
@@ -547,9 +567,18 @@ func (q Query) emitAdmission(detail string) {
 // runPlanned costs a PTQ through the cost-based planner and — unless
 // the query is explain-only — admits and executes the cheapest plan.
 func (t *Table) runPlanned(ctx context.Context, q Query, attr, source string, started time.Time) (*Results, error) {
-	plans, err := t.shards.PlanPTQ(attr, q.value, q.qt)
+	plans, cached, err := t.shards.PlanPTQCached(attr, q.value, q.qt)
 	if err != nil {
 		return nil, err
+	}
+	if cached && source != PlanSourceHeuristic {
+		// The plans were served from the generation-guarded plan cache
+		// (identical to what fresh costing would produce — same
+		// generation, same fracture layout). Routing, admission and
+		// execution proceed unchanged; only the provenance differs. A
+		// heuristic-routed explain keeps its heuristic label: the planner
+		// ran for display only, not for routing.
+		source = PlanSourceCached
 	}
 	best := plans[0]
 	if q.explainOnly {
@@ -606,6 +635,9 @@ func (t *Table) explainRouting(source string, heuristicForced bool) string {
 	case source == PlanSourceStats:
 		return fmt.Sprintf("routing: planner, fresh stats (staleness %.1f%% <= %.0f%%, %d merge rebuilds)\n",
 			si.Staleness*100, si.Threshold*100, si.Rebuilds)
+	case source == PlanSourceCached:
+		return fmt.Sprintf("routing: planner, cached plan (generation %d unchanged since costing)\n",
+			t.shards.Generation())
 	case source == PlanSourceForced:
 		return "routing: planner, forced by WithPlanner\n"
 	case heuristicForced:

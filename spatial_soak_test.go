@@ -88,7 +88,7 @@ func TestSoakConcurrentSpatial(t *testing.T) {
 		base = append(base, soakObs(baseIDs[i]))
 	}
 	db := mustCreate(t)
-	tab, err := db.BulkLoadSpatial(soakSpatial, base, SpatialOptions{})
+	tab, err := db.BulkLoadSpatial(soakSpatial, base)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func spatialFixture(t testing.TB, n int) (*DB, *SpatialTable, *dataset.Cartel) {
 		t.Fatal(err)
 	}
 	db := mustCreate(t)
-	tab, err := db.BulkLoadSpatial("cars", c.Observations, SpatialOptions{})
+	tab, err := db.BulkLoadSpatial("cars", c.Observations)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestSpatialClose(t *testing.T) {
 	if _, err := tab.Run(ctx, Segment("s", 0.5)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("segment Run after Close: %v", err)
 	}
-	if _, err := db.BulkLoadSpatial("more", c.Observations, SpatialOptions{}); !errors.Is(err, ErrClosed) {
+	if _, err := db.BulkLoadSpatial("more", c.Observations); !errors.Is(err, ErrClosed) {
 		t.Fatalf("BulkLoadSpatial after Close: %v", err)
 	}
 }

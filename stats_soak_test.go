@@ -71,7 +71,7 @@ func TestSoakStatsFreshness(t *testing.T) {
 				readerErr <- fmt.Errorf("reader query %d: %w", i, err)
 				return
 			}
-			if src := res.Info().PlanSource; src != PlanSourceStats && src != PlanSourceHeuristic {
+			if src := res.Info().PlanSource; src != PlanSourceStats && src != PlanSourceHeuristic && src != PlanSourceCached {
 				readerErr <- fmt.Errorf("reader query %d: unexpected plan source %q", i, src)
 				return
 			}

@@ -160,37 +160,6 @@ type (
 // alternatives, merging duplicates and sorting by probability.
 func NewDiscrete(alts []Alternative) (Discrete, error) { return prob.NewDiscrete(alts) }
 
-// TableOptions tune a UPI table.
-//
-// Deprecated: pass functional options (WithCutoff, WithMaxPointers,
-// WithBufferTuples, WithParallelism, WithStatsStaleness) to
-// CreateTable, BulkLoadTable and OpenTable instead; an existing struct
-// can be bridged with WithTableOptions.
-type TableOptions struct {
-	// Cutoff is the cutoff threshold C (Section 3.1). Alternatives
-	// with confidence below C live in the cutoff index instead of
-	// being duplicated in the heap file. 0 disables the cutoff index.
-	Cutoff float64
-	// MaxPointers caps pointers per secondary-index entry (0 =
-	// unlimited).
-	MaxPointers int
-	// BufferTuples is the RAM insert-buffer capacity before an
-	// automatic flush into a new fracture (0 = manual Flush only).
-	BufferTuples int
-	// Parallelism bounds the worker goroutines one query fans out
-	// across the main UPI and the fractures (0 = GOMAXPROCS,
-	// 1 = serial scan). Modeled query costs are identical at every
-	// setting; only wall-clock time changes.
-	Parallelism int
-	// StatsStaleness is the staleness ratio (unabsorbed statistics
-	// deltas over tracked tuples) up to which Run trusts the table's
-	// statistics catalog and routes PTQs through the cost-based
-	// planner automatically. 0 means the default (10%); a negative
-	// value disables automatic planner routing entirely, restoring the
-	// pre-catalog behavior of planning only under WithPlanner.
-	StatsStaleness float64
-}
-
 // DB owns a disk model, a storage backend and the tables created on
 // them. Construct one with Create or Open.
 type DB struct {
@@ -219,29 +188,6 @@ type DB struct {
 	tables   []*Table
 	byName   map[string]*Table
 	spatials []*SpatialTable
-}
-
-// New creates a database over a fresh simulated disk with the paper's
-// default cost constants.
-//
-// Deprecated: use Create("").
-func New() *DB {
-	db, err := Create("")
-	if err != nil { // unreachable: the in-memory backend cannot fail
-		panic(err)
-	}
-	return db
-}
-
-// NewWithParams creates a database with custom disk cost constants.
-//
-// Deprecated: use Create("", WithDiskParams(p)).
-func NewWithParams(p sim.Params) *DB {
-	db, err := Create("", WithDiskParams(p))
-	if err != nil { // unreachable: the in-memory backend cannot fail
-		panic(err)
-	}
-	return db
 }
 
 // DiskParams returns the paper's default disk cost constants (Table
@@ -411,7 +357,7 @@ func (db *DB) Close() error {
 // deletes apply histogram deltas as they happen, and each merge
 // re-derives the histograms from its own whole-heap scan. Run consults
 // the cost-based planner automatically whenever the catalog is fresh
-// enough (see TableOptions.StatsStaleness and StatsInfo), so callers
+// enough (see WithStatsStaleness and StatsInfo), so callers
 // get planned routing without ever touching BuildStats.
 //
 // A table built WithShards(n) is hash-partitioned by tuple ID across n
@@ -490,7 +436,12 @@ func (t *Table) NumFractures() int { return t.shards.NumFractures() }
 // SizeBytes returns the table's total on-disk size over all shards.
 func (t *Table) SizeBytes() int64 { return t.shards.SizeBytes() }
 
-// DropCaches empties all buffer pools; the next query runs cold.
+// DropCaches empties all buffer pools, the per-shard plan caches and
+// the result caches (if enabled): the next query of any shape runs
+// fully cold — pages re-read, plans re-costed, point results
+// re-executed. upibench wraps every modeled measurement in DropCaches,
+// which is why its cold-cache numbers stay deterministic with the
+// caching layers on.
 func (t *Table) DropCaches() error { return t.shards.DropCaches() }
 
 // QueryInfo reports the modeled cost of one query and what it
@@ -513,9 +464,11 @@ type QueryInfo struct {
 	// runs only — automatic or forced).
 	Plan string
 	// PlanSource reports how the query was routed: PlanSourceStats
-	// (fresh catalog, automatic planner), PlanSourceHeuristic (stats
-	// absent or stale — or WithHeuristic — so the fixed heuristic
-	// routing ran), or PlanSourceForced (WithPlanner).
+	// (fresh catalog, automatic planner), PlanSourceCached (planner
+	// route whose plans were served from the generation-guarded plan
+	// cache — a repeat of an already-costed shape), PlanSourceHeuristic
+	// (stats absent or stale — or WithHeuristic — so the fixed
+	// heuristic routing ran), or PlanSourceForced (WithPlanner).
 	PlanSource string
 	// Candidates is the number of R-Tree candidates or segment-index
 	// entries a spatial query examined (spatial Run only).
@@ -538,6 +491,10 @@ func (q QueryInfo) String() string {
 }
 
 // SpatialOptions tune a continuous-UPI table.
+//
+// Deprecated: pass the spatial functional options (WithNodePageSize,
+// WithHeapPageSize) to BulkLoadSpatial instead; an existing struct can
+// be bridged with WithSpatialOptions for one release.
 type SpatialOptions struct {
 	// NodePageSize is the R-Tree node page size (default 4 KiB).
 	NodePageSize int
@@ -561,19 +518,23 @@ type SpatialTable struct {
 	planner *planner.Spatial
 }
 
-// BulkLoadSpatial builds a continuous UPI from observations. Like
-// table creation, it fails with ErrClosed once the DB is closed. The
-// spatial statistics catalog is seeded from the same observations, so
-// Run routes through the cost-based spatial planner from the first
-// query.
-func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts SpatialOptions) (*SpatialTable, error) {
+// BulkLoadSpatial builds a continuous UPI from observations,
+// configured with spatial-scoped functional options (WithNodePageSize,
+// WithHeapPageSize) — the same options scheme as discrete tables, with
+// the same scope validation: a database- or table-level option passed
+// here errors instead of being silently ignored. Like table creation,
+// it fails with ErrClosed once the DB is closed. The spatial
+// statistics catalog is seeded from the same observations, so Run
+// routes through the cost-based spatial planner from the first query.
+func (db *DB) BulkLoadSpatial(name string, obs []*Observation, opts ...Option) (*SpatialTable, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	tab, err := cupi.BulkBuild(db.fs, name, obs, cupi.Options{
-		NodePageSize: opts.NodePageSize,
-		HeapPageSize: opts.HeapPageSize,
-	})
+	scfg, err := spatialConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := cupi.BulkBuild(db.fs, name, obs, scfg)
 	if err != nil {
 		return nil, err
 	}

@@ -162,7 +162,7 @@ func TestFacadeSpatial(t *testing.T) {
 		{ID: 1, Loc: ConstrainedGaussian{Center: Point{X: 0, Y: 0}, Sigma: 10, Bound: 50}, Segment: seg},
 		{ID: 2, Loc: ConstrainedGaussian{Center: Point{X: 1000, Y: 1000}, Sigma: 10, Bound: 50}, Segment: seg},
 	}
-	cars, err := db.BulkLoadSpatial("cars", obs, SpatialOptions{})
+	cars, err := db.BulkLoadSpatial("cars", obs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestDBClose(t *testing.T) {
 	if _, err := db.OpenTable("b", "Institution", []string{"Country"}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("OpenTable after Close: %v", err)
 	}
-	if _, err := db.BulkLoadSpatial("s", nil, SpatialOptions{}); !errors.Is(err, ErrClosed) {
+	if _, err := db.BulkLoadSpatial("s", nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("BulkLoadSpatial after Close: %v", err)
 	}
 	if err := db.Close(); err != nil {
