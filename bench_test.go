@@ -39,7 +39,7 @@ func runExperiment(b *testing.B, id string, headlineColumn string) {
 	var headline float64
 	for i := 0; i < b.N; i++ {
 		env := bench.NewEnv(bench.Config{Scale: benchScale, Seed: 1})
-		exp, err := bench.Run(env, id)
+		exp, err := bench.Run(context.Background(), env, id)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func BenchmarkPIIQueryPTQ(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tab.Query(dataset.AttrInstitution, dataset.MITInstitution, 0.1); err != nil {
+		if _, err := tab.Query(context.Background(), dataset.AttrInstitution, dataset.MITInstitution, 0.1); err != nil {
 			b.Fatal(err)
 		}
 	}

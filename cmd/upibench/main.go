@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,7 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx := context.Background()
 	env := bench.NewEnv(bench.Config{Scale: *scale, Seed: *seed, Parallelism: *parallel})
 	ids := make([]string, 0)
 	if *experiment == "all" {
@@ -64,7 +66,7 @@ func main() {
 	rep := report{Scale: *scale, Seed: *seed}
 	for _, id := range ids {
 		start := time.Now()
-		exp, err := bench.Run(env, id)
+		exp, err := bench.Run(ctx, env, id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "upibench: %s: %v\n", id, err)
 			os.Exit(1)

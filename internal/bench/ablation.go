@@ -14,7 +14,7 @@ import (
 // access with a tighter limit, such a limit can lower storage
 // consumption." It sweeps the pointer cap and reports the tailored
 // Query 3 runtime and the secondary index size.
-func AblationMaxPointers(e *Env) (*Experiment, error) {
+func AblationMaxPointers(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -35,7 +35,7 @@ func AblationMaxPointers(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		dur, err := coldRun(disk, tab.DropCaches, func() error {
-			_, _, qerr := tab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
+			_, _, qerr := tab.QuerySecondary(ctx, dataset.AttrCountry, dataset.JapanCountry, 0.3, true)
 			return qerr
 		})
 		if err != nil {
@@ -60,7 +60,7 @@ func AblationMaxPointers(e *Env) (*Experiment, error) {
 // the UPI by orders of magnitude when the probability distribution is
 // long tailed"): heap-file and cutoff-index sizes per C, with the
 // histogram's size estimate alongside.
-func AblationCutoffSize(e *Env) (*Experiment, error) {
+func AblationCutoffSize(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err

@@ -1,12 +1,15 @@
 package bench
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestAblationMaxPointers: an unlimited pointer cap must be at least
 // as fast as a cap of 1 (which degenerates to plain secondary access),
 // and tighter caps must shrink the secondary index.
 func TestAblationMaxPointers(t *testing.T) {
-	exp, err := AblationMaxPointers(testEnv(t))
+	exp, err := AblationMaxPointers(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +35,7 @@ func TestAblationMaxPointers(t *testing.T) {
 // TestAblationCutoffSize: the heap shrinks and the cutoff index grows
 // as C rises; the histogram's size estimate tracks the real heap.
 func TestAblationCutoffSize(t *testing.T) {
-	exp, err := AblationCutoffSize(testEnv(t))
+	exp, err := AblationCutoffSize(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}

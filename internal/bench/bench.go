@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -188,7 +189,7 @@ func coldRun(disk *sim.Disk, drop func() error, run func() error) (time.Duration
 }
 
 // RunFunc produces one experiment.
-type RunFunc func(*Env) (*Experiment, error)
+type RunFunc func(context.Context, *Env) (*Experiment, error)
 
 // Registered lists every experiment in paper order.
 func Registered() []struct {
@@ -223,10 +224,10 @@ func Registered() []struct {
 }
 
 // Run executes one experiment by ID.
-func Run(env *Env, id string) (*Experiment, error) {
+func Run(ctx context.Context, env *Env, id string) (*Experiment, error) {
 	for _, r := range Registered() {
 		if r.ID == id {
-			return r.Run(env)
+			return r.Run(ctx, env)
 		}
 	}
 	ids := make([]string, 0)

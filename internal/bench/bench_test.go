@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -30,7 +31,7 @@ func mean(xs []float64) float64 {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run(testEnv(t), "nope"); err == nil {
+	if _, err := Run(context.Background(), testEnv(t), "nope"); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
@@ -52,7 +53,7 @@ func TestExperimentFormatting(t *testing.T) {
 // TestFig4Shape: UPI beats PII at every QT, by a large factor at low QT
 // (paper: 20-100x).
 func TestFig4Shape(t *testing.T) {
-	exp, err := Fig4Query1(testEnv(t))
+	exp, err := Fig4Query1(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	exp, err := Fig5Query2(testEnv(t))
+	exp, err := Fig5Query2(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestFig5Shape(t *testing.T) {
 // plain UPI without tailoring is sometimes no better than PII (the
 // paper observes it can even be slower).
 func TestFig6Shape(t *testing.T) {
-	exp, err := Fig6Query3(testEnv(t))
+	exp, err := Fig6Query3(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestFig6Shape(t *testing.T) {
 // TestFig3Shape: queries with QT >= C are fast; dropping QT below C
 // makes them slower (cutoff pointer chasing).
 func TestFig3Shape(t *testing.T) {
-	exp, err := Fig3CutoffRuntime(testEnv(t))
+	exp, err := Fig3CutoffRuntime(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	exp, err := Fig7Query4(testEnv(t))
+	exp, err := Fig7Query4(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	exp, err := Fig8Query5(testEnv(t))
+	exp, err := Fig8Query5(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFig8Shape(t *testing.T) {
 // TestFig9Shape: the plain UPI deteriorates most; the fractured UPI
 // deteriorates least relative to it (paper: 40x vs 9x vs 4x).
 func TestFig9Shape(t *testing.T) {
-	exp, err := Fig9Deterioration(testEnv(t))
+	exp, err := Fig9Deterioration(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestFig9Shape(t *testing.T) {
 // TestFig10Shape: merging restores performance, and the cost model
 // tracks the real runtime.
 func TestFig10Shape(t *testing.T) {
-	exp, err := Fig10FracturedModel(testEnv(t))
+	exp, err := Fig10FracturedModel(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestFig10Shape(t *testing.T) {
 
 // TestFig11Shape: estimates track real cutoff-pointer counts.
 func TestFig11Shape(t *testing.T) {
-	exp, err := Fig11PointerEstimate(testEnv(t))
+	exp, err := Fig11PointerEstimate(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +241,7 @@ func TestFig11Shape(t *testing.T) {
 // TestFig12Shape: the cost model reproduces the fig3 shape — flat fast
 // region for QT >= C, rising penalty for QT < C.
 func TestFig12Shape(t *testing.T) {
-	exp, err := Fig12CutoffModel(testEnv(t))
+	exp, err := Fig12CutoffModel(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFig12Shape(t *testing.T) {
 // TestTable7Shape: fractured insert ≪ unclustered insert ≪ UPI insert;
 // fractured delete is near-free.
 func TestTable7Shape(t *testing.T) {
-	exp, err := Table7Maintenance(testEnv(t))
+	exp, err := Table7Maintenance(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestTable7Shape(t *testing.T) {
 // TestTable8Shape: merge cost grows with database size and tracks the
 // Costmerge estimate.
 func TestTable8Shape(t *testing.T) {
-	exp, err := Table8Merging(testEnv(t))
+	exp, err := Table8Merging(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,7 +20,7 @@ func fig7QueryPoint(extent prob.Rect) prob.Point {
 // Fig7Query4 regenerates Figure 7: Query 4 (location range PTQ)
 // runtime against the radius, continuous UPI versus secondary U-Tree,
 // at QT = 50%.
-func Fig7Query4(e *Env) (*Experiment, error) {
+func Fig7Query4(ctx context.Context, e *Env) (*Experiment, error) {
 	c, err := e.Cartel()
 	if err != nil {
 		return nil, err
@@ -46,7 +46,7 @@ func Fig7Query4(e *Env) (*Experiment, error) {
 	for radius := 100.0; radius <= 1000.0; radius += 100 {
 		radius := radius
 		cuDur, err := coldRun(cuDisk, cu.DropCaches, func() error {
-			_, _, qerr := cu.QueryCircle(context.Background(), q, radius, 0.5)
+			_, _, qerr := cu.QueryCircle(ctx, q, radius, 0.5)
 			return qerr
 		})
 		if err != nil {
@@ -67,7 +67,7 @@ func Fig7Query4(e *Env) (*Experiment, error) {
 // Fig8Query5 regenerates Figure 8: Query 5 (road-segment PTQ via the
 // secondary index) against QT, comparing the index into the clustered
 // continuous-UPI heap with the same index into an unclustered heap.
-func Fig8Query5(e *Env) (*Experiment, error) {
+func Fig8Query5(ctx context.Context, e *Env) (*Experiment, error) {
 	c, err := e.Cartel()
 	if err != nil {
 		return nil, err
@@ -102,7 +102,7 @@ func Fig8Query5(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.81; qt += 0.1 {
 		qt := qt
 		cuDur, err := coldRun(cuDisk, cu.DropCaches, func() error {
-			_, _, qerr := cu.QuerySegment(context.Background(), seg, qt)
+			_, _, qerr := cu.QuerySegment(ctx, seg, qt)
 			return qerr
 		})
 		if err != nil {

@@ -82,7 +82,7 @@ var cutoffSweepCs = []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.4
 // Fig3CutoffRuntime regenerates Figure 3: real query runtime against
 // the cutoff threshold C for several query thresholds QT, for a
 // non-selective query (Institution = MIT) and a selective one.
-func Fig3CutoffRuntime(e *Env) (*Experiment, error) {
+func Fig3CutoffRuntime(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -109,7 +109,7 @@ func Fig3CutoffRuntime(e *Env) (*Experiment, error) {
 		for _, value := range []string{dataset.MITInstitution, selective} {
 			for _, qt := range cutoffSweepQTs {
 				dur, err := coldRun(disk, tab.DropCaches, func() error {
-					_, _, qerr := tab.Query(context.Background(), value, qt)
+					_, _, qerr := tab.Query(ctx, value, qt)
 					return qerr
 				})
 				if err != nil {
@@ -125,7 +125,7 @@ func Fig3CutoffRuntime(e *Env) (*Experiment, error) {
 
 // Fig4Query1 regenerates Figure 4: Query 1 (Author, Institution=MIT)
 // runtime against QT, PII versus UPI (C = 10%).
-func Fig4Query1(e *Env) (*Experiment, error) {
+func Fig4Query1(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -148,14 +148,14 @@ func Fig4Query1(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.91; qt += 0.1 {
 		qt := qt
 		piiDur, err := coldRun(piiDisk, piiTab.DropCaches, func() error {
-			_, qerr := piiTab.Query(dataset.AttrInstitution, dataset.MITInstitution, qt)
+			_, qerr := piiTab.Query(ctx, dataset.AttrInstitution, dataset.MITInstitution, qt)
 			return qerr
 		})
 		if err != nil {
 			return nil, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			_, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, qt)
+			_, _, qerr := upiTab.Query(ctx, dataset.MITInstitution, qt)
 			return qerr
 		})
 		if err != nil {
@@ -181,7 +181,7 @@ func groupCountJournal(results []upi.Result) map[string]int {
 
 // Fig5Query2 regenerates Figure 5: Query 2 (Publication aggregate on
 // Institution=MIT GROUP BY Journal) runtime against QT, PII vs UPI.
-func Fig5Query2(e *Env) (*Experiment, error) {
+func Fig5Query2(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -208,7 +208,7 @@ func Fig5Query2(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.91; qt += 0.1 {
 		qt := qt
 		piiDur, err := coldRun(piiDisk, piiTab.DropCaches, func() error {
-			rs, qerr := piiTab.Query(dataset.AttrInstitution, dataset.MITInstitution, qt)
+			rs, qerr := piiTab.Query(ctx, dataset.AttrInstitution, dataset.MITInstitution, qt)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -216,7 +216,7 @@ func Fig5Query2(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, qt)
+			rs, _, qerr := upiTab.Query(ctx, dataset.MITInstitution, qt)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -232,7 +232,7 @@ func Fig5Query2(e *Env) (*Experiment, error) {
 // Country=Japan via a secondary index) against QT, comparing PII on an
 // unclustered heap, the UPI secondary index without tailored access,
 // and with tailored access.
-func Fig6Query3(e *Env) (*Experiment, error) {
+func Fig6Query3(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -259,7 +259,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 	for qt := 0.1; qt <= 0.91; qt += 0.1 {
 		qt := qt
 		piiDur, err := coldRun(piiDisk, piiTab.DropCaches, func() error {
-			rs, qerr := piiTab.Query(dataset.AttrCountry, dataset.JapanCountry, qt)
+			rs, qerr := piiTab.Query(ctx, dataset.AttrCountry, dataset.JapanCountry, qt)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -267,7 +267,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		plainDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, qt, false)
+			rs, _, qerr := upiTab.QuerySecondary(ctx, dataset.AttrCountry, dataset.JapanCountry, qt, false)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -275,7 +275,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 			return nil, err
 		}
 		tailoredDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			rs, _, qerr := upiTab.QuerySecondary(context.Background(), dataset.AttrCountry, dataset.JapanCountry, qt, true)
+			rs, _, qerr := upiTab.QuerySecondary(ctx, dataset.AttrCountry, dataset.JapanCountry, qt, true)
 			groupCountJournal(rs)
 			return qerr
 		})
@@ -292,7 +292,7 @@ func Fig6Query3(e *Env) (*Experiment, error) {
 // Fig11PointerEstimate regenerates Figure 11: the number of cutoff
 // pointers a Query 1 retrieves, real versus estimated from the
 // histograms, across (QT, C) combinations with QT < C.
-func Fig11PointerEstimate(e *Env) (*Experiment, error) {
+func Fig11PointerEstimate(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -316,7 +316,7 @@ func Fig11PointerEstimate(e *Env) (*Experiment, error) {
 			if qt >= c {
 				continue
 			}
-			_, stats, err := tab.Query(context.Background(), dataset.MITInstitution, qt)
+			_, stats, err := tab.Query(ctx, dataset.MITInstitution, qt)
 			if err != nil {
 				return nil, err
 			}
@@ -332,7 +332,7 @@ func Fig11PointerEstimate(e *Env) (*Experiment, error) {
 
 // Fig12CutoffModel regenerates Figure 12: the cost model's estimated
 // runtimes on the exact axes of Figure 3.
-func Fig12CutoffModel(e *Env) (*Experiment, error) {
+func Fig12CutoffModel(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err

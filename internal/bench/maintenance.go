@@ -70,7 +70,7 @@ func (w *batchWorkload) next() (deletes []*tuple.Tuple, inserts []*tuple.Tuple) 
 // Table7Maintenance regenerates Table 7: the cost of one insert batch
 // (10%) and one delete batch (1%) on an unclustered table (PII), a
 // plain UPI and a Fractured UPI.
-func Table7Maintenance(e *Env) (*Experiment, error) {
+func Table7Maintenance(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -213,7 +213,7 @@ const fig9QT = 0.1
 
 // Fig9Deterioration regenerates Figure 9: Query 1 runtime after each
 // of 10 insert batches on the three approaches.
-func Fig9Deterioration(e *Env) (*Experiment, error) {
+func Fig9Deterioration(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -245,21 +245,21 @@ func Fig9Deterioration(e *Env) (*Experiment, error) {
 	measure := func() (Row, error) {
 		row := Row{}
 		piiDur, err := coldRun(piiDisk, piiTab.DropCaches, func() error {
-			_, qerr := piiTab.Query(dataset.AttrInstitution, dataset.MITInstitution, fig9QT)
+			_, qerr := piiTab.Query(ctx, dataset.AttrInstitution, dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
 			return row, err
 		}
 		upiDur, err := coldRun(upiDisk, upiTab.DropCaches, func() error {
-			_, _, qerr := upiTab.Query(context.Background(), dataset.MITInstitution, fig9QT)
+			_, _, qerr := upiTab.Query(ctx, dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
 			return row, err
 		}
 		fracDur, err := coldRun(fracDisk, store.DropCaches, func() error {
-			_, _, qerr := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
+			_, _, qerr := store.Query(ctx, dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
@@ -315,7 +315,7 @@ func Fig9Deterioration(e *Env) (*Experiment, error) {
 // Fig10FracturedModel regenerates Figure 10: the Fractured UPI's real
 // query runtime over 30 insert batches with a merge after every 10,
 // against the Section 6.2 cost-model estimate.
-func Fig10FracturedModel(e *Env) (*Experiment, error) {
+func Fig10FracturedModel(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -342,7 +342,7 @@ func Fig10FracturedModel(e *Env) (*Experiment, error) {
 
 	measure := func(batch int) error {
 		real, err := coldRun(disk, store.DropCaches, func() error {
-			_, _, qerr := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
+			_, _, qerr := store.Query(ctx, dataset.MITInstitution, fig9QT)
 			return qerr
 		})
 		if err != nil {
@@ -389,7 +389,7 @@ func Fig10FracturedModel(e *Env) (*Experiment, error) {
 
 // Table8Merging regenerates Table 8: the cost and resulting database
 // size of three successive merges, each after 10 insert batches.
-func Table8Merging(e *Env) (*Experiment, error) {
+func Table8Merging(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err

@@ -60,7 +60,7 @@ func buildFracturedAuthors(e *Env) (*fracture.Store, *sim.Disk, error) {
 // as partition scans spread across workers. This is the
 // partition-parallel read path of the concurrent engine; it is the
 // only experiment whose wall-clock column depends on the host machine.
-func ParallelPTQ(e *Env) (*Experiment, error) {
+func ParallelPTQ(ctx context.Context, e *Env) (*Experiment, error) {
 	store, disk, err := buildFracturedAuthors(e)
 	if err != nil {
 		return nil, err
@@ -90,7 +90,7 @@ func ParallelPTQ(e *Env) (*Experiment, error) {
 			}
 			sp := sim.StartSpan(disk)
 			start := time.Now()
-			rs, _, err := store.Query(context.Background(), dataset.MITInstitution, fig9QT)
+			rs, _, err := store.Query(ctx, dataset.MITInstitution, fig9QT)
 			if err != nil {
 				return nil, err
 			}

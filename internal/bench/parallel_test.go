@@ -12,7 +12,7 @@ import (
 // the PTQ are bit-identical at every fan-out width; only wall-clock may
 // differ.
 func TestParallelPTQModeledInvariant(t *testing.T) {
-	exp, err := ParallelPTQ(testEnv(t))
+	exp, err := ParallelPTQ(context.Background(), testEnv(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ const planCacheReps = 40
 // must be invisible to everything except provenance and wall-clock.
 // Timing columns are wall-clock and so not regression-gated; the
 // Modeled column is deterministic per scale/seed.
-func PlanCache(e *Env) (*Experiment, error) {
+func PlanCache(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -72,7 +72,6 @@ func PlanCache(e *Env) (*Experiment, error) {
 		{fmt.Sprintf("Q1 Inst=MIT qt=%.2f", fig9QT/2), upidb.PTQ("", dataset.MITInstitution, fig9QT/2)},
 		{"Q3 Country=Japan qt=0.3", upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3)},
 	}
-	ctx := context.Background()
 	collect := func(q upidb.Query) ([][2]float64, upidb.QueryInfo, error) {
 		res, err := tab.Run(ctx, q.WithStats())
 		if err != nil {

@@ -20,7 +20,7 @@ const routingBatches = 6
 // access) on the paper's query mix over a fractured authors table.
 // Modeled cold-cache runtimes, deterministic per scale/seed; this is
 // the perf-trajectory baseline for planner-by-default.
-func PlannerRouting(e *Env) (*Experiment, error) {
+func PlannerRouting(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -69,7 +69,6 @@ func PlannerRouting(e *Env) (*Experiment, error) {
 		{fmt.Sprintf("Q1 Inst=MIT qt=%.2f", fig9QT/2), upidb.PTQ("", dataset.MITInstitution, fig9QT/2)},
 		{"Q3 Country=Japan qt=0.3", upidb.PTQ(dataset.AttrCountry, dataset.JapanCountry, 0.3)},
 	}
-	ctx := context.Background()
 	for _, qc := range queries {
 		if err := tab.DropCaches(); err != nil {
 			return nil, err

@@ -18,7 +18,7 @@ import (
 // predicates on an identical continuous UPI built on a private disk,
 // since the facade deliberately exposes no force-full-scan knob.
 // Modeled cold-cache runtimes, deterministic per scale/seed.
-func SpatialRouting(e *Env) (*Experiment, error) {
+func SpatialRouting(ctx context.Context, e *Env) (*Experiment, error) {
 	c, err := e.Cartel()
 	if err != nil {
 		return nil, err
@@ -91,7 +91,6 @@ func SpatialRouting(e *Env) (*Experiment, error) {
 		Columns: []string{"Planner [s]", "Index [s]", "Full scan [s]", "Results"},
 		Notes:   "default spatial Run plans from the grid/segment statistics catalog; Index pins the fixed R-Tree/segment-index routing (WithHeuristic); Full scan filters the whole clustered heap",
 	}
-	ctx := context.Background()
 	for _, qc := range queries {
 		if err := tab.DropCaches(); err != nil {
 			return nil, err

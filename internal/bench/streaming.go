@@ -126,12 +126,11 @@ func buildStreamingStore(e *Env) (*fracture.Store, *sim.Disk, error) {
 //   - PTQ full drain: a control row — draining the whole stream
 //     charges exactly the materialized cost, so streaming is free when
 //     everything is consumed.
-func StreamingLatency(e *Env) (*Experiment, error) {
+func StreamingLatency(ctx context.Context, e *Env) (*Experiment, error) {
 	store, disk, err := buildStreamingStore(e)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 
 	cold := func(run func() error) (time.Duration, error) {
 		return coldRun(disk, store.DropCaches, run)

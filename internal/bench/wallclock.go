@@ -22,7 +22,7 @@ const wallclockInserts = 500
 // backend would charge; wall-clock times are real fsync-bound
 // machine-dependent measurements, so the column is named with "Wall"
 // and excluded from the regression gate.
-func WallclockDisk(e *Env) (*Experiment, error) {
+func WallclockDisk(ctx context.Context, e *Env) (*Experiment, error) {
 	d, err := e.DBLP()
 	if err != nil {
 		return nil, err
@@ -86,7 +86,6 @@ func WallclockDisk(e *Env) (*Experiment, error) {
 	if err := phase("flush (fracture + manifest commit)", tab.Flush); err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	if err := phase("Q1 Inst=MIT qt=0.1 cold", func() error {
 		if err := tab.DropCaches(); err != nil {
 			return err

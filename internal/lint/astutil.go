@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Callee resolves the function or method object a call expression
+// invokes, or nil when it cannot be determined (indirect calls,
+// conversions, builtins).
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the named function from the
+// named package path (e.g. "context", "Background").
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := Callee(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// MethodOn reports whether call invokes a method with the given name
+// whose receiver's type (after stripping pointers) is the named type
+// pkgPath.typeName.
+func MethodOn(info *types.Info, call *ast.CallExpr, pkgPath, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	named := namedOf(selection.Recv())
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == typeName
+}
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil
+		}
+	}
+}
+
+// NamedType returns the defined type t resolves to through pointers
+// and aliases, or nil.
+func NamedType(t types.Type) *types.Named { return namedOf(t) }
+
+// IsErrorType reports whether t is the error interface itself.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// ImplementsError reports whether t (or *t) implements error.
+func ImplementsError(t types.Type) bool {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if types.Implements(t, errIface) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), errIface)
+	}
+	return false
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ExprText renders an expression back to source, the structural key
+// analyzers use to pair calls referring to the same value (the mutex
+// receiver of Lock/Unlock, the file name of Create/Sideband).
+func ExprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// FuncsInFile yields every function declaration in the file.
+func FuncsInFile(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// ReceiverTypeName returns the name of a method's receiver type ("" for
+// plain functions).
+func ReceiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// BaseFilename returns the file base name a position falls in.
+func BaseFilename(fset *token.FileSet, pos token.Pos) string {
+	name := fset.Position(pos).Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// UsesObject reports whether any identifier under n refers to obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

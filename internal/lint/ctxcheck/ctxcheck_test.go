@@ -1,0 +1,11 @@
+package ctxcheck
+
+import (
+	"testing"
+
+	"upidb/internal/lint/linttest"
+)
+
+func TestCtxcheck(t *testing.T) {
+	linttest.Run(t, Analyzer, "a", "b")
+}

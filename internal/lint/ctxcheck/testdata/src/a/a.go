@@ -1,0 +1,59 @@
+// Fixture for ctxcheck: firing cases and clean boundaries in a
+// library (non-main) package.
+package a
+
+import "context"
+
+type Store struct{ n int }
+
+func freshRoot() {
+	ctx := context.Background() // want `context\.Background\(\) in library code`
+	_ = ctx
+}
+
+func freshTODO() {
+	_ = context.TODO() // want `context\.TODO\(\) in library code`
+}
+
+// threading the caller's context is the house style.
+func threaded(ctx context.Context) context.Context {
+	return context.WithValue(ctx, key{}, 1)
+}
+
+type key struct{}
+
+// ctx not first.
+func misplaced(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = name
+	return ctx.Err()
+}
+
+// ctx first is clean.
+func wellPlaced(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+// Query-shaped method without a context on a store type.
+func (s *Store) QueryPoint(id uint64) int { // want `Store\.QueryPoint performs query I/O but takes no context`
+	return s.n
+}
+
+// Same shape with a context is clean.
+func (s *Store) QueryRange(ctx context.Context, lo, hi uint64) int {
+	_ = ctx
+	return s.n
+}
+
+// Non-query-shaped methods need no context.
+func (s *Store) Len() int { return s.n }
+
+// Unexported receivers are internal plumbing, not API surface.
+type helperTable struct{}
+
+func (helperTable) QueryAll() {}
+
+// A documented exception stays quiet.
+//
+//lint:noctx snapshot read, no I/O to cancel
+func (s *Store) ScanSnapshot() int { return s.n }

@@ -1,0 +1,9 @@
+// Boundary fixture: package main may mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,246 @@
+// Package linttest runs lint analyzers over golden fixture packages,
+// the in-tree analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in testdata/src/<dir> next to the analyzer's test
+// file. Expected diagnostics are declared inline:
+//
+//	mu.Lock() // want `return leaves mu locked`
+//
+// Every diagnostic must match a `// want` regexp on its line and every
+// expectation must fire at least once; anything else fails the test.
+// Fixtures may import standard-library and module packages — imports
+// resolve through compiler export data exactly as in cmd/upilint.
+package linttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"upidb/internal/lint"
+)
+
+// Run analyzes each fixture package under testdata/src and asserts
+// its diagnostics match the // want expectations exactly.
+func Run(t *testing.T, a *lint.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, filepath.Join("testdata", "src", dir))
+		})
+	}
+}
+
+func runOne(t *testing.T, a *lint.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	imports := importSet(files)
+	lookup, err := exportData(imports)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	pkgPath := "fixture/" + filepath.Base(dir)
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	var diags []lint.Diagnostic
+	pass := lint.NewPass(a, fset, files, tpkg, info, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	checkExpectations(t, diags, wants)
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, m[1], pos) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the quoted regexps after // want: either
+// "double-quoted" or `backquoted`, space-separated.
+func splitPatterns(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted: %s", pos, s)
+		}
+	}
+	return pats
+}
+
+func checkExpectations(t *testing.T, diags []lint.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q did not fire", w.file, w.line, w.re)
+		}
+	}
+}
+
+func importSet(files []*ast.File) []string {
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && p != "unsafe" {
+				seen[p] = true
+			}
+		}
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportData builds an import-path -> export-file lookup by asking the
+// go command to compile the fixture's imports (and their deps) into
+// the build cache.
+func exportData(imports []string) (func(path string) (io.ReadCloser, error), error) {
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, imports...)
+		cmd := exec.Command("go", args...)
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list: %w", err)
+		}
+		type pkg struct{ ImportPath, Export string }
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p pkg
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}, nil
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// LoadConfig controls Load.
+type LoadConfig struct {
+	// Dir is the directory go list runs in (the module root or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+	// Tests includes each matched package's test variant, so _test.go
+	// files are analyzed too.
+	Tests bool
+}
+
+// Load resolves the patterns with `go list -export -deps` and returns
+// every directly matched package parsed and type-checked. Imports are
+// satisfied from compiler export data out of the build cache, so a
+// full `./...` load pays one `go list` invocation and per-package
+// source parsing only for the packages under analysis — no third-party
+// loader involved.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,ForTest,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("go list output: %w", derr)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Name == "" {
+			continue
+		}
+		// Skip synthesized test-binary mains ("pkg.test"): they carry
+		// no source of ours.
+		if strings.HasSuffix(p.ImportPath, ".test") && p.ForTest == "" && p.Name == "main" {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+
+	// With -test, the in-package test variant ("p [p.test]") carries
+	// the package's GoFiles plus its _test.go files; checking the
+	// plain package too would just duplicate work.
+	superseded := make(map[string]bool)
+	for _, p := range targets {
+		if p.ForTest != "" && p.ForTest == strings.TrimSuffix(p.ImportPath, fmt.Sprintf(" [%s.test]", p.ForTest)) {
+			superseded[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared gc importer: stdlib and module export data is parsed
+	// once per Load, not once per package.
+	shared := &exportLookup{exports: exports}
+	imp := importer.ForCompiler(fset, "gc", shared.open)
+
+	var pkgs []*Package
+	for _, p := range targets {
+		if p.ForTest == "" && superseded[p.ImportPath] {
+			continue
+		}
+		// Inside a test variant ("pkg [pkg.test]"), imports of sibling
+		// packages resolve to their own test variants when those
+		// exist; point the shared lookup at this variant's namespace
+		// while its files are checked.
+		shared.forTest = p.ForTest
+		pkg, err := typeCheck(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportLookup opens compiler export data for an import path, mapping
+// through test-variant namespaces when a test package is being
+// checked.
+type exportLookup struct {
+	exports map[string]string
+	forTest string
+}
+
+func (l *exportLookup) open(path string) (io.ReadCloser, error) {
+	if l.forTest != "" {
+		if e, ok := l.exports[fmt.Sprintf("%s [%s.test]", path, l.forTest)]; ok {
+			return os.Open(e)
+		}
+	}
+	if e, ok := l.exports[path]; ok {
+		return os.Open(e)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, p listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
+	}
+	return &Package{
+		PkgPath: p.ImportPath,
+		Dir:     p.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

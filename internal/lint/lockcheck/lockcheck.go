@@ -1,0 +1,248 @@
+// Package lockcheck enforces the engine's lock pairing discipline: a
+// sync.Mutex/RWMutex acquired in a function must be released in that
+// function on every exit, unless a //lint:lockheld marker documents
+// that the lock intentionally escapes (the cupi cursor pattern, where
+// a streaming cursor holds the table's read lock from first pull to
+// Close and an undocumented escape wedges every subsequent Insert).
+//
+// The check walks each function body in source order, tracking a held
+// counter per (mutex expression, write/read mode): Lock/RLock raises
+// it, Unlock/RUnlock lowers it, a deferred unlock (directly or inside
+// a deferred closure) clears it for the rest of the function. A return
+// statement — or falling off the end of the body — while the counter
+// is positive and no deferred unlock is registered is a diagnostic.
+// Source-order tracking is deliberately conservative: it cannot prove
+// branch-balanced manual unlocking, which is exactly the style the
+// engine forbids in favor of defer.
+//
+// Function literals are analyzed as their own scopes: a cursor body
+// that locks and defers the unlock inside the pulled closure is clean,
+// matching the documented cupi discipline.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"upidb/internal/lint"
+)
+
+// Analyzer is the lockcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:    "lockcheck",
+	Doc:     "reports sync.Mutex/RWMutex acquisitions that can escape their function without a matching unlock or a //lint:lockheld marker",
+	Aliases: []string{"lockheld"},
+	Run:     run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range lint.FuncsInFile(f) {
+			checkFuncBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockKey identifies one mutex in one acquisition mode within a
+// function: "t.mu" write-locked and "t.mu" read-locked pair
+// independently.
+type lockKey struct {
+	expr  string
+	write bool
+}
+
+type lockState struct {
+	held     int
+	deferred bool      // a deferred unlock is registered
+	firstPos token.Pos // first acquisition, for the diagnostic
+}
+
+// checkFuncBody analyzes one function scope. Nested function literals
+// are queued and analyzed as independent scopes, except literals
+// inside defer statements, whose unlocks count as deferred releases
+// for the enclosing scope.
+func checkFuncBody(pass *lint.Pass, body *ast.BlockStmt) {
+	states := make(map[lockKey]*lockState)
+	var nested []*ast.BlockStmt
+
+	var walk func(n ast.Node)
+	walkStmts := func(list []ast.Stmt) {
+		for _, s := range list {
+			walk(s)
+		}
+	}
+	walk = func(n ast.Node) {
+		switch s := n.(type) {
+		case nil:
+		case *ast.ExprStmt:
+			walk(s.X)
+		case *ast.DeferStmt:
+			// defer mu.Unlock(), or defer func(){ mu.Unlock() }():
+			// either form releases on every exit.
+			recordCall(pass, states, s.Call, true)
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(c ast.Node) bool {
+					if call, ok := c.(*ast.CallExpr); ok {
+						recordCall(pass, states, call, true)
+					}
+					return true
+				})
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				walk(r)
+			}
+			reportHeld(pass, states, s.Pos(), "return")
+		case *ast.FuncLit:
+			nested = append(nested, s.Body)
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			walk(s.Init)
+			walk(s.Cond)
+			walk(s.Body)
+			walk(s.Else)
+		case *ast.ForStmt:
+			walk(s.Init)
+			walk(s.Cond)
+			walk(s.Body)
+		case *ast.RangeStmt:
+			walk(s.X)
+			walk(s.Body)
+		case *ast.SwitchStmt:
+			walk(s.Init)
+			walk(s.Body)
+		case *ast.TypeSwitchStmt:
+			walk(s.Init)
+			walk(s.Body)
+		case *ast.SelectStmt:
+			walk(s.Body)
+		case *ast.CaseClause:
+			walkStmts(s.Body)
+		case *ast.CommClause:
+			walkStmts(s.Body)
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				nested = append(nested, lit.Body)
+			}
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				walk(r)
+			}
+		case *ast.CallExpr:
+			recordCall(pass, states, s, false)
+			for _, a := range s.Args {
+				walk(a)
+			}
+		case ast.Expr:
+			ast.Inspect(s, func(c ast.Node) bool {
+				switch cc := c.(type) {
+				case *ast.FuncLit:
+					nested = append(nested, cc.Body)
+					return false
+				case *ast.CallExpr:
+					recordCall(pass, states, cc, false)
+				}
+				return true
+			})
+		case ast.Stmt:
+			ast.Inspect(s, func(c ast.Node) bool {
+				switch cc := c.(type) {
+				case *ast.FuncLit:
+					nested = append(nested, cc.Body)
+					return false
+				case *ast.CallExpr:
+					recordCall(pass, states, cc, false)
+				}
+				return true
+			})
+		}
+	}
+	walkStmts(body.List)
+	// A body whose last statement is a return already reported there;
+	// the closing brace is unreachable.
+	terminal := false
+	if n := len(body.List); n > 0 {
+		_, terminal = body.List[n-1].(*ast.ReturnStmt)
+	}
+	if !terminal {
+		reportHeld(pass, states, body.Rbrace, "function exit")
+	}
+
+	for _, nb := range nested {
+		checkFuncBody(pass, nb)
+	}
+}
+
+// recordCall updates lock state for mu.Lock/RLock/Unlock/RUnlock
+// calls on sync mutexes. asDefer marks unlocks that run on every exit.
+func recordCall(pass *lint.Pass, states map[lockKey]*lockState, call *ast.CallExpr, asDefer bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	var write, acquire bool
+	switch method {
+	case "Lock":
+		write, acquire = true, true
+	case "Unlock":
+		write, acquire = true, false
+	case "RLock":
+		write, acquire = false, true
+	case "RUnlock":
+		write, acquire = false, false
+	default:
+		return
+	}
+	if !isSyncMutex(pass, call) {
+		return
+	}
+	key := lockKey{expr: lint.ExprText(pass.Fset, sel.X), write: write}
+	st := states[key]
+	if st == nil {
+		st = &lockState{}
+		states[key] = st
+	}
+	switch {
+	case acquire:
+		if st.held == 0 {
+			st.firstPos = call.Pos()
+		}
+		st.held++
+	case asDefer:
+		st.deferred = true
+	default:
+		if st.held > 0 {
+			st.held--
+		}
+	}
+}
+
+func isSyncMutex(pass *lint.Pass, call *ast.CallExpr) bool {
+	return lint.MethodOn(pass.Info, call, "sync", "Mutex", methodName(call)) ||
+		lint.MethodOn(pass.Info, call, "sync", "RWMutex", methodName(call))
+}
+
+func methodName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func reportHeld(pass *lint.Pass, states map[lockKey]*lockState, pos token.Pos, where string) {
+	for key, st := range states {
+		if st.held > 0 && !st.deferred {
+			mode := "Lock"
+			unlock := "Unlock"
+			if !key.write {
+				mode, unlock = "RLock", "RUnlock"
+			}
+			pass.Reportf(pos, "%s leaves %s.%s() held with no deferred %s; unlock on every path or document the escape with //lint:lockheld", where, key.expr, mode, unlock)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"upidb/internal/lint/linttest"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,114 @@
+// Fixture for lockcheck: firing cases and clean boundaries.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+type table struct {
+	mu     sync.RWMutex
+	closed bool
+	n      int
+}
+
+// earlyReturnLeak is the classic wedge: the error path returns with
+// the write lock still held.
+func (t *table) earlyReturnLeak() error {
+	t.mu.Lock()
+	if t.closed {
+		return errClosed // want `return leaves t\.mu\.Lock\(\) held`
+	}
+	t.n++
+	t.mu.Unlock()
+	return nil
+}
+
+// neverUnlocked acquires and falls off the end.
+func (t *table) neverUnlocked() {
+	t.mu.RLock()
+	t.n++
+} // want `function exit leaves t\.mu\.RLock\(\) held`
+
+// deferredIsClean is the house style: defer releases on every path.
+func (t *table) deferredIsClean() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return errClosed
+	}
+	t.n++
+	return nil
+}
+
+// deferredClosureIsClean releases inside a deferred closure.
+func (t *table) deferredClosureIsClean() {
+	t.mu.Lock()
+	defer func() {
+		t.n = 0
+		t.mu.Unlock()
+	}()
+	t.n++
+}
+
+// manualBalanced unlocks before each return in source order; the
+// lexical tracker accepts it.
+func (t *table) manualBalanced() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errClosed
+	}
+	t.n++
+	t.mu.Unlock()
+	return nil
+}
+
+// modesPairIndependently: an RLock is not released by Unlock.
+func (t *table) modesPairIndependently() {
+	t.mu.RLock()
+	t.mu.Unlock() // pairs with nothing; the read lock is still held
+} // want `function exit leaves t\.mu\.RLock\(\) held`
+
+// cursorEscape documents the cupi pattern: the read lock deliberately
+// outlives the function, released by the returned closure.
+//
+//lint:lockheld the caller must invoke the returned release
+func (t *table) cursorEscape() func() {
+	t.mu.RLock()
+	return func() { t.mu.RUnlock() }
+}
+
+// closureScopesAreIndependent: a clean closure does not hide the
+// enclosing function's leak, and the closure itself is analyzed.
+func (t *table) closureScopesAreIndependent() func() {
+	t.mu.Lock()
+	f := func() {
+		t.mu.RLock()
+		defer t.mu.RUnlock()
+		t.n++
+	}
+	return f // want `return leaves t\.mu\.Lock\(\) held`
+}
+
+// lockInClosureLeaks: the literal's own scope leaks.
+func (t *table) lockInClosureLeaks() func() {
+	return func() {
+		t.mu.Lock()
+		t.n++
+	} // want `function exit leaves t\.mu\.Lock\(\) held`
+}
+
+// nonMutexLockIsIgnored: Lock methods on non-sync types are not
+// tracked.
+type fakeLocker struct{}
+
+func (fakeLocker) Lock()   {}
+func (fakeLocker) Unlock() {}
+
+func usesFakeLocker() {
+	var l fakeLocker
+	l.Lock()
+}
+
+var errClosed = errors.New("closed")

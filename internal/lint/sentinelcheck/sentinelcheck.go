@@ -1,0 +1,168 @@
+// Package sentinelcheck enforces the engine's error discipline. Every
+// layer returns (or wraps) the typed sentinels in errors.go /
+// internal/upi/errors.go, and the facade documents that errors.Is
+// works on any error that crosses it regardless of origin. Two
+// patterns silently break that contract:
+//
+//   - comparing error values with == or != against anything but nil:
+//     a sentinel wrapped with %w compares unequal even though
+//     errors.Is matches, so the comparison rots the first time a layer
+//     adds context;
+//   - formatting an error into fmt.Errorf with %v/%s instead of %w:
+//     the chain is flattened to text and errors.Is(err, Sentinel)
+//     stops matching downstream.
+package sentinelcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"upidb/internal/lint"
+)
+
+// Analyzer is the sentinelcheck analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "sentinelcheck",
+	Doc:  "reports ==/!= comparisons of error values and fmt.Errorf calls that flatten an error with %v/%s instead of wrapping with %w",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, e)
+			case *ast.CallExpr:
+				checkErrorf(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkComparison flags err == x / err != x where an operand is
+// error-typed and the other is not the nil literal.
+func checkComparison(pass *lint.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, e.X) || isNil(pass, e.Y) {
+		return
+	}
+	xErr := isErrorExpr(pass, e.X)
+	yErr := isErrorExpr(pass, e.Y)
+	if !xErr && !yErr {
+		return
+	}
+	verb := "errors.Is"
+	if e.Op == token.NEQ {
+		verb = "!errors.Is"
+	}
+	pass.Reportf(e.OpPos, "error compared with %s; use %s so wrapped sentinels still match", e.Op, verb)
+}
+
+func isNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+// Concrete error implementations are excluded: comparing two *MyErr
+// pointers is identity comparison the author chose deliberately.
+func isErrorExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return lint.IsErrorType(tv.Type)
+}
+
+// checkErrorf flags fmt.Errorf("... %v ...", err) where the argument
+// for a %v/%s verb implements error: the wrap verb %w keeps the chain.
+func checkErrorf(pass *lint.Pass, call *ast.CallExpr) {
+	if !lint.IsPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs, exact := parseVerbs(format)
+	if !exact {
+		return // indexed or star verbs: bail out rather than guess
+	}
+	args := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if v != 'v' && v != 's' {
+			continue
+		}
+		tv, ok := pass.Info.Types[args[i]]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if lint.IsErrorType(tv.Type) || lint.ImplementsError(tv.Type) {
+			if isStringy(pass, args[i]) {
+				continue
+			}
+			pass.Reportf(args[i].Pos(), "error formatted with %%%c loses the error chain; wrap with %%w so errors.Is still matches the sentinel", v)
+		}
+	}
+}
+
+// isStringy excludes err.Error() style arguments, which are strings.
+func isStringy(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func constantString(pass *lint.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the verb letter for each consumed argument of a
+// printf format string, in order. exact is false when the format uses
+// features the simple scanner does not model (indexed arguments,
+// * width/precision), in which case the caller must not map verbs to
+// arguments positionally.
+func parseVerbs(format string) (verbs []byte, exact bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) && strings.IndexByte("+-# 0123456789.", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '*' || format[i] == '[' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,11 @@
+package sentinelcheck
+
+import (
+	"testing"
+
+	"upidb/internal/lint/linttest"
+)
+
+func TestSentinelcheck(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,75 @@
+// Fixture for sentinelcheck: firing cases and clean boundaries.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type codedErr struct{ code int }
+
+func (e *codedErr) Error() string { return "coded" }
+
+func compare(err error) {
+	if err == errSentinel { // want `error compared with ==`
+		return
+	}
+	if err != io.EOF { // want `error compared with !=`
+		return
+	}
+	if errSentinel == err { // want `error compared with ==`
+		return
+	}
+	// nil comparisons are the idiom, not a finding.
+	if err == nil {
+		return
+	}
+	if err != nil {
+		return
+	}
+	// errors.Is is the fix, not a finding.
+	if errors.Is(err, errSentinel) {
+		return
+	}
+}
+
+// concreteIdentity: comparing concrete pointers is deliberate identity
+// comparison, outside this rule.
+func concreteIdentity(a, b *codedErr) bool {
+	return a == b
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want `error formatted with %v loses the error chain`
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("query failed: %s", err) // want `error formatted with %s loses the error chain`
+}
+
+func wrapConcrete(e *codedErr) error {
+	return fmt.Errorf("stage: %v", e) // want `error formatted with %v loses the error chain`
+}
+
+// wrapW is the house style.
+func wrapW(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+// stringified arguments are strings, not errors.
+func wrapString(err error) error {
+	return fmt.Errorf("query failed: %s", err.Error())
+}
+
+// mixed verbs map positionally.
+func mixed(err error, n int) error {
+	return fmt.Errorf("shard %d: %v", n, err) // want `error formatted with %v loses the error chain`
+}
+
+// indexed formats are not modeled; no finding rather than a guess.
+func indexed(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}

@@ -1,0 +1,11 @@
+package sidebandcheck
+
+import (
+	"testing"
+
+	"upidb/internal/lint/linttest"
+)
+
+func TestSidebandcheck(t *testing.T) {
+	linttest.Run(t, Analyzer, "a")
+}

@@ -1,0 +1,34 @@
+// Fixture for sidebandcheck in an unscoped file: only expression-
+// triggered and function-name-triggered creations are checked.
+package a
+
+import "upidb/internal/storage"
+
+// modeled index files are query I/O, not durability I/O: no finding.
+func buildIndex(fs *storage.FS, name string) *storage.File {
+	return fs.Create(name + ".rtree")
+}
+
+// a file whose name marks it as durability bookkeeping must register
+// wherever it is created.
+func writeMarker(fs *storage.FS) *storage.File {
+	markerFile := "UPIDB"
+	return fs.Create(markerFile) // want `durability file Create\(markerFile\)`
+}
+
+// same, registered: clean.
+func writeMarkerRegistered(fs *storage.FS) *storage.File {
+	markerFile := "UPIDB"
+	fs.Sideband(markerFile)
+	return fs.Create(markerFile)
+}
+
+// function-name scope: a WAL helper outside wal.go is still checked.
+func rotateWAL(fs *storage.FS, name string) *storage.File {
+	return fs.Create(name + ".0") // want `durability file Create\(name \+ "\.0"\)`
+}
+
+// walkIndex is not WAL code; the Walk false-positive boundary.
+func walkIndex(fs *storage.FS, name string) *storage.File {
+	return fs.Create(name + ".idx")
+}

@@ -1,0 +1,35 @@
+// Fixture for sidebandcheck, durability-scoped by file name (wal.go).
+package a
+
+import "upidb/internal/storage"
+
+// createLog forgets to register the WAL before creating it.
+func createLog(fs *storage.FS, store string) *storage.File {
+	name := store + ".log"
+	return fs.Create(name) // want `durability file Create\(name\) without Sideband\(name\)`
+}
+
+// createLogRegistered pairs registration with creation.
+func createLogRegistered(fs *storage.FS, store string) *storage.File {
+	name := store + ".log"
+	fs.Sideband(name)
+	return fs.Create(name)
+}
+
+// openLog opens without registration.
+func openLog(fs *storage.FS, store string) (*storage.File, error) {
+	name := store + ".log"
+	return fs.Open(name) // want `durability file Open\(name\) without Sideband\(name\)`
+}
+
+// delegated documents that a callee registers the file.
+func delegated(fs *storage.FS, store string) *storage.File {
+	name := ensureRegistered(fs, store)
+	return fs.Create(name) //lint:sidebandcheck ensureRegistered marked it
+}
+
+func ensureRegistered(fs *storage.FS, store string) string {
+	name := store + ".log"
+	fs.Sideband(name)
+	return name
+}

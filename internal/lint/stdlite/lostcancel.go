@@ -1,0 +1,113 @@
+// Package stdlite carries conservative, dependency-free equivalents
+// of the high-value golang.org/x/tools/go/analysis passes that go
+// vet's default set omits: lostcancel, nilness and unusedwrite. The
+// container this repository builds in bakes no third-party modules, so
+// the upstream passes cannot be vendored; each analyzer here encodes
+// the same invariant with a deliberately conservative reach — no
+// SSA, no CFG — and documents what it gives up. Every diagnostic the
+// lite versions emit would also be emitted by the upstream pass.
+package stdlite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"upidb/internal/lint"
+)
+
+// LostCancel reports context cancel functions that are discarded or
+// never used. The upstream pass proves cancel is called on every
+// path; this version flags the two unambiguous failure shapes —
+// assigning the cancel function to the blank identifier, and binding
+// it to a variable that is never referenced again — which leak the
+// context's resources and detach the subtree from cancellation.
+var LostCancel = &lint.Analyzer{
+	Name: "lostcancel",
+	Doc:  "reports discarded or unused cancel functions from context.WithCancel/WithTimeout/WithDeadline",
+	Run:  runLostCancel,
+}
+
+var cancelSources = []string{"WithCancel", "WithTimeout", "WithDeadline"}
+
+func runLostCancel(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range lint.FuncsInFile(f) {
+			checkLostCancel(pass, fd)
+		}
+	}
+	return nil
+}
+
+// hasRealUse reports whether obj is used anywhere other than the
+// compiler-appeasing `_ = obj` discard.
+func hasRealUse(pass *lint.Pass, body ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if assign, ok := n.(*ast.AssignStmt); ok && isBlankDiscard(pass, assign, obj) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// isBlankDiscard matches `_ = obj`.
+func isBlankDiscard(pass *lint.Pass, assign *ast.AssignStmt, obj types.Object) bool {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != "_" {
+		return false
+	}
+	rhs, ok := assign.Rhs[0].(*ast.Ident)
+	return ok && pass.Info.Uses[rhs] == obj
+}
+
+func checkLostCancel(pass *lint.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		src := ""
+		for _, name := range cancelSources {
+			if lint.IsPkgFunc(pass.Info, call, "context", name) {
+				src = name
+				break
+			}
+		}
+		if src == "" {
+			return true
+		}
+		cancelIdent, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancelIdent.Name == "_" {
+			pass.Reportf(cancelIdent.Pos(), "the cancel function returned by context.%s is discarded; the context leaks until its parent is cancelled", src)
+			return true
+		}
+		obj := pass.Info.Defs[cancelIdent]
+		if obj == nil {
+			// Plain = assignment to an existing variable: treated as a
+			// use we cannot track further.
+			return true
+		}
+		if !hasRealUse(pass, fd.Body, obj) {
+			pass.Reportf(cancelIdent.Pos(), "the cancel function %s from context.%s is only discarded, never called; defer %s() (or call it on every path)", cancelIdent.Name, src, cancelIdent.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,121 @@
+package stdlite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"upidb/internal/lint"
+)
+
+// Nilness reports dereferences of a pointer that a dominating
+// condition proves nil: uses of x inside `if x == nil { ... }` (or the
+// else branch of `if x != nil`). The upstream SSA-based pass reasons
+// over all facts; this version handles the direct shape only, stopping
+// at any reassignment of x inside the branch.
+var Nilness = &lint.Analyzer{
+	Name: "nilness",
+	Doc:  "reports uses of a pointer inside the branch where a nil check proves it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range lint.FuncsInFile(f) {
+			// A variable captured by a closure (or address-taken) can
+			// be reassigned by any call between the nil check and the
+			// use, so the proof does not hold for it.
+			escaped := escapedLocals(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				ifStmt, ok := n.(*ast.IfStmt)
+				if !ok {
+					return true
+				}
+				checkNilBranch(pass, ifStmt, escaped)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkNilBranch finds the branch on which the condition proves an
+// identifier nil and scans it for dereferences.
+func checkNilBranch(pass *lint.Pass, ifStmt *ast.IfStmt, escaped map[types.Object]bool) {
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	var idExpr ast.Expr
+	switch {
+	case isNilLit(pass, cond.Y):
+		idExpr = cond.X
+	case isNilLit(pass, cond.X):
+		idExpr = cond.Y
+	default:
+		return
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || escaped[obj] {
+		return
+	}
+	// Only pointer types dereference; interfaces and maps have
+	// well-defined nil behavior for most operations.
+	if _, isPtr := obj.Type().Underlying().(*types.Pointer); !isPtr {
+		return
+	}
+	var branch ast.Stmt
+	switch cond.Op {
+	case token.EQL:
+		branch = ifStmt.Body
+	case token.NEQ:
+		branch = ifStmt.Else
+	default:
+		return
+	}
+	if branch == nil {
+		return
+	}
+	scanNilUses(pass, branch, obj, id.Name)
+}
+
+// scanNilUses walks the nil branch in source order, reporting
+// dereferences of obj until it is reassigned or the branch ends.
+func scanNilUses(pass *lint.Pass, branch ast.Stmt, obj types.Object, name string) {
+	reassigned := token.NoPos
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if reassigned.IsValid() && n != nil && n.Pos() > reassigned {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && pass.Info.Uses[lid] == obj {
+					reassigned = e.Pos()
+				}
+			}
+		case *ast.FuncLit:
+			return false // deferred/async execution: out of scope
+		case *ast.SelectorExpr:
+			if xid, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.Info.Uses[xid] == obj {
+				pass.Reportf(e.Pos(), "%s is nil on this path; this dereference panics", name)
+				return false
+			}
+		case *ast.StarExpr:
+			if xid, ok := ast.Unparen(e.X).(*ast.Ident); ok && pass.Info.Uses[xid] == obj {
+				pass.Reportf(e.Pos(), "%s is nil on this path; this dereference panics", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func isNilLit(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil" && pass.Info.Uses[id] == types.Universe.Lookup("nil")
+}

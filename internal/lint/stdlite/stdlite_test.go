@@ -1,0 +1,19 @@
+package stdlite
+
+import (
+	"testing"
+
+	"upidb/internal/lint/linttest"
+)
+
+func TestLostCancel(t *testing.T) {
+	linttest.Run(t, LostCancel, "lostcancel")
+}
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, Nilness, "nilness")
+}
+
+func TestUnusedWrite(t *testing.T) {
+	linttest.Run(t, UnusedWrite, "unusedwrite")
+}

@@ -1,0 +1,40 @@
+// Fixture for lostcancel.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(ctx context.Context) context.Context {
+	child, _ := context.WithCancel(ctx) // want `cancel function returned by context\.WithCancel is discarded`
+	return child
+}
+
+func discardedTimeout(ctx context.Context) context.Context {
+	child, _ := context.WithTimeout(ctx, time.Second) // want `cancel function returned by context\.WithTimeout is discarded`
+	return child
+}
+
+func unused(ctx context.Context) context.Context {
+	child, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want `cancel function cancel from context\.WithDeadline is only discarded`
+	_ = cancel
+	return child
+}
+
+// the house style: defer the cancel.
+func deferred(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return child.Err()
+}
+
+// passing cancel onward is a use.
+func handedOff(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+func handedOffVar(ctx context.Context) (context.Context, context.CancelFunc) {
+	child, cancel := context.WithCancel(ctx)
+	return child, cancel
+}

@@ -1,0 +1,74 @@
+// Fixture for nilness.
+package nilness
+
+type node struct {
+	name string
+	next *node
+}
+
+func derefInNilBranch(n *node) string {
+	if n == nil {
+		return n.name // want `n is nil on this path`
+	}
+	return n.name
+}
+
+func derefInElseOfNotNil(n *node) string {
+	if n != nil {
+		return n.name
+	} else {
+		return n.name // want `n is nil on this path`
+	}
+}
+
+func starDeref(n *node) node {
+	if n == nil {
+		return *n // want `n is nil on this path`
+	}
+	return *n
+}
+
+func reversedOperands(n *node) string {
+	if nil == n {
+		return n.name // want `n is nil on this path`
+	}
+	return n.name
+}
+
+// reassignment before use clears the proof.
+func reassigned(n *node) string {
+	if n == nil {
+		n = &node{name: "fresh"}
+		return n.name
+	}
+	return n.name
+}
+
+// the guarded branch is the one that must not dereference; the other
+// side is fine.
+func guarded(n *node) string {
+	if n == nil {
+		return ""
+	}
+	return n.name
+}
+
+// a closure-captured variable can be reassigned by any call between
+// the check and the use (the btree bulk-loader pattern), so the proof
+// does not hold.
+func capturedByClosure(n *node) string {
+	fresh := func() { n = &node{name: "fresh"} }
+	if n == nil {
+		fresh()
+		return n.name
+	}
+	return n.name
+}
+
+// interface nil checks are out of scope for the lite pass.
+func ifaceNil(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

@@ -1,0 +1,56 @@
+// Fixture for unusedwrite.
+package unusedwrite
+
+func deadStore(a, b int) int {
+	x := 0
+	x = a // want `value stored in x is never read; it is overwritten at line \d+`
+	x = b
+	return x
+}
+
+// a read between the stores keeps the first alive.
+func readBetween(a, b int) int {
+	x := 0
+	x = a
+	sink(x)
+	x = b
+	return x
+}
+
+// control flow between stores may read on another path: no finding.
+func branchBetween(a, b int, cond bool) int {
+	x := 0
+	x = a
+	if cond {
+		return x
+	}
+	x = b
+	return x
+}
+
+// address-taken locals may be read through the pointer.
+func addressTaken(a, b int) int {
+	x := 0
+	x = a
+	p := &x
+	x = b
+	return *p
+}
+
+// closure-captured locals may be read by the closure.
+func captured(a, b int) func() int {
+	x := 0
+	x = a
+	f := func() int { return x }
+	x = b
+	return f
+}
+
+// self-referencing overwrite reads the prior value.
+func accumulate(a, b int) int {
+	x := a
+	x = x + b
+	return x
+}
+
+func sink(int) {}

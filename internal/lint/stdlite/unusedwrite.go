@@ -1,0 +1,146 @@
+package stdlite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"upidb/internal/lint"
+)
+
+// UnusedWrite reports dead stores: a value assigned to a local
+// variable that is overwritten by a later assignment in the same
+// block with no intervening read and no intervening control flow. The
+// upstream SSA pass also finds dead struct-field and array writes;
+// this version restricts itself to straight-line local overwrites —
+// the shape that survives in reviewed code as a stale leftover after
+// a refactor — and skips variables whose address is taken or that a
+// closure captures.
+var UnusedWrite = &lint.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "reports values stored in a local variable and overwritten before any read",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range lint.FuncsInFile(f) {
+			escaped := escapedLocals(pass, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if block, ok := n.(*ast.BlockStmt); ok {
+					checkBlock(pass, block, escaped)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// escapedLocals collects objects whose address is taken or that appear
+// inside a function literal: stores to those may be observed through
+// aliases, so they are never dead for this analyzer.
+func escapedLocals(pass *lint.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	escaped := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(e.Body, func(c ast.Node) bool {
+				if id, ok := c.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						escaped[obj] = true
+					}
+					if obj := pass.Info.Defs[id]; obj != nil {
+						escaped[obj] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+// checkBlock scans one block's direct statement list for
+// store-then-overwrite pairs.
+func checkBlock(pass *lint.Pass, block *ast.BlockStmt, escaped map[types.Object]bool) {
+	for i, stmt := range block.List {
+		obj, firstIdent := simpleStore(pass, stmt)
+		if obj == nil || escaped[obj] {
+			continue
+		}
+		// Scan forward: a read, control flow, or block end clears the
+		// store; another plain store to the same object kills it.
+	forward:
+		for j := i + 1; j < len(block.List); j++ {
+			next := block.List[j]
+			switch next.(type) {
+			case *ast.AssignStmt, *ast.ExprStmt, *ast.IncDecStmt, *ast.DeclStmt:
+				// straight-line statements: check below
+			default:
+				break forward // control flow may read the value later
+			}
+			overObj, overIdent := simpleStore(pass, next)
+			if overObj == obj && !readsObject(pass, next, obj) {
+				pass.Reportf(firstIdent.Pos(), "value stored in %s is never read; it is overwritten at line %d", firstIdent.Name, pass.Fset.Position(overIdent.Pos()).Line)
+				break forward
+			}
+			if readsObject(pass, next, obj) {
+				break forward
+			}
+		}
+	}
+}
+
+// simpleStore matches `x = expr` (single LHS, plain assignment to an
+// ident) and returns the stored-to object.
+func simpleStore(pass *lint.Pass, stmt ast.Stmt) (types.Object, *ast.Ident) {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 {
+		return nil, nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil, nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil, nil
+	}
+	return obj, id
+}
+
+// readsObject reports whether stmt reads obj anywhere except as the
+// sole store target of a simpleStore.
+func readsObject(pass *lint.Pass, stmt ast.Stmt, obj types.Object) bool {
+	storeObj, storeIdent := simpleStore(pass, stmt)
+	read := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if read {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != obj {
+			return true
+		}
+		if storeObj == obj && id == storeIdent {
+			return true // the overwrite target itself is not a read
+		}
+		read = true
+		return false
+	})
+	return read
+}

@@ -12,6 +12,7 @@
 package pii
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -211,7 +212,10 @@ func (t *Table) Delete(tup *tuple.Tuple) error {
 // inverted list (ordered by confidence DESC, so it stops at qt), sort
 // the collected RowIDs in heap order, then fetch each tuple from the
 // unclustered heap — one random page access per distinct page.
-func (t *Table) Query(attr, value string, qt float64) ([]upi.Result, error) {
+func (t *Table) Query(ctx context.Context, attr, value string, qt float64) ([]upi.Result, error) {
+	if err := upi.CtxErr(ctx); err != nil {
+		return nil, err
+	}
 	idx, ok := t.indexes[attr]
 	if !ok {
 		return nil, fmt.Errorf("pii: no index on %q", attr)
@@ -250,7 +254,12 @@ func (t *Table) Query(attr, value string, qt float64) ([]upi.Result, error) {
 	// Bitmap-scan discipline: visit heap pages in physical order.
 	sort.Slice(matches, func(i, j int) bool { return matches[i].rid.Less(matches[j].rid) })
 	results := make([]upi.Result, 0, len(matches))
-	for _, m := range matches {
+	for i, m := range matches {
+		if i%64 == 0 {
+			if err := upi.CtxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		rec, ok, err := t.heap.Get(m.rid)
 		if err != nil {
 			return nil, err

@@ -3,6 +3,7 @@ package pii
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,7 +34,7 @@ func TestInsertQuery(t *testing.T) {
 	}
 	tab.Insert(mkTuple(t, 1, 0.9, prob.Alternative{Value: "A", Prob: 0.8}, prob.Alternative{Value: "B", Prob: 0.2}))
 	tab.Insert(mkTuple(t, 2, 1.0, prob.Alternative{Value: "A", Prob: 0.5}, prob.Alternative{Value: "C", Prob: 0.5}))
-	res, err := tab.Query("X", "A", 0.5)
+	res, err := tab.Query(context.Background(), "X", "A", 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,16 +45,32 @@ func TestInsertQuery(t *testing.T) {
 	if res[0].Tuple.ID != 1 || math.Abs(res[0].Confidence-0.72) > 1e-9 {
 		t.Fatalf("first: %+v", res[0])
 	}
-	res, _ = tab.Query("X", "A", 0.6)
+	res, _ = tab.Query(context.Background(), "X", "A", 0.6)
 	if len(res) != 1 {
 		t.Fatalf("qt=0.6: %d", len(res))
 	}
-	res, _ = tab.Query("X", "Z", 0.0)
+	res, _ = tab.Query(context.Background(), "X", "Z", 0.0)
 	if len(res) != 0 {
 		t.Fatalf("unknown value: %d", len(res))
 	}
-	if _, err := tab.Query("Nope", "A", 0); err == nil {
+	if _, err := tab.Query(context.Background(), "Nope", "A", 0); err == nil {
 		t.Fatal("missing index accepted")
+	}
+}
+
+func TestQueryCanceled(t *testing.T) {
+	tab, err := Create(newFS(), "t", []string{"X"}, Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(mkTuple(t, 1, 0.9, prob.Alternative{Value: "A", Prob: 0.8}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tab.Query(ctx, "X", "A", 0); !errors.Is(err, upi.ErrCanceled) {
+		t.Fatalf("canceled query: got %v, want ErrCanceled", err)
+	}
+	if _, err := tab.Query(ctx, "X", "A", 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query: got %v, want context.Canceled", err)
 	}
 }
 
@@ -65,7 +82,7 @@ func TestDelete(t *testing.T) {
 	if err := tab.Delete(t1); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := tab.Query("X", "A", 0)
+	res, _ := tab.Query(context.Background(), "X", "A", 0)
 	if len(res) != 1 || res[0].Tuple.ID != 2 {
 		t.Fatalf("after delete: %+v", res)
 	}
@@ -100,11 +117,11 @@ func TestBulkBuildMatchesInserts(t *testing.T) {
 	for _, qt := range []float64{0.1, 0.4, 0.8} {
 		for v := 0; v < 25; v++ {
 			val := fmt.Sprintf("v%02d", v)
-			a, err := ins.Query("X", val, qt)
+			a, err := ins.Query(context.Background(), "X", val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, err := bulk.Query("X", val, qt)
+			b, err := bulk.Query(context.Background(), "X", val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,7 +161,7 @@ func TestPIIAgreesWithUPI(t *testing.T) {
 	for _, qt := range []float64{0.05, 0.3, 0.7} {
 		for v := 0; v < 15; v++ {
 			val := fmt.Sprintf("v%02d", v)
-			a, err := piiTab.Query("X", val, qt)
+			a, err := piiTab.Query(context.Background(), "X", val, qt)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -201,7 +218,7 @@ func TestPIINeedsMoreSeeksThanUPI(t *testing.T) {
 
 	piiTab.DropCaches()
 	b1 := piiDisk.Stats()
-	resP, err := piiTab.Query("X", "hot", 0.5)
+	resP, err := piiTab.Query(context.Background(), "X", "hot", 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func (t *Table) queryCutoff(ctx context.Context, value string, qt float64) ([]Re
 		}
 		ps, err := DecodePointers(v)
 		if err != nil || len(ps) != 1 {
-			scanErr = fmt.Errorf("upi: bad cutoff entry: %v", err)
+			scanErr = fmt.Errorf("upi: bad cutoff entry: %w", err)
 			return false
 		}
 		refs = append(refs, ref{heapKey: ps[0].HeapKey(id), conf: conf})
@@ -324,6 +324,8 @@ func sortByConfDesc(rs []Result) {
 
 // ScanHeap visits every heap entry in key order. Used by histogram
 // construction and fracture merging.
+//
+//lint:noctx callers thread cancellation through fn — FullScan and fracture merging both check ctx in their callbacks
 func (t *Table) ScanHeap(fn func(value string, conf float64, id uint64, tup []byte) bool) error {
 	var scanErr error
 	err := t.heap.Scan(nil, nil, func(k, v []byte) bool {
